@@ -1,0 +1,119 @@
+//! Application bundles.
+//!
+//! An [`AppBundle`] is everything one ISS application contributes to an
+//! ECU: its runnables (in execution order), the task hosting them, the
+//! period, and the program-flow pairs the Software Watchdog should allow.
+//! The validator consumes bundles to wire OS tasks, watchdog configuration
+//! and deployment mapping consistently from a single source.
+
+use easis_osek::task::Priority;
+use easis_rte::runnable::{RunnableDef, RunnableId};
+use easis_sim::time::Duration;
+
+/// One application's contribution to an ECU.
+pub struct AppBundle<W> {
+    /// Application name (e.g. `"SafeSpeed"`).
+    pub app_name: &'static str,
+    /// Name of the hosting OS task.
+    pub task_name: &'static str,
+    /// Activation period of the task.
+    pub period: Duration,
+    /// Task priority.
+    pub priority: Priority,
+    /// Prefix of the application's internal signals (integrators, debounce
+    /// counters). Fault treatment resets every signal under this prefix to
+    /// its initial value when restarting the application.
+    pub signal_prefix: &'static str,
+    /// Runnables in nominal execution order.
+    pub runnables: Vec<RunnableDef<W>>,
+}
+
+impl<W> AppBundle<W> {
+    /// Ids of the bundle's runnables in execution order.
+    pub fn runnable_ids(&self) -> Vec<RunnableId> {
+        self.runnables.iter().map(|r| r.spec().id()).collect()
+    }
+
+    /// The watchdog flow pairs of the nominal sequence: each runnable may
+    /// be followed by the next, and the last wraps around to the first
+    /// (periodic execution).
+    pub fn flow_pairs(&self) -> Vec<(RunnableId, RunnableId)> {
+        let ids = self.runnable_ids();
+        let mut pairs = Vec::new();
+        for w in ids.windows(2) {
+            pairs.push((w[0], w[1]));
+        }
+        if ids.len() > 1 {
+            pairs.push((*ids.last().expect("non-empty"), ids[0]));
+        }
+        pairs
+    }
+
+    /// The sequence entry point (first runnable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bundle.
+    pub fn entry(&self) -> RunnableId {
+        self.runnable_ids()
+            .first()
+            .copied()
+            .expect("bundle has runnables")
+    }
+}
+
+impl<W> std::fmt::Debug for AppBundle<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppBundle")
+            .field("app_name", &self.app_name)
+            .field("task_name", &self.task_name)
+            .field("period", &self.period)
+            .field("runnables", &self.runnables.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easis_rte::runnable::RunnableSpec;
+
+    fn bundle() -> AppBundle<u32> {
+        let mk = |i: u32| {
+            RunnableDef::no_op(RunnableSpec::new(
+                RunnableId(i),
+                format!("r{i}"),
+                Duration::from_micros(10),
+            ))
+        };
+        AppBundle {
+            app_name: "Demo",
+            task_name: "DemoTask",
+            period: Duration::from_millis(10),
+            priority: Priority(3),
+            signal_prefix: "demo.",
+            runnables: vec![mk(0), mk(1), mk(2)],
+        }
+    }
+
+    #[test]
+    fn flow_pairs_form_a_cycle() {
+        let b = bundle();
+        assert_eq!(
+            b.flow_pairs(),
+            vec![
+                (RunnableId(0), RunnableId(1)),
+                (RunnableId(1), RunnableId(2)),
+                (RunnableId(2), RunnableId(0)),
+            ]
+        );
+        assert_eq!(b.entry(), RunnableId(0));
+    }
+
+    #[test]
+    fn single_runnable_has_no_pairs() {
+        let mut b = bundle();
+        b.runnables.truncate(1);
+        assert!(b.flow_pairs().is_empty());
+    }
+}

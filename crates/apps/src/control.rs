@@ -1,0 +1,181 @@
+//! Pure control laws.
+//!
+//! The algorithms inside the runnables, as testable pure functions: the
+//! SafeSpeed limiter (a PI controller producing a throttle ceiling and a
+//! brake request) and the SafeLane departure detector (threshold plus
+//! debounce).
+
+use serde::{Deserialize, Serialize};
+
+/// Output of one SafeSpeed control step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedLimitOutput {
+    /// Upper bound for the driver's throttle in `[0, 1]`.
+    pub throttle_ceiling: f64,
+    /// Brake demand in `[0, 1]`.
+    pub brake_request: f64,
+    /// Updated integrator state (persist between steps).
+    pub integrator: f64,
+}
+
+/// SafeSpeed control law: limits the vehicle to `limit` m/s.
+///
+/// Proportional-integral on the overspeed; below the limit the driver is
+/// unconstrained and the integrator bleeds off.
+pub fn speed_limit_control(speed: f64, limit: f64, integrator: f64, dt_s: f64) -> SpeedLimitOutput {
+    const KP: f64 = 0.4;
+    const KI: f64 = 0.08;
+    const INTEGRATOR_MAX: f64 = 5.0;
+    let over = speed - limit;
+    if over <= 0.0 {
+        // Under the limit: release gradually.
+        let integrator = (integrator - 2.0 * dt_s).max(0.0);
+        // Re-open the throttle smoothly as the margin grows.
+        let margin = -over;
+        SpeedLimitOutput {
+            throttle_ceiling: (margin * 0.5).clamp(0.0, 1.0),
+            brake_request: 0.0,
+            integrator,
+        }
+    } else {
+        let integrator = (integrator + over * dt_s).min(INTEGRATOR_MAX);
+        let demand = KP * over + KI * integrator;
+        SpeedLimitOutput {
+            throttle_ceiling: 0.0,
+            brake_request: demand.clamp(0.0, 1.0),
+            integrator,
+        }
+    }
+}
+
+/// Output of one SafeLane detection step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneWarningOutput {
+    /// Lane-departure warning active.
+    pub warning: bool,
+    /// Updated debounce counter (persist between steps).
+    pub debounce: f64,
+}
+
+/// SafeLane detection: warn when |offset| exceeds `threshold` for at least
+/// `debounce_limit` consecutive evaluations (camera-noise rejection).
+pub fn lane_departure_detect(
+    lateral_offset: f64,
+    threshold: f64,
+    debounce: f64,
+    debounce_limit: f64,
+) -> LaneWarningOutput {
+    if lateral_offset.abs() > threshold {
+        let debounce = (debounce + 1.0).min(debounce_limit + 1.0);
+        LaneWarningOutput {
+            warning: debounce >= debounce_limit,
+            debounce,
+        }
+    } else {
+        LaneWarningOutput {
+            warning: false,
+            debounce: 0.0,
+        }
+    }
+}
+
+/// Steer-by-wire command shaping: rate-limits the handwheel angle into the
+/// road-wheel command. Returns the new command.
+pub fn steer_by_wire_shape(handwheel: f64, previous_cmd: f64, max_rate: f64, dt_s: f64) -> f64 {
+    let target = (handwheel / 15.0).clamp(-0.6, 0.6); // 15:1 steering ratio
+    let step = (target - previous_cmd).clamp(-max_rate * dt_s, max_rate * dt_s);
+    previous_cmd + step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_limit_is_unconstrained_with_margin() {
+        let out = speed_limit_control(20.0, 27.8, 0.0, 0.01);
+        assert!(out.throttle_ceiling > 0.9);
+        assert_eq!(out.brake_request, 0.0);
+    }
+
+    #[test]
+    fn over_limit_cuts_throttle_and_brakes() {
+        let out = speed_limit_control(20.0, 13.9, 0.0, 0.01);
+        assert_eq!(out.throttle_ceiling, 0.0);
+        assert!(out.brake_request > 0.0);
+        assert!(out.integrator > 0.0);
+    }
+
+    #[test]
+    fn integrator_accumulates_and_saturates() {
+        let mut integ = 0.0;
+        for _ in 0..100_000 {
+            integ = speed_limit_control(30.0, 10.0, integ, 0.01).integrator;
+        }
+        assert_eq!(integ, 5.0);
+    }
+
+    #[test]
+    fn integrator_bleeds_off_below_limit() {
+        let mut integ = 5.0;
+        for _ in 0..1000 {
+            integ = speed_limit_control(5.0, 13.9, integ, 0.01).integrator;
+        }
+        assert_eq!(integ, 0.0);
+    }
+
+    #[test]
+    fn closed_loop_settles_near_limit() {
+        use easis_vehicle::plant::{Plant, SafetyOverlay};
+        let mut plant = Plant::motorway(25.0, 25.0, 13.9, 9);
+        let mut integ = 0.0;
+        for _ in 0..12_000 {
+            let out = speed_limit_control(plant.state().speed, plant.current_limit(), integ, 0.01);
+            integ = out.integrator;
+            plant.step(
+                SafetyOverlay {
+                    throttle_ceiling: out.throttle_ceiling,
+                    brake_request: out.brake_request,
+                },
+                0.01,
+            );
+        }
+        let speed = plant.state().speed;
+        assert!(
+            (speed - 13.9).abs() < 1.0,
+            "settled at {speed}, limit 13.9"
+        );
+    }
+
+    #[test]
+    fn lane_warning_requires_debounce() {
+        let mut state = 0.0;
+        let mut warned = false;
+        for _ in 0..2 {
+            let out = lane_departure_detect(2.0, 1.75, state, 3.0);
+            state = out.debounce;
+            warned = out.warning;
+        }
+        assert!(!warned, "two samples are below the debounce limit");
+        let out = lane_departure_detect(2.0, 1.75, state, 3.0);
+        assert!(out.warning);
+    }
+
+    #[test]
+    fn lane_warning_clears_when_back_in_lane() {
+        let out = lane_departure_detect(0.3, 1.75, 10.0, 3.0);
+        assert!(!out.warning);
+        assert_eq!(out.debounce, 0.0);
+    }
+
+    #[test]
+    fn steer_shaping_rate_limits() {
+        let cmd = steer_by_wire_shape(3.0, 0.0, 0.5, 0.01);
+        assert!((cmd - 0.005).abs() < 1e-12); // limited to 0.5 rad/s
+        let mut c = 0.0;
+        for _ in 0..100 {
+            c = steer_by_wire_shape(3.0, c, 0.5, 0.01);
+        }
+        assert!((c - 0.2).abs() < 1e-9); // converged to 3.0/15
+    }
+}

@@ -1,0 +1,38 @@
+//! # easis-apps — the ISS applications of the EASIS validator
+//!
+//! The Integrated Safety System applications the paper's validator hosts
+//! (§4.1/§4.3), decomposed into the same runnables:
+//!
+//! * [`safespeed`] — automatic speed limiting (`GetSensorValue` →
+//!   `SAFE_CC_process` → `Speed_process`);
+//! * [`safelane`] — lane departure warning;
+//! * [`steer`] — the steer-by-wire command path;
+//! * [`lightctl`] — the light-control node's function;
+//! * [`control`] — the pure control laws inside the runnables;
+//! * [`bundle`] — the [`bundle::AppBundle`] glue consumed by the validator.
+//!
+//! # Examples
+//!
+//! ```
+//! use easis_apps::safespeed;
+//! use easis_rte::runnable::RunnableRegistry;
+//! use easis_rte::world::BasicEcuWorld;
+//!
+//! let mut world = BasicEcuWorld::new();
+//! let mut registry = RunnableRegistry::new();
+//! let bundle = safespeed::build::<BasicEcuWorld>(&mut world.signals, &mut registry);
+//! assert_eq!(bundle.app_name, "SafeSpeed");
+//! assert_eq!(bundle.runnables.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod control;
+pub mod lightctl;
+pub mod safelane;
+pub mod safespeed;
+pub mod steer;
+
+pub use bundle::AppBundle;

@@ -1,0 +1,34 @@
+//! **E-ARR** — the arrival-rate test the paper describes in prose
+//! ("Similar test with arrival rate error … were performed as well").
+//!
+//! `GetSensorValue` emits two extra aliveness indications per execution
+//! between 1.0 s and 2.0 s (excessive dispatch); the ARC exceeds the fault
+//! hypothesis maximum and the arrival-rate monitor reports once per
+//! monitoring period.
+
+use easis_bench::{emit_json, header};
+use easis_validator::scenario;
+
+fn main() {
+    header(
+        "E-ARR",
+        "prose §4.5 — test with injected arrival rate error",
+        "2 extra heartbeats per execution of GetSensorValue, window 1.0s–2.0s of a 3.0s run",
+    );
+    let series = scenario::exp_arrival_rate(2);
+    print!("{}", series.render_table(40));
+    print!("{}", series.render_plot(100, 8));
+
+    let arm = series.series("ARM Result").expect("ARM series");
+    println!("arrival-rate errors detected: {:?}", arm.last_value());
+    let before_window = arm
+        .samples()
+        .iter()
+        .filter(|s| s.at < easis_sim::time::Instant::from_millis(1_000))
+        .map(|s| s.value)
+        .fold(0.0, f64::max);
+    println!("false positives before the window: {before_window}");
+    assert_eq!(before_window, 0.0);
+    assert!(arm.last_value().unwrap_or(0.0) >= 50.0);
+    emit_json("exp_arrival_rate", &series);
+}

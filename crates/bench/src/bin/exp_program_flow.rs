@@ -1,0 +1,29 @@
+//! **E-PFC** — the control-flow test the paper describes in prose
+//! ("… and control flow error were performed as well").
+//!
+//! The actuator runnable `Speed_process` is bypassed between 1.0 s and
+//! 2.0 s; every period the look-up table sees the illegal transition
+//! `SAFE_CC_process → GetSensorValue` and the PFC unit reports.
+
+use easis_bench::{emit_json, header};
+use easis_validator::scenario;
+
+fn main() {
+    header(
+        "E-PFC",
+        "prose §4.5 — test with injected control flow error",
+        "invalid branch skips Speed_process, window 1.0s–2.0s of a 3.0s run",
+    );
+    let series = scenario::exp_program_flow();
+    print!("{}", series.render_table(40));
+    print!("{}", series.render_plot(100, 8));
+
+    let total = series.series("PFC Result").expect("PFC series");
+    println!("program-flow errors detected: {:?}", total.last_value());
+    println!(
+        "attribution: the error is charged to the observed (unexpected) \
+         successor runnable."
+    );
+    assert!(total.last_value().unwrap_or(0.0) >= 50.0);
+    emit_json("exp_program_flow", &series);
+}

@@ -1,0 +1,110 @@
+//! **O-RECFG** — the paper's outlook: fault handling strategies
+//! "especially concerning dynamic reconfiguration of applications".
+//!
+//! At t = 1 s the SafeSpeed application legitimately switches to a degraded
+//! 20 ms mode (e.g. after a partial restart). A static fault hypothesis
+//! then produces a stream of false aliveness/arrival alarms; with the
+//! watchdog's dynamic reconfiguration interface the hypotheses follow the
+//! mode change and supervision stays exact — errors injected *after* the
+//! reconfiguration are still caught.
+
+use easis_bench::{emit_json, header};
+use easis_injection::injector::{ErrorClass, Injection, Injector};
+use easis_sim::time::Instant;
+use easis_validator::{CentralNode, NodeConfig};
+use easis_watchdog::config::RunnableHypothesis;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    configuration: String,
+    false_alarms_after_mode_change: usize,
+    injected_fault_detected: bool,
+}
+
+/// Runs 3 s: mode change to 20 ms at 1 s, a real heartbeat loss injected
+/// at 2.0–2.4 s. Returns (false alarms in 1–2 s, real fault detected).
+fn run(reconfigure: bool) -> Row {
+    let mut node = CentralNode::build(NodeConfig {
+        error_threshold: 1_000, // count alarms instead of treating
+        ..NodeConfig::safespeed_only()
+    });
+    node.start();
+    let alarm = node.alarms["SafeSpeedTask"];
+    let target = node.runnable("SAFE_CC_process");
+    let mut injector = Injector::new([Injection::new(
+        ErrorClass::HeartbeatLoss { runnable: target },
+        Instant::from_millis(2_000),
+        Instant::from_millis(2_400),
+    )]);
+
+    // Phase 1: nominal 10 ms mode.
+    node.run_until(Instant::from_millis(1_000), &mut injector);
+    assert!(node.world.fault_log.is_empty(), "clean before the mode change");
+
+    // Mode change: the task now runs every 20 ms.
+    node.os
+        .alarm_mut(alarm)
+        .expect("alarm exists")
+        .set_cycle_scale_ppm(2_000_000);
+    if reconfigure {
+        for name in ["GetSensorValue", "SAFE_CC_process", "Speed_process"] {
+            let rid = node.runnable(name);
+            node.world.watchdog.reconfigure(
+                RunnableHypothesis::new(rid)
+                    .alive_at_least(1, 2)
+                    .arrive_at_most(1, 2),
+            );
+        }
+    }
+
+    // Phase 2: degraded mode, still healthy.
+    node.run_until(Instant::from_millis(2_000), &mut injector);
+    let false_alarms = node.world.fault_log.len();
+
+    // Phase 3: a real heartbeat loss.
+    node.run_until(Instant::from_millis(3_000), &mut injector);
+    let detected = node
+        .world
+        .fault_log
+        .iter()
+        .any(|f| f.at >= Instant::from_millis(2_000) && f.runnable == target);
+
+    Row {
+        configuration: if reconfigure {
+            "dynamic reconfiguration".to_string()
+        } else {
+            "static hypothesis".to_string()
+        },
+        false_alarms_after_mode_change: false_alarms,
+        injected_fault_detected: detected,
+    }
+}
+
+fn main() {
+    header(
+        "O-RECFG",
+        "outlook — dynamic reconfiguration of applications",
+        "SafeSpeed drops to a 20 ms degraded mode at 1 s; heartbeat loss at 2 s",
+    );
+    let rows = vec![run(false), run(true)];
+    println!(
+        "{:<26} {:>30} {:>22}",
+        "configuration", "false alarms (mode change)", "real fault detected"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>30} {:>22}",
+            r.configuration, r.false_alarms_after_mode_change, r.injected_fault_detected
+        );
+    }
+    println!(
+        "\noutlook answer: without reconfiguration the static hypothesis turns\n\
+         a legitimate mode change into an alarm storm; the reconfiguration\n\
+         interface keeps supervision exact across the change."
+    );
+    assert!(rows[0].false_alarms_after_mode_change > 10);
+    assert_eq!(rows[1].false_alarms_after_mode_change, 0);
+    assert!(rows[1].injected_fault_detected);
+    emit_json("outlook_reconfig", &rows);
+}

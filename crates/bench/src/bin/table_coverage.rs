@@ -1,0 +1,46 @@
+//! **T-COV** — fault detection coverage (the paper's outlook experiment:
+//! "further analysis of fault detection coverage").
+//!
+//! A seeded campaign injects every runnable-level error class into the full
+//! central node (SafeSpeed + SafeLane + steer-by-wire) and reports the
+//! detection coverage of the three Software Watchdog units against the
+//! hardware watchdog and the task-granularity baselines.
+
+use easis_bench::{emit_json, header};
+use easis_injection::campaign::CampaignBuilder;
+use easis_rte::runnable::RunnableId;
+use easis_sim::time::{Duration, Instant};
+use easis_validator::scenario;
+
+fn main() {
+    let trials_per_class: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    header(
+        "T-COV",
+        "outlook — fault detection coverage analysis",
+        "5 error classes x N seeded trials on the full node; all six monitors",
+    );
+    // Full node runnable layout: steer 0-2, SafeSpeed 3-5, SafeLane 6-8;
+    // loop terms exist on SAFE_CC_process (4) and LDW_process (7).
+    let targets: Vec<RunnableId> = (0..9).map(RunnableId).collect();
+    let horizon = Instant::from_millis(1_500);
+    let plan = CampaignBuilder::new(0xC0FFEE, targets)
+        .loop_targets(vec![RunnableId(4), RunnableId(7)])
+        .trials_per_class(trials_per_class)
+        .window(Instant::from_millis(300), Duration::from_millis(400))
+        .with_horizon(horizon)
+        .build();
+    println!("running {} trials…\n", plan.len());
+    let stats = plan.run(|trial| scenario::run_trial(trial, horizon));
+
+    print!("{}", stats.render_coverage_table());
+    println!(
+        "\npaper shape check: heartbeat-loss, skipped-runnable and duplicate-\n\
+         dispatch errors are runnable-level — only the Software Watchdog units\n\
+         detect them; timing-budget errors are also seen by the task-level\n\
+         monitors; only CPU-saturating faults reach the hardware watchdog."
+    );
+    emit_json("table_coverage", &stats);
+}

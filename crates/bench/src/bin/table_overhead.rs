@@ -1,0 +1,127 @@
+//! **T-OVH** — monitoring overhead: look-up-table PFC vs embedded
+//! signatures (paper §3.4: the table was chosen "to minimize performance
+//! penalty and extensive modification requirements").
+//!
+//! Replays an identical monitored execution (N periods of the 3-runnable
+//! SafeSpeed chain) through the Software Watchdog and through CFCSS at
+//! several basic-block densities, and reports total cycles plus CPU time
+//! on the AutoBox and S12XF models.
+
+use easis_baselines::cfcss::{BlockId, CfcssMonitor, CfcssProgram, ControlFlowGraph};
+use easis_bench::{emit_json, header};
+use easis_rte::runnable::RunnableId;
+use easis_sim::cpu::{CostMeter, CpuModel};
+use easis_sim::time::{Duration, Instant};
+use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
+use easis_watchdog::pfc::LOOKUP_COST_CYCLES;
+use easis_watchdog::SoftwareWatchdog;
+use serde::Serialize;
+
+const PERIODS: u64 = 10_000;
+const RUNNABLES: u32 = 3;
+
+#[derive(Serialize)]
+struct Row {
+    monitor: String,
+    blocks_per_runnable: usize,
+    total_cycles: u64,
+    autobox_us: u64,
+    s12xf_us: u64,
+    relative: f64,
+}
+
+fn watchdog_cycles() -> u64 {
+    let mut builder =
+        WatchdogConfig::builder(Duration::from_millis(10)).allow_entry(RunnableId(0));
+    for i in 0..RUNNABLES {
+        builder = builder
+            .monitor(RunnableHypothesis::new(RunnableId(i)).alive_at_least(1, 1))
+            .allow_flow(RunnableId(i), RunnableId((i + 1) % RUNNABLES));
+    }
+    let mut wd = SoftwareWatchdog::new(builder.build());
+    for period in 0..PERIODS {
+        let now = Instant::from_millis(10 * (period + 1));
+        for i in 0..RUNNABLES {
+            wd.heartbeat(RunnableId(i), now);
+        }
+        wd.run_cycle(now);
+    }
+    assert_eq!(wd.pfc_errors_total(), 0);
+    wd.costs().total_cycles()
+}
+
+fn cfcss_cycles(blocks_per_runnable: usize) -> u64 {
+    let blocks = blocks_per_runnable * RUNNABLES as usize;
+    let program = CfcssProgram::instrument(ControlFlowGraph::chain(blocks), 99);
+    let mut monitor = CfcssMonitor::new(program, BlockId(0));
+    let mut costs = CostMeter::new();
+    for _ in 0..PERIODS {
+        for b in 1..=blocks {
+            let failed = monitor.enter(BlockId((b % blocks) as u32), &mut costs);
+            assert!(!failed, "legal path must stay clean");
+        }
+    }
+    costs.total_cycles()
+}
+
+fn main() {
+    header(
+        "T-OVH",
+        "§3.4 claim — look-up table minimises the performance penalty",
+        "identical monitored execution through both checkers; 10k periods x 3 runnables",
+    );
+    // Flow-checking-only baseline: one table look-up per runnable
+    // execution. The full watchdog row adds heartbeat counting and the
+    // periodic checks, i.e. the complete service, for context.
+    let pfc_only = LOOKUP_COST_CYCLES * RUNNABLES as u64 * PERIODS;
+    let wd = watchdog_cycles();
+    let mut rows = vec![
+        Row {
+            monitor: "PFC look-up table (flow checking only)".into(),
+            blocks_per_runnable: 0,
+            total_cycles: pfc_only,
+            autobox_us: CpuModel::AUTOBOX.cycles_to_time(pfc_only).as_micros(),
+            s12xf_us: CpuModel::S12XF.cycles_to_time(pfc_only).as_micros(),
+            relative: 1.0,
+        },
+        Row {
+            monitor: "Software Watchdog (all three units)".into(),
+            blocks_per_runnable: 0,
+            total_cycles: wd,
+            autobox_us: CpuModel::AUTOBOX.cycles_to_time(wd).as_micros(),
+            s12xf_us: CpuModel::S12XF.cycles_to_time(wd).as_micros(),
+            relative: wd as f64 / pfc_only as f64,
+        },
+    ];
+    for blocks in [8usize, 16, 24, 48] {
+        let cycles = cfcss_cycles(blocks);
+        rows.push(Row {
+            monitor: format!("CFCSS signatures ({blocks} blocks/runnable)"),
+            blocks_per_runnable: blocks,
+            total_cycles: cycles,
+            autobox_us: CpuModel::AUTOBOX.cycles_to_time(cycles).as_micros(),
+            s12xf_us: CpuModel::S12XF.cycles_to_time(cycles).as_micros(),
+            relative: cycles as f64 / pfc_only as f64,
+        });
+    }
+
+    println!(
+        "{:<40} {:>13} {:>12} {:>12} {:>9}",
+        "monitor", "total cycles", "AutoBox[us]", "S12XF[us]", "vs PFC"
+    );
+    for r in &rows {
+        println!(
+            "{:<40} {:>13} {:>12} {:>12} {:>8.1}x",
+            r.monitor, r.total_cycles, r.autobox_us, r.s12xf_us, r.relative
+        );
+    }
+    println!(
+        "\npaper shape check: signature checking scales with basic-block count\n\
+         and always costs a multiple of the runnable-granularity look-up table."
+    );
+    assert!(
+        rows[2..].iter().all(|r| r.relative > 2.0),
+        "CFCSS flow checking must cost a multiple of the look-up table"
+    );
+    emit_json("table_overhead", &rows);
+}

@@ -1,0 +1,96 @@
+//! **T-SAFE** — vehicle-level impact of the dependability service.
+//!
+//! The paper motivates the Software Watchdog with the safety of integrated
+//! safety systems; this experiment quantifies the end effect. While the car
+//! approaches a 13.9 m/s limit drop, an invalid branch permanently disables
+//! `SAFE_CC_process` (the limiter's control law). Three configurations:
+//!
+//! * **unprotected** — no fail-safe reaction: the stale commands let the
+//!   driver sail through the limit;
+//! * **supervised + fail-safe** — the watchdog's faulty verdict makes the
+//!   actuator node limp home;
+//! * **golden** — no fault, as reference.
+
+use easis_bench::{emit_json, header};
+use easis_injection::injector::{ErrorClass, Injection, Injector};
+use easis_sim::time::{Duration, Instant};
+use easis_validator::hil::HilValidator;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    configuration: String,
+    overspeed_exposure: f64,
+    peak_overspeed_ms: f64,
+    final_speed_ms: f64,
+    faults_detected: usize,
+    failsafe_engaged: bool,
+}
+
+fn run(failsafe: bool, inject: bool) -> Row {
+    let mut hil = HilValidator::motorway(25.0, 13.9, None, 5);
+    if failsafe {
+        hil = hil.with_failsafe();
+    }
+    let mut injector = if inject {
+        let target = hil.central.runnable("SAFE_CC_process");
+        Injector::new([Injection::new(
+            ErrorClass::SkipRunnable { runnable: target },
+            Instant::from_millis(10_000), // before the 500 m limit drop
+            Instant::from_millis(90_000),
+        )])
+    } else {
+        Injector::none()
+    };
+    let report = hil.run(Duration::from_secs(60), &mut injector, None);
+    let configuration = match (inject, failsafe) {
+        (false, _) => "golden (no fault)",
+        (true, false) => "fault, unprotected",
+        (true, true) => "fault, watchdog + fail-safe",
+    };
+    Row {
+        configuration: configuration.to_string(),
+        overspeed_exposure: report.overspeed_exposure,
+        peak_overspeed_ms: report.peak_overspeed,
+        final_speed_ms: report.final_speed,
+        faults_detected: report.faults_detected,
+        failsafe_engaged: hil.failsafe_engaged(),
+    }
+}
+
+fn main() {
+    header(
+        "T-SAFE",
+        "motivation §1 — dependability service improves system safety",
+        "permanent SAFE_CC_process failure while approaching a 13.9 m/s limit",
+    );
+    let rows = vec![run(false, false), run(false, true), run(true, true)];
+
+    println!(
+        "{:<30} {:>17} {:>15} {:>13} {:>8} {:>10}",
+        "configuration", "exposure[m/s*s]", "peak over[m/s]", "final[m/s]", "faults", "fail-safe"
+    );
+    for r in &rows {
+        println!(
+            "{:<30} {:>17.1} {:>15.2} {:>13.2} {:>8} {:>10}",
+            r.configuration,
+            r.overspeed_exposure,
+            r.peak_overspeed_ms,
+            r.final_speed_ms,
+            r.faults_detected,
+            r.failsafe_engaged
+        );
+    }
+    println!(
+        "\npaper shape check: without supervision the failed limiter lets the\n\
+         driver hold ~25 m/s in the 13.9 m/s zone; with the watchdog verdict\n\
+         driving a fail-safe reaction the overspeed episode is contained."
+    );
+    let golden = &rows[0];
+    let unprotected = &rows[1];
+    let protected = &rows[2];
+    assert!(unprotected.overspeed_exposure > 5.0 * golden.overspeed_exposure);
+    assert!(protected.overspeed_exposure < unprotected.overspeed_exposure / 4.0);
+    assert!(protected.failsafe_engaged);
+    emit_json("table_safety_impact", &rows);
+}

@@ -1,0 +1,58 @@
+//! # easis-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! evaluation artifacts (one binary per figure/table; see DESIGN.md §4)
+//! and for the Criterion micro-benchmarks. Every experiment prints its
+//! human-readable table/series to stdout and drops a machine-readable JSON
+//! record under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment records are written.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Writes a JSON record of an experiment result and announces the path.
+pub fn emit_json<T: Serialize>(experiment: &str, payload: &T) {
+    let dir = experiments_dir();
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    match serde_json::to_string_pretty(payload) {
+        Ok(json) => match fs::write(&path, json) {
+            Ok(()) => println!("\n[record written to {}]", path.display()),
+            Err(err) => eprintln!("warning: cannot write {}: {err}", path.display()),
+        },
+        Err(err) => eprintln!("warning: cannot serialise {experiment}: {err}"),
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, paper_artifact: &str, description: &str) {
+    println!("================================================================");
+    println!("experiment {id} — reproduces: {paper_artifact}");
+    println!("{description}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_json_writes_a_file() {
+        emit_json("selftest", &serde_json::json!({"ok": true}));
+        let path = experiments_dir().join("selftest.json");
+        let content = std::fs::read_to_string(&path).expect("file written");
+        assert!(content.contains("ok"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,175 @@
+//! Frames and signal packing.
+//!
+//! The EASIS validator's nodes exchange sensor/actuator values over CAN and
+//! FlexRay. [`Frame`] is the common protocol data unit; [`FixedPointCodec`]
+//! packs physical `f64` signals into the 16-bit fixed-point representation
+//! typical of automotive network databases (CAN DBC style).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CAN identifier (11-bit standard) or FlexRay frame id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameId(pub u16);
+
+impl FrameId {
+    /// Largest valid 11-bit CAN identifier.
+    pub const MAX_CAN: FrameId = FrameId(0x7FF);
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:03X}", self.0)
+    }
+}
+
+/// A protocol data unit on either bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame identifier (doubles as CAN arbitration priority: lower wins).
+    pub id: FrameId,
+    /// Payload bytes (≤ 8 for CAN).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Creates a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds 64 bytes (FlexRay static-slot limit
+    /// used by this model).
+    pub fn new(id: FrameId, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
+        assert!(payload.len() <= 64, "payload exceeds 64 bytes");
+        Frame { id, payload }
+    }
+
+    /// Payload length in bytes.
+    pub fn dlc(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` if this frame fits classic CAN (id ≤ 0x7FF, dlc ≤ 8).
+    pub fn is_can_compatible(&self) -> bool {
+        self.id <= FrameId::MAX_CAN && self.dlc() <= 8
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}B]", self.id, self.dlc())
+    }
+}
+
+/// Linear 16-bit fixed-point codec: `raw = (value - offset) / scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPointCodec {
+    scale: f64,
+    offset: f64,
+}
+
+impl FixedPointCodec {
+    /// Creates a codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero, negative or not finite.
+    pub fn new(scale: f64, offset: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive and finite"
+        );
+        FixedPointCodec { scale, offset }
+    }
+
+    /// Standard automotive speed codec: 0.01 m/s resolution, 0 offset.
+    pub fn speed() -> Self {
+        FixedPointCodec::new(0.01, 0.0)
+    }
+
+    /// Encodes a physical value, saturating at the u16 range.
+    pub fn encode(&self, value: f64) -> [u8; 2] {
+        let raw = ((value - self.offset) / self.scale).round();
+        let raw = raw.clamp(0.0, u16::MAX as f64) as u16;
+        raw.to_be_bytes()
+    }
+
+    /// Decodes two bytes back into a physical value.
+    pub fn decode(&self, bytes: [u8; 2]) -> f64 {
+        u16::from_be_bytes(bytes) as f64 * self.scale + self.offset
+    }
+
+    /// Decodes from a payload at a byte offset; `None` if out of range.
+    pub fn decode_at(&self, payload: &[u8], at: usize) -> Option<f64> {
+        let hi = *payload.get(at)?;
+        let lo = *payload.get(at + 1)?;
+        Some(self.decode([hi, lo]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_basics() {
+        let f = Frame::new(FrameId(0x123), vec![1, 2, 3]);
+        assert_eq!(f.dlc(), 3);
+        assert!(f.is_can_compatible());
+        assert_eq!(f.to_string(), "0x123 [3B]");
+    }
+
+    #[test]
+    fn oversize_id_or_payload_is_not_can_compatible() {
+        let f = Frame::new(FrameId(0x800), vec![0; 4]);
+        assert!(!f.is_can_compatible());
+        let g = Frame::new(FrameId(0x100), vec![0; 9]);
+        assert!(!g.is_can_compatible());
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bytes")]
+    fn payload_limit_enforced() {
+        let _ = Frame::new(FrameId(1), vec![0; 65]);
+    }
+
+    #[test]
+    fn codec_round_trips_within_resolution() {
+        let c = FixedPointCodec::speed();
+        for v in [0.0, 13.89, 36.11, 55.55] {
+            let decoded = c.decode(c.encode(v));
+            assert!((decoded - v).abs() <= 0.005, "{v} → {decoded}");
+        }
+    }
+
+    #[test]
+    fn codec_saturates_out_of_range() {
+        let c = FixedPointCodec::new(0.01, 0.0);
+        assert_eq!(c.decode(c.encode(-5.0)), 0.0);
+        assert_eq!(c.decode(c.encode(1e9)), u16::MAX as f64 * 0.01);
+    }
+
+    #[test]
+    fn codec_with_offset() {
+        let temp = FixedPointCodec::new(0.1, -40.0);
+        let decoded = temp.decode(temp.encode(23.5));
+        assert!((decoded - 23.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn decode_at_handles_bounds() {
+        let c = FixedPointCodec::speed();
+        let payload = c.encode(10.0);
+        assert!(c.decode_at(&payload, 0).is_some());
+        assert!(c.decode_at(&payload, 1).is_none());
+        assert!(c.decode_at(&[], 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_scale_rejected() {
+        let _ = FixedPointCodec::new(0.0, 0.0);
+    }
+}

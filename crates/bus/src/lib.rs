@@ -1,0 +1,47 @@
+//! # easis-bus — in-vehicle network simulation
+//!
+//! The EASIS architecture validator (paper §4.1) interconnects its nodes
+//! over "TCP/IP, CAN and FlexRay" through a gateway node. This crate models
+//! that communication substrate at frame granularity:
+//!
+//! * [`frame`] — frames and fixed-point signal packing;
+//! * [`can`] — classic CAN with identifier arbitration and worst-case
+//!   bit-stuffed wire times;
+//! * [`flexray`] — the FlexRay static segment (TDMA slots, deterministic
+//!   latency);
+//! * [`gateway`] — store-and-forward routing between domains with id
+//!   rewriting and fan-out;
+//! * [`e2e`] — AUTOSAR-E2E-style end-to-end protection (alive counter +
+//!   checksum) classifying receptions as ok/repeated/lost/corrupted.
+//!
+//! # Examples
+//!
+//! ```
+//! use easis_bus::can::{CanBus, NodeId};
+//! use easis_bus::frame::{FixedPointCodec, Frame, FrameId};
+//! use easis_sim::time::Instant;
+//!
+//! // A sensor node broadcasts the vehicle speed on CAN.
+//! let codec = FixedPointCodec::speed();
+//! let mut bus = CanBus::new(500_000);
+//! let payload = codec.encode(13.9).to_vec();
+//! bus.submit(NodeId(0), Frame::new(FrameId(0x100), payload), Instant::ZERO);
+//! let rx = bus.poll(Instant::from_millis(1));
+//! let speed = codec.decode_at(&rx[0].frame.payload, 0).unwrap();
+//! assert!((speed - 13.9).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod can;
+pub mod e2e;
+pub mod flexray;
+pub mod frame;
+pub mod gateway;
+
+pub use can::{CanBus, Delivery, NodeId};
+pub use e2e::{E2eReceiver, E2eSender, E2eVerdict};
+pub use flexray::{FlexRayBus, FlexRayError, SlotDelivery, SlotId};
+pub use frame::{FixedPointCodec, Frame, FrameId};
+pub use gateway::{Gateway, PortId, RoutedFrame};

@@ -1,0 +1,96 @@
+//! Property-based tests of the network models: delivery completeness,
+//! ordering, arbitration fairness bounds and codec round-trips.
+
+use easis_bus::can::{CanBus, NodeId};
+use easis_bus::flexray::{FlexRayBus, SlotId};
+use easis_bus::frame::{FixedPointCodec, Frame, FrameId};
+use easis_sim::time::{Duration, Instant};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every submitted CAN frame is eventually delivered exactly once, and
+    /// deliveries are non-decreasing in time.
+    #[test]
+    fn can_delivers_everything_exactly_once(
+        frames in prop::collection::vec((1u16..0x7FF, 0usize..8, 0u64..5_000), 1..40),
+    ) {
+        let mut bus = CanBus::new(500_000);
+        for &(id, dlc, at) in &frames {
+            bus.submit(NodeId(0), Frame::new(FrameId(id), vec![0u8; dlc]), Instant::from_micros(at));
+        }
+        let out = bus.poll(Instant::from_millis(1_000)); // ample horizon
+        prop_assert_eq!(out.len(), frames.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        prop_assert_eq!(bus.pending_count(), 0);
+    }
+
+    /// When all frames are submitted simultaneously, CAN delivers them in
+    /// strict identifier order (non-destructive arbitration).
+    #[test]
+    fn can_simultaneous_submissions_deliver_in_id_order(
+        mut ids in prop::collection::btree_set(1u16..0x7FF, 2..20),
+    ) {
+        let mut bus = CanBus::new(500_000);
+        for &id in &ids {
+            bus.submit(NodeId(0), Frame::new(FrameId(id), vec![0u8; 4]), Instant::ZERO);
+        }
+        let out = bus.poll(Instant::from_millis(1_000));
+        let delivered: Vec<u16> = out.iter().map(|d| d.frame.id.0).collect();
+        let sorted: Vec<u16> = std::mem::take(&mut ids).into_iter().collect();
+        prop_assert_eq!(delivered, sorted);
+    }
+
+    /// The wire time model is monotone in payload size.
+    #[test]
+    fn can_frame_time_monotone_in_dlc(dlc in 0usize..8) {
+        let bus = CanBus::new(500_000);
+        let shorter = bus.frame_time(&Frame::new(FrameId(1), vec![0u8; dlc]));
+        let longer = bus.frame_time(&Frame::new(FrameId(1), vec![0u8; dlc + 1]));
+        prop_assert!(longer > shorter);
+    }
+
+    /// FlexRay delivery latency of a buffered value never exceeds the
+    /// worst-case bound (one cycle + slot position).
+    #[test]
+    fn flexray_latency_is_bounded(
+        slot in 0u16..8,
+        submit_ms in 0u64..50,
+    ) {
+        let mut bus = FlexRayBus::new(Duration::from_millis(5), Duration::from_micros(100), 8);
+        bus.assign_slot(SlotId(slot), FrameId(0x10)).unwrap();
+        // Advance to the submission time first, then buffer the frame.
+        let submit_at = Instant::from_millis(submit_ms);
+        let _ = bus.advance(submit_at);
+        bus.submit(SlotId(slot), Frame::new(FrameId(0x10), vec![1])).unwrap();
+        let out = bus.advance(Instant::from_millis(submit_ms + 20));
+        prop_assert!(!out.is_empty(), "value never transmitted");
+        let first = out[0].at;
+        let bound = bus.worst_case_latency(SlotId(slot));
+        prop_assert!(
+            first.saturating_duration_since(submit_at) <= bound,
+            "latency {} exceeds bound {}",
+            first.saturating_duration_since(submit_at),
+            bound
+        );
+    }
+
+    /// Fixed-point codecs round-trip within one quantisation step over
+    /// their encodable range.
+    #[test]
+    fn codec_round_trip_error_is_bounded(
+        scale_thousandths in 1u32..1_000,
+        offset in -100.0f64..100.0,
+        value in 0.0f64..50.0,
+    ) {
+        let scale = scale_thousandths as f64 / 1000.0;
+        let codec = FixedPointCodec::new(scale, offset);
+        let v = value + offset; // keep inside the encodable window
+        prop_assume!((v - offset) / scale <= u16::MAX as f64);
+        let decoded = codec.decode(codec.encode(v));
+        prop_assert!((decoded - v).abs() <= scale / 2.0 + 1e-9, "{v} → {decoded}");
+    }
+}

@@ -1,0 +1,386 @@
+//! Heartbeat monitoring unit.
+//!
+//! The passive monitoring approach of the paper (§3.3): every runnable
+//! execution increments its Aliveness Counter (AC) and Arrival Rate Counter
+//! (ARC); the watchdog's periodic task advances the Cycle Counters (CCA,
+//! CCAR) and, "shortly before the next period begins", checks the heartbeat
+//! counters against the fault hypothesis. All counters reset "if the
+//! periods defined in the fault hypothesis expire or an error is detected
+//! in the last cycle". An Activation Status (AS) per runnable gates the
+//! whole mechanism.
+
+use crate::config::RunnableHypothesis;
+use crate::report::{DetectedFault, FaultKind, RunnableCounters};
+use easis_rte::runnable::RunnableId;
+use easis_sim::cpu::CostMeter;
+use easis_sim::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Abstract CPU cost (cycles) of one heartbeat indication: AS check plus
+/// two counter increments.
+pub const HEARTBEAT_COST_CYCLES: u64 = 9;
+
+/// Abstract CPU cost (cycles) of the per-runnable end-of-cycle check.
+pub const CHECK_COST_CYCLES: u64 = 23;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MonitorState {
+    hypothesis: RunnableHypothesis,
+    ac: u32,
+    arc: u32,
+    cca: u32,
+    ccar: u32,
+    active: bool,
+    aliveness_errors: u32,
+    arrival_rate_errors: u32,
+}
+
+impl MonitorState {
+    fn new(hypothesis: RunnableHypothesis) -> Self {
+        MonitorState {
+            active: hypothesis.initially_active,
+            hypothesis,
+            ac: 0,
+            arc: 0,
+            cca: 0,
+            ccar: 0,
+            aliveness_errors: 0,
+            arrival_rate_errors: 0,
+        }
+    }
+}
+
+/// The heartbeat monitoring unit: one counter set per monitored runnable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeartbeatMonitor {
+    states: BTreeMap<RunnableId, MonitorState>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates the unit from the per-runnable fault hypotheses.
+    pub fn new(hypotheses: impl IntoIterator<Item = RunnableHypothesis>) -> Self {
+        HeartbeatMonitor {
+            states: hypotheses
+                .into_iter()
+                .map(|h| (h.runnable, MonitorState::new(h)))
+                .collect(),
+        }
+    }
+
+    /// Records one aliveness indication. Unmonitored runnables and
+    /// runnables with a cleared activation status are ignored (the glue
+    /// call is still charged to `costs`, as the AS test itself costs
+    /// cycles).
+    pub fn record(&mut self, runnable: RunnableId, costs: &mut CostMeter) {
+        costs.charge(HEARTBEAT_COST_CYCLES);
+        if let Some(st) = self.states.get_mut(&runnable) {
+            if st.active {
+                st.ac = st.ac.saturating_add(1);
+                st.arc = st.arc.saturating_add(1);
+            }
+        }
+    }
+
+    /// Advances all cycle counters by one watchdog cycle and performs the
+    /// end-of-period checks. Returns the faults detected in this cycle.
+    pub fn end_of_cycle(&mut self, now: Instant, costs: &mut CostMeter) -> Vec<DetectedFault> {
+        let mut faults = Vec::new();
+        for (&runnable, st) in &mut self.states {
+            if !st.active {
+                continue;
+            }
+            costs.charge(CHECK_COST_CYCLES);
+            if let Some(spec) = st.hypothesis.aliveness {
+                st.cca += 1;
+                if st.cca >= spec.cycles {
+                    if st.ac < spec.min_indications {
+                        st.aliveness_errors += 1;
+                        faults.push(DetectedFault {
+                            at: now,
+                            runnable,
+                            kind: FaultKind::Aliveness,
+                        });
+                    }
+                    st.ac = 0;
+                    st.cca = 0;
+                }
+            }
+            if let Some(spec) = st.hypothesis.arrival_rate {
+                st.ccar += 1;
+                if st.ccar >= spec.cycles {
+                    if st.arc > spec.max_indications {
+                        st.arrival_rate_errors += 1;
+                        faults.push(DetectedFault {
+                            at: now,
+                            runnable,
+                            kind: FaultKind::ArrivalRate,
+                        });
+                    }
+                    st.arc = 0;
+                    st.ccar = 0;
+                }
+            }
+        }
+        faults
+    }
+
+    /// Replaces the fault hypothesis of a runnable at runtime (dynamic
+    /// reconfiguration, the paper's outlook). Counters reset so the new
+    /// hypothesis starts a fresh monitoring period; the activation status
+    /// is preserved. Unknown runnables become newly monitored.
+    pub fn reconfigure(&mut self, hypothesis: RunnableHypothesis) {
+        let runnable = hypothesis.runnable;
+        match self.states.get_mut(&runnable) {
+            Some(st) => {
+                st.hypothesis = hypothesis;
+                st.ac = 0;
+                st.arc = 0;
+                st.cca = 0;
+                st.ccar = 0;
+            }
+            None => {
+                self.states.insert(runnable, MonitorState::new(hypothesis));
+            }
+        }
+    }
+
+    /// Sets the activation status of a runnable; clearing it also resets
+    /// the counters so monitoring restarts cleanly when re-armed.
+    /// Returns `false` for unmonitored runnables.
+    pub fn set_active(&mut self, runnable: RunnableId, active: bool) -> bool {
+        match self.states.get_mut(&runnable) {
+            Some(st) => {
+                st.active = active;
+                if !active {
+                    st.ac = 0;
+                    st.arc = 0;
+                    st.cca = 0;
+                    st.ccar = 0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` if the runnable is monitored and its AS is set.
+    pub fn is_active(&self, runnable: RunnableId) -> bool {
+        self.states.get(&runnable).is_some_and(|s| s.active)
+    }
+
+    /// Live counter values (aliveness/arrival parts; PFC attribution is
+    /// merged in by the service facade).
+    pub fn counters(&self, runnable: RunnableId) -> Option<RunnableCounters> {
+        self.states.get(&runnable).map(|st| RunnableCounters {
+            ac: st.ac,
+            arc: st.arc,
+            cca: st.cca,
+            ccar: st.ccar,
+            activation: st.active,
+            aliveness_errors: st.aliveness_errors,
+            arrival_rate_errors: st.arrival_rate_errors,
+            program_flow_errors: 0,
+        })
+    }
+
+    /// Monitored runnables.
+    pub fn monitored(&self) -> impl Iterator<Item = RunnableId> + '_ {
+        self.states.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RunnableId {
+        RunnableId(n)
+    }
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    fn monitor_one() -> HeartbeatMonitor {
+        HeartbeatMonitor::new([RunnableHypothesis::new(r(0))
+            .alive_at_least(1, 2)
+            .arrive_at_most(3, 2)])
+    }
+
+    #[test]
+    fn nominal_heartbeats_produce_no_faults() {
+        let mut m = monitor_one();
+        let mut costs = CostMeter::new();
+        for cycle in 0..10u64 {
+            m.record(r(0), &mut costs);
+            assert!(m.end_of_cycle(t(cycle * 10), &mut costs).is_empty());
+        }
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!(c.aliveness_errors, 0);
+        assert_eq!(c.arrival_rate_errors, 0);
+    }
+
+    #[test]
+    fn missing_heartbeats_raise_aliveness_fault_at_period_end() {
+        let mut m = monitor_one();
+        let mut costs = CostMeter::new();
+        // No heartbeats at all; period = 2 cycles.
+        assert!(m.end_of_cycle(t(10), &mut costs).is_empty()); // CCA=1
+        let faults = m.end_of_cycle(t(20), &mut costs); // CCA=2 → check
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::Aliveness);
+        assert_eq!(faults[0].at, t(20));
+        // Counters were reset after the error.
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!((c.ac, c.cca), (0, 0));
+        assert_eq!(c.aliveness_errors, 1);
+    }
+
+    #[test]
+    fn excess_heartbeats_raise_arrival_rate_fault() {
+        let mut m = monitor_one();
+        let mut costs = CostMeter::new();
+        for _ in 0..5 {
+            m.record(r(0), &mut costs); // max 3 per 2 cycles
+        }
+        assert!(m.end_of_cycle(t(10), &mut costs).is_empty());
+        let faults = m.end_of_cycle(t(20), &mut costs);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::ArrivalRate);
+        assert_eq!(m.counters(r(0)).unwrap().arrival_rate_errors, 1);
+    }
+
+    #[test]
+    fn both_faults_can_fire_for_different_runnables_in_one_cycle() {
+        let mut m = HeartbeatMonitor::new([
+            RunnableHypothesis::new(r(0)).alive_at_least(1, 1),
+            RunnableHypothesis::new(r(1)).arrive_at_most(0, 1),
+        ]);
+        let mut costs = CostMeter::new();
+        m.record(r(1), &mut costs); // r0 silent, r1 over limit
+        let faults = m.end_of_cycle(t(10), &mut costs);
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn cleared_activation_status_suppresses_everything() {
+        let mut m = monitor_one();
+        let mut costs = CostMeter::new();
+        assert!(m.set_active(r(0), false));
+        for cycle in 0..6u64 {
+            let faults = m.end_of_cycle(t(cycle * 10), &mut costs);
+            assert!(faults.is_empty());
+        }
+        assert!(!m.is_active(r(0)));
+        // Heartbeats while inactive are not counted.
+        m.record(r(0), &mut costs);
+        assert_eq!(m.counters(r(0)).unwrap().ac, 0);
+        // Re-arming restarts cleanly.
+        assert!(m.set_active(r(0), true));
+        m.record(r(0), &mut costs);
+        assert_eq!(m.counters(r(0)).unwrap().ac, 1);
+    }
+
+    #[test]
+    fn unmonitored_runnable_is_ignored_but_charged() {
+        let mut m = monitor_one();
+        let mut costs = CostMeter::new();
+        m.record(r(9), &mut costs);
+        assert_eq!(costs.operations(), 1);
+        assert!(m.counters(r(9)).is_none());
+        assert!(!m.set_active(r(9), true));
+        assert!(!m.is_active(r(9)));
+    }
+
+    #[test]
+    fn aliveness_and_arrival_periods_are_independent() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0))
+            .alive_at_least(1, 3)
+            .arrive_at_most(1, 1)]);
+        let mut costs = CostMeter::new();
+        // 2 heartbeats in cycle 1 → arrival fault at the 1-cycle boundary,
+        // while the 3-cycle aliveness window is still open.
+        m.record(r(0), &mut costs);
+        m.record(r(0), &mut costs);
+        let f1 = m.end_of_cycle(t(10), &mut costs);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].kind, FaultKind::ArrivalRate);
+        // ARC reset but AC kept (separate windows).
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!((c.ac, c.arc, c.cca, c.ccar), (2, 0, 1, 0));
+    }
+
+    #[test]
+    fn check_cost_is_charged_per_active_runnable() {
+        let mut m = HeartbeatMonitor::new([
+            RunnableHypothesis::new(r(0)).alive_at_least(1, 1),
+            RunnableHypothesis::new(r(1)).alive_at_least(1, 1).initially_inactive(),
+        ]);
+        let mut costs = CostMeter::new();
+        let _ = m.end_of_cycle(t(10), &mut costs);
+        assert_eq!(costs.total_cycles(), CHECK_COST_CYCLES); // only r0 active
+    }
+
+    #[test]
+    fn monitored_lists_configured_runnables() {
+        let m = monitor_one();
+        assert_eq!(m.monitored().collect::<Vec<_>>(), vec![r(0)]);
+    }
+}
+
+#[cfg(test)]
+mod reconfig_tests {
+    use super::*;
+
+    fn r(n: u32) -> RunnableId {
+        RunnableId(n)
+    }
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn reconfigure_replaces_hypothesis_and_resets_counters() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
+        let mut costs = CostMeter::new();
+        m.record(r(0), &mut costs);
+        assert_eq!(m.counters(r(0)).unwrap().ac, 1);
+        // Degraded mode: the runnable now runs every 4 cycles.
+        m.reconfigure(RunnableHypothesis::new(r(0)).alive_at_least(1, 4));
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!((c.ac, c.cca), (0, 0));
+        // Three silent cycles are now fine…
+        for cycle in 1..=3 {
+            assert!(m.end_of_cycle(t(cycle * 10), &mut costs).is_empty());
+        }
+        // …the fourth closes the window and reports.
+        assert_eq!(m.end_of_cycle(t(40), &mut costs).len(), 1);
+    }
+
+    #[test]
+    fn reconfigure_preserves_activation_status() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
+        m.set_active(r(0), false);
+        m.reconfigure(RunnableHypothesis::new(r(0)).alive_at_least(2, 2));
+        assert!(!m.is_active(r(0)), "AS must survive reconfiguration");
+    }
+
+    #[test]
+    fn reconfigure_can_add_a_new_runnable() {
+        let mut m = HeartbeatMonitor::new([]);
+        let mut costs = CostMeter::new();
+        m.reconfigure(RunnableHypothesis::new(r(5)).alive_at_least(1, 1));
+        assert!(m.is_active(r(5)));
+        let faults = m.end_of_cycle(t(10), &mut costs);
+        assert_eq!(faults.len(), 1, "new hypothesis is enforced immediately");
+    }
+
+    #[test]
+    fn reconfigure_keeps_error_history() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
+        let mut costs = CostMeter::new();
+        assert_eq!(m.end_of_cycle(t(10), &mut costs).len(), 1);
+        m.reconfigure(RunnableHypothesis::new(r(0)).alive_at_least(1, 2));
+        assert_eq!(m.counters(r(0)).unwrap().aliveness_errors, 1);
+    }
+}

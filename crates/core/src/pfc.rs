@@ -1,0 +1,274 @@
+//! Program flow checking (PFC) unit.
+//!
+//! "A simple approach with a look-up table was applied to minimize
+//! performance penalty and extensive modification requirements of
+//! applications" (paper §3.4): the table stores every allowed
+//! predecessor/successor pair of the monitored runnables; the unit compares
+//! the observed heartbeat sequence against it. Unmonitored runnables are
+//! transparent — only the sequence of *monitored* runnables is checked, as
+//! the paper restricts checking to safety-critical runnables to bound
+//! overhead.
+
+use easis_rte::runnable::RunnableId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract per-observation CPU cost of a look-up (cycles), charged to the
+/// watchdog's cost meter for the overhead experiments.
+pub const LOOKUP_COST_CYCLES: u64 = 18;
+
+/// The allowed-successor look-up table.
+///
+/// # Examples
+///
+/// ```
+/// use easis_rte::runnable::RunnableId;
+/// use easis_watchdog::pfc::FlowTable;
+///
+/// let mut table = FlowTable::new();
+/// table.allow_entry(RunnableId(0));
+/// table.allow(RunnableId(0), RunnableId(1));
+/// assert!(table.is_allowed(RunnableId(0), RunnableId(1)));
+/// assert!(!table.is_allowed(RunnableId(1), RunnableId(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTable {
+    successors: BTreeMap<RunnableId, BTreeSet<RunnableId>>,
+    entries: BTreeSet<RunnableId>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Allows `successor` to follow `predecessor`.
+    pub fn allow(&mut self, predecessor: RunnableId, successor: RunnableId) {
+        self.successors
+            .entry(predecessor)
+            .or_default()
+            .insert(successor);
+    }
+
+    /// Marks `entry` as a valid first runnable of a monitored sequence.
+    pub fn allow_entry(&mut self, entry: RunnableId) {
+        self.entries.insert(entry);
+    }
+
+    /// `true` if the pair is in the table.
+    pub fn is_allowed(&self, predecessor: RunnableId, successor: RunnableId) -> bool {
+        self.successors
+            .get(&predecessor)
+            .is_some_and(|s| s.contains(&successor))
+    }
+
+    /// `true` if `runnable` may start a sequence. An empty entry set means
+    /// any monitored runnable may start (unconstrained entry).
+    pub fn is_entry(&self, runnable: RunnableId) -> bool {
+        self.entries.is_empty() || self.entries.contains(&runnable)
+    }
+
+    /// `true` if `runnable` appears in the table (as predecessor, successor
+    /// or entry) — i.e. its flow is monitored.
+    pub fn is_monitored(&self, runnable: RunnableId) -> bool {
+        self.entries.contains(&runnable)
+            || self.successors.contains_key(&runnable)
+            || self.successors.values().any(|s| s.contains(&runnable))
+    }
+
+    /// Number of allowed pairs.
+    pub fn pair_count(&self) -> usize {
+        self.successors.values().map(BTreeSet::len).sum()
+    }
+
+    /// Iterates over all allowed pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (RunnableId, RunnableId)> + '_ {
+        self.successors
+            .iter()
+            .flat_map(|(&p, set)| set.iter().map(move |&s| (p, s)))
+    }
+}
+
+/// The PFC unit: table + last-observed monitored runnable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgramFlowChecker {
+    table: FlowTable,
+    last: Option<RunnableId>,
+    errors_detected: u64,
+}
+
+/// Outcome of one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowVerdict {
+    /// Transition allowed (or runnable unmonitored / first observation).
+    Ok,
+    /// Transition violates the table.
+    Violation {
+        /// What ran before (`None` = sequence start violated the entry set).
+        predecessor: Option<RunnableId>,
+    },
+}
+
+impl ProgramFlowChecker {
+    /// Creates a checker over a table.
+    pub fn new(table: FlowTable) -> Self {
+        ProgramFlowChecker {
+            table,
+            last: None,
+            errors_detected: 0,
+        }
+    }
+
+    /// Observes one heartbeat in program order and returns the verdict.
+    /// Unmonitored runnables are ignored entirely (always `Ok`, do not
+    /// update the predecessor).
+    pub fn observe(&mut self, runnable: RunnableId) -> FlowVerdict {
+        if !self.table.is_monitored(runnable) {
+            return FlowVerdict::Ok;
+        }
+        let verdict = match self.last {
+            None => {
+                if self.table.is_entry(runnable) {
+                    FlowVerdict::Ok
+                } else {
+                    FlowVerdict::Violation { predecessor: None }
+                }
+            }
+            Some(prev) => {
+                if self.table.is_allowed(prev, runnable) {
+                    FlowVerdict::Ok
+                } else {
+                    FlowVerdict::Violation {
+                        predecessor: Some(prev),
+                    }
+                }
+            }
+        };
+        if let FlowVerdict::Violation { .. } = verdict {
+            self.errors_detected += 1;
+        }
+        self.last = Some(runnable);
+        verdict
+    }
+
+    /// Resets the sequence position (e.g. after fault treatment), keeping
+    /// the cumulative error count.
+    pub fn reset_position(&mut self) {
+        self.last = None;
+    }
+
+    /// Cumulative violations detected.
+    pub fn errors_detected(&self) -> u64 {
+        self.errors_detected
+    }
+
+    /// The table in use.
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Last observed monitored runnable.
+    pub fn last_observed(&self) -> Option<RunnableId> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> RunnableId {
+        RunnableId(n)
+    }
+
+    /// SafeSpeed-like chain 0 → 1 → 2 → 0.
+    fn chain_table() -> FlowTable {
+        let mut t = FlowTable::new();
+        t.allow_entry(r(0));
+        t.allow(r(0), r(1));
+        t.allow(r(1), r(2));
+        t.allow(r(2), r(0));
+        t
+    }
+
+    #[test]
+    fn nominal_cycle_is_clean() {
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        for id in [0, 1, 2, 0, 1, 2, 0] {
+            assert_eq!(pfc.observe(r(id)), FlowVerdict::Ok);
+        }
+        assert_eq!(pfc.errors_detected(), 0);
+    }
+
+    #[test]
+    fn skipped_runnable_is_a_violation() {
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        pfc.observe(r(0));
+        let v = pfc.observe(r(2)); // skipped 1
+        assert_eq!(v, FlowVerdict::Violation { predecessor: Some(r(0)) });
+        assert_eq!(pfc.errors_detected(), 1);
+        // Recovery: 2 → 0 is allowed again.
+        assert_eq!(pfc.observe(r(0)), FlowVerdict::Ok);
+    }
+
+    #[test]
+    fn wrong_entry_is_a_violation() {
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        assert_eq!(pfc.observe(r(1)), FlowVerdict::Violation { predecessor: None });
+    }
+
+    #[test]
+    fn empty_entry_set_allows_any_start() {
+        let mut t = FlowTable::new();
+        t.allow(r(0), r(1));
+        let mut pfc = ProgramFlowChecker::new(t);
+        assert_eq!(pfc.observe(r(1)), FlowVerdict::Ok);
+    }
+
+    #[test]
+    fn unmonitored_runnables_are_transparent() {
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        pfc.observe(r(0));
+        // 99 is not in the table: ignored, does not clobber the predecessor.
+        assert_eq!(pfc.observe(r(99)), FlowVerdict::Ok);
+        assert_eq!(pfc.observe(r(1)), FlowVerdict::Ok);
+        assert_eq!(pfc.errors_detected(), 0);
+    }
+
+    #[test]
+    fn reset_position_forgets_predecessor_only() {
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        pfc.observe(r(0));
+        pfc.observe(r(2)); // violation
+        pfc.reset_position();
+        assert_eq!(pfc.last_observed(), None);
+        assert_eq!(pfc.observe(r(0)), FlowVerdict::Ok); // entry again
+        assert_eq!(pfc.errors_detected(), 1);
+    }
+
+    #[test]
+    fn table_introspection() {
+        let t = chain_table();
+        assert_eq!(t.pair_count(), 3);
+        assert_eq!(t.pairs().count(), 3);
+        assert!(t.is_monitored(r(0)));
+        assert!(t.is_monitored(r(2)));
+        assert!(!t.is_monitored(r(9)));
+        assert!(t.is_entry(r(0)));
+        assert!(!t.is_entry(r(1)));
+    }
+
+    #[test]
+    fn repeated_same_runnable_needs_self_loop() {
+        let mut t = chain_table();
+        let mut pfc = ProgramFlowChecker::new(t.clone());
+        pfc.observe(r(0));
+        assert!(matches!(pfc.observe(r(0)), FlowVerdict::Violation { .. }));
+        // With an explicit self-loop it is fine.
+        t.allow(r(0), r(0));
+        let mut pfc2 = ProgramFlowChecker::new(t);
+        pfc2.observe(r(0));
+        assert_eq!(pfc2.observe(r(0)), FlowVerdict::Ok);
+    }
+}

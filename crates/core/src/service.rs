@@ -1,0 +1,619 @@
+//! The Software Watchdog service facade.
+//!
+//! [`SoftwareWatchdog`] wires the three units of the paper's functional
+//! architecture (Figure 2) together:
+//!
+//! * heartbeats arrive through [`SoftwareWatchdog::heartbeat`] (the L1→L3
+//!   aliveness-indication interface; also exposed as
+//!   [`easis_rte::runnable::HeartbeatSink`]);
+//! * the heartbeat monitoring unit counts them, the PFC unit checks their
+//!   order immediately;
+//! * the watchdog's periodic OS task calls [`SoftwareWatchdog::run_cycle`],
+//!   which performs the end-of-period checks and feeds every detected
+//!   fault into the task state indication unit;
+//! * detected faults and state changes accumulate in an outbox for the
+//!   Fault Management Framework (the second interface of §4.4).
+//!
+//! CPU cost of every monitoring action is charged to a [`CostMeter`] so the
+//! overhead experiments can compare against signature-based control-flow
+//! checking.
+
+use crate::config::WatchdogConfig;
+use crate::heartbeat::HeartbeatMonitor;
+use crate::pfc::{FlowVerdict, ProgramFlowChecker, LOOKUP_COST_CYCLES};
+use crate::report::{DetectedFault, FaultKind, HealthState, RunnableCounters, StateChange};
+use crate::tsi::TaskStateIndication;
+use easis_osek::task::TaskId;
+use easis_rte::mapping::ApplicationId;
+use easis_rte::runnable::{HeartbeatSink, RunnableId};
+use easis_sim::cpu::CostMeter;
+use easis_sim::time::Instant;
+use std::collections::BTreeMap;
+
+/// Report of one watchdog cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Faults detected in this cycle (heartbeat checks; PFC faults are
+    /// detected between cycles and appear in the outbox immediately).
+    pub faults: Vec<DetectedFault>,
+    /// Task/application/ECU state changes caused by this cycle.
+    pub state_changes: Vec<StateChange>,
+}
+
+/// The EASIS Software Watchdog dependability service.
+///
+/// # Examples
+///
+/// ```
+/// use easis_rte::runnable::RunnableId;
+/// use easis_sim::time::{Duration, Instant};
+/// use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
+/// use easis_watchdog::SoftwareWatchdog;
+///
+/// let config = WatchdogConfig::builder(Duration::from_millis(10))
+///     .monitor(RunnableHypothesis::new(RunnableId(0)).alive_at_least(1, 1))
+///     .build();
+/// let mut wd = SoftwareWatchdog::new(config);
+/// // A silent runnable is detected at the first cycle check:
+/// let report = wd.run_cycle(Instant::from_millis(10));
+/// assert_eq!(report.faults.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SoftwareWatchdog {
+    config: WatchdogConfig,
+    heartbeat_unit: HeartbeatMonitor,
+    /// One flow checker per hosting task (runnables of different tasks
+    /// interleave freely under preemption; only the sequence *within* a
+    /// task's chart is constrained). Runnables not mapped to any task
+    /// share the `None` checker.
+    pfc_units: BTreeMap<Option<TaskId>, ProgramFlowChecker>,
+    tsi_unit: TaskStateIndication,
+    pfc_errors_by_runnable: BTreeMap<RunnableId, u32>,
+    outbox: Vec<DetectedFault>,
+    state_outbox: Vec<StateChange>,
+    costs: CostMeter,
+    cycles_run: u64,
+    last_heartbeat_now: Instant,
+}
+
+impl SoftwareWatchdog {
+    /// Creates the service from its configuration.
+    pub fn new(config: WatchdogConfig) -> Self {
+        let heartbeat_unit = HeartbeatMonitor::new(
+            config
+                .monitored()
+                .filter_map(|r| config.hypothesis(r).copied()),
+        );
+        let tsi_unit = TaskStateIndication::new(
+            config.mapping().clone(),
+            config.error_threshold(),
+            config.ecu_faulty_app_threshold(),
+        );
+        SoftwareWatchdog {
+            config,
+            heartbeat_unit,
+            pfc_units: BTreeMap::new(),
+            tsi_unit,
+            pfc_errors_by_runnable: BTreeMap::new(),
+            outbox: Vec::new(),
+            state_outbox: Vec::new(),
+            costs: CostMeter::new(),
+            cycles_run: 0,
+            last_heartbeat_now: Instant::ZERO,
+        }
+    }
+
+    /// The aliveness-indication service routine: called by the glue code of
+    /// every monitored runnable. Feeds the heartbeat monitoring unit and
+    /// the PFC unit; a flow violation is a fault immediately.
+    pub fn heartbeat(&mut self, runnable: RunnableId, now: Instant) {
+        self.last_heartbeat_now = now;
+        // A runnable whose hosting task is already marked faulty is no
+        // longer supervised (its AS is cleared and its flow is ignored)
+        // until fault treatment acknowledges recovery — this is why the
+        // paper's Figure 6 plots freeze once the task state flips.
+        if self.config.deactivate_on_faulty_task() {
+            if let Some(task) = self.config.mapping().task_of(runnable) {
+                if self.tsi_unit.task_state(task).is_faulty() {
+                    self.costs.charge(crate::heartbeat::HEARTBEAT_COST_CYCLES);
+                    return;
+                }
+            }
+        }
+        self.heartbeat_unit.record(runnable, &mut self.costs);
+        self.costs.charge(LOOKUP_COST_CYCLES);
+        let scope = self.config.mapping().task_of(runnable);
+        let table = self.config.flow_table();
+        let checker = self
+            .pfc_units
+            .entry(scope)
+            .or_insert_with(|| ProgramFlowChecker::new(table.clone()));
+        if let FlowVerdict::Violation { .. } = checker.observe(runnable) {
+            *self.pfc_errors_by_runnable.entry(runnable).or_insert(0) += 1;
+            let fault = DetectedFault {
+                at: now,
+                runnable,
+                kind: FaultKind::ProgramFlow,
+            };
+            self.outbox.push(fault);
+            let changes = self.tsi_unit.record(fault);
+            self.apply_state_changes(&changes);
+            self.state_outbox.extend(changes);
+        }
+    }
+
+    /// The periodic watchdog task body: advances all cycle counters,
+    /// performs the end-of-period checks, and updates the TSI unit.
+    pub fn run_cycle(&mut self, now: Instant) -> CycleReport {
+        self.cycles_run += 1;
+        let faults = self.heartbeat_unit.end_of_cycle(now, &mut self.costs);
+        let mut state_changes = Vec::new();
+        for &fault in &faults {
+            let changes = self.tsi_unit.record(fault);
+            self.apply_state_changes(&changes);
+            state_changes.extend(changes);
+        }
+        self.outbox.extend(faults.iter().copied());
+        self.state_outbox.extend(state_changes.iter().copied());
+        CycleReport {
+            faults,
+            state_changes,
+        }
+    }
+
+    /// Honour `deactivate_on_faulty_task`: clear the AS of every runnable
+    /// of a newly faulty task so errors are not re-reported while fault
+    /// treatment is pending (this is what keeps the accumulated aliveness
+    /// error count at one in the paper's Figure 6).
+    fn apply_state_changes(&mut self, changes: &[StateChange]) {
+        if !self.config.deactivate_on_faulty_task() {
+            return;
+        }
+        for change in changes {
+            if let StateChange::TaskFaulty { task, .. } = change {
+                for runnable in self.config.mapping().runnables_of_task(*task) {
+                    self.heartbeat_unit.set_active(runnable, false);
+                }
+            }
+        }
+    }
+
+    /// Sets a runnable's activation status (the AS data resource).
+    /// Returns `false` for unmonitored runnables.
+    pub fn set_activation(&mut self, runnable: RunnableId, active: bool) -> bool {
+        self.heartbeat_unit.set_active(runnable, active)
+    }
+
+    /// Dynamically reconfigures the fault hypothesis of a runnable (the
+    /// paper's outlook names "dynamic reconfiguration of applications" as
+    /// the next step): after a mode change or degraded restart, an
+    /// application may legitimately run at a different rate, and the
+    /// hypothesis must follow. Counters restart under the new hypothesis.
+    pub fn reconfigure(&mut self, hypothesis: crate::config::RunnableHypothesis) {
+        self.heartbeat_unit.reconfigure(hypothesis);
+    }
+
+    /// Acknowledges fault treatment of a task: clears its error vector and
+    /// verdict, re-activates its runnables and resets the PFC position.
+    pub fn acknowledge_task_recovered(&mut self, task: TaskId) {
+        self.tsi_unit.reset_task(task);
+        for runnable in self.config.mapping().runnables_of_task(task) {
+            self.heartbeat_unit.set_active(runnable, true);
+        }
+        if let Some(checker) = self.pfc_units.get_mut(&Some(task)) {
+            checker.reset_position();
+        }
+    }
+
+    /// Live counters of a runnable — the Figure 5/6 plot quantities.
+    pub fn counters(&self, runnable: RunnableId) -> Option<RunnableCounters> {
+        self.heartbeat_unit.counters(runnable).map(|mut c| {
+            c.program_flow_errors = self
+                .pfc_errors_by_runnable
+                .get(&runnable)
+                .copied()
+                .unwrap_or(0);
+            c
+        })
+    }
+
+    /// Total program-flow errors detected so far (the "PFC Result" series
+    /// summed over runnables).
+    pub fn pfc_errors_total(&self) -> u64 {
+        self.pfc_units.values().map(|u| u.errors_detected()).sum()
+    }
+
+    /// Current verdict of a task.
+    pub fn task_state(&self, task: TaskId) -> HealthState {
+        self.tsi_unit.task_state(task)
+    }
+
+    /// Current verdict of an application.
+    pub fn app_state(&self, app: ApplicationId) -> HealthState {
+        self.tsi_unit.app_state(app)
+    }
+
+    /// Current global ECU verdict.
+    pub fn ecu_state(&self) -> HealthState {
+        self.tsi_unit.ecu_state()
+    }
+
+    /// Drains the fault outbox (the interface to the Fault Management
+    /// Framework).
+    pub fn take_faults(&mut self) -> Vec<DetectedFault> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the state-change outbox.
+    pub fn take_state_changes(&mut self) -> Vec<StateChange> {
+        std::mem::take(&mut self.state_outbox)
+    }
+
+    /// Number of pending (undrained) faults.
+    pub fn pending_faults(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Accumulated monitoring cost.
+    pub fn costs(&self) -> &CostMeter {
+        &self.costs
+    }
+
+    /// Watchdog cycles executed.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// The TSI unit (read access for reports).
+    pub fn tsi(&self) -> &TaskStateIndication {
+        &self.tsi_unit
+    }
+}
+
+impl HeartbeatSink for SoftwareWatchdog {
+    fn indicate(&mut self, runnable: RunnableId, now: Instant) {
+        self.heartbeat(runnable, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunnableHypothesis;
+    use easis_rte::mapping::SystemMapping;
+    use easis_sim::time::Duration;
+
+    fn r(n: u32) -> RunnableId {
+        RunnableId(n)
+    }
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    /// SafeSpeed-like config: 3 runnables on T0 of app0, chain 0→1→2→0,
+    /// aliveness ≥1/cycle, arrival ≤2/cycle, threshold 3.
+    fn safespeed_watchdog() -> SoftwareWatchdog {
+        let mut mapping = SystemMapping::new();
+        let app = mapping.add_application("SafeSpeed");
+        mapping.assign_task(TaskId(0), app);
+        for i in 0..3 {
+            mapping.assign_runnable(r(i), TaskId(0));
+        }
+        let mut builder = WatchdogConfig::builder(Duration::from_millis(10))
+            .mapping(mapping)
+            .allow_entry(r(0))
+            .allow_flow(r(0), r(1))
+            .allow_flow(r(1), r(2))
+            .allow_flow(r(2), r(0))
+            .error_threshold(3);
+        for i in 0..3 {
+            builder = builder.monitor(
+                RunnableHypothesis::new(r(i))
+                    .alive_at_least(1, 1)
+                    .arrive_at_most(2, 1),
+            );
+        }
+        SoftwareWatchdog::new(builder.build())
+    }
+
+    fn beat_all(wd: &mut SoftwareWatchdog, ms: u64) {
+        wd.heartbeat(r(0), t(ms));
+        wd.heartbeat(r(1), t(ms));
+        wd.heartbeat(r(2), t(ms));
+    }
+
+    #[test]
+    fn nominal_operation_is_silent() {
+        let mut wd = safespeed_watchdog();
+        for cycle in 1..=20u64 {
+            beat_all(&mut wd, cycle * 10);
+            let report = wd.run_cycle(t(cycle * 10));
+            assert!(report.faults.is_empty(), "cycle {cycle}: {report:?}");
+        }
+        assert!(wd.take_faults().is_empty());
+        assert_eq!(wd.ecu_state(), HealthState::Ok);
+        assert_eq!(wd.cycles_run(), 20);
+    }
+
+    #[test]
+    fn silent_runnable_yields_aliveness_fault_and_eventually_faulty_task() {
+        let mut wd = safespeed_watchdog();
+        for cycle in 1..=3u64 {
+            wd.heartbeat(r(0), t(cycle * 10));
+            wd.heartbeat(r(1), t(cycle * 10));
+            // r2 silent.
+            let report = wd.run_cycle(t(cycle * 10));
+            assert_eq!(report.faults.len(), 1);
+            assert_eq!(report.faults[0].kind, FaultKind::Aliveness);
+            assert_eq!(report.faults[0].runnable, r(2));
+        }
+        // Third aliveness error crosses the threshold.
+        assert!(wd.task_state(TaskId(0)).is_faulty());
+        assert!(wd.app_state(ApplicationId(0)).is_faulty());
+    }
+
+    #[test]
+    fn faulty_task_deactivates_monitoring() {
+        let mut wd = safespeed_watchdog();
+        for cycle in 1..=6u64 {
+            let _ = wd.run_cycle(t(cycle * 10)); // everything silent
+        }
+        // Threshold 3 → faulty after cycle 3; afterwards AS cleared, so the
+        // error counters freeze at 3.
+        let c = wd.counters(r(0)).unwrap();
+        assert_eq!(c.aliveness_errors, 3);
+        assert!(!c.activation);
+    }
+
+    #[test]
+    fn pfc_violation_is_reported_immediately() {
+        let mut wd = safespeed_watchdog();
+        wd.heartbeat(r(0), t(1));
+        wd.heartbeat(r(2), t(2)); // skipped r1
+        let faults = wd.take_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, FaultKind::ProgramFlow);
+        assert_eq!(faults[0].runnable, r(2));
+        assert_eq!(wd.pfc_errors_total(), 1);
+        assert_eq!(wd.counters(r(2)).unwrap().program_flow_errors, 1);
+    }
+
+    #[test]
+    fn figure6_collaboration_pfc_reaches_threshold_before_aliveness() {
+        // Reconfigure aliveness over 4 cycles so the heartbeat unit reports
+        // at most once before the PFC crosses the threshold — the paper's
+        // Figure 6 shape.
+        let mut mapping = SystemMapping::new();
+        let app = mapping.add_application("SafeSpeed");
+        mapping.assign_task(TaskId(0), app);
+        for i in 0..3 {
+            mapping.assign_runnable(r(i), TaskId(0));
+        }
+        let mut builder = WatchdogConfig::builder(Duration::from_millis(10))
+            .mapping(mapping)
+            .allow_entry(r(0))
+            .allow_flow(r(0), r(1))
+            .allow_flow(r(1), r(2))
+            .allow_flow(r(2), r(0))
+            .error_threshold(3);
+        for i in 0..3 {
+            builder = builder.monitor(RunnableHypothesis::new(r(i)).alive_at_least(4, 4));
+        }
+        let mut wd = SoftwareWatchdog::new(builder.build());
+        // Each period the branch skips r1: 0→2 violation each time.
+        for cycle in 1..=6u64 {
+            wd.heartbeat(r(0), t(cycle * 10));
+            wd.heartbeat(r(2), t(cycle * 10));
+            wd.run_cycle(t(cycle * 10));
+        }
+        // 3 PFC errors on r2 crossed the threshold at cycle 3 → task faulty,
+        // monitoring deactivated → at most one aliveness error total.
+        assert!(wd.task_state(TaskId(0)).is_faulty());
+        assert_eq!(wd.counters(r(2)).unwrap().program_flow_errors, 3);
+        let aliveness_total: u32 = (0..3)
+            .map(|i| wd.counters(r(i)).unwrap().aliveness_errors)
+            .sum();
+        assert!(aliveness_total <= 1, "got {aliveness_total}");
+    }
+
+    #[test]
+    fn arrival_rate_fault_on_duplicate_dispatch() {
+        // The whole chain executes three times in one cycle (excessive
+        // dispatch): sequence stays valid, but ARC exceeds max 2.
+        let mut wd = safespeed_watchdog();
+        for _ in 0..3 {
+            beat_all(&mut wd, 5);
+        }
+        let report = wd.run_cycle(t(10));
+        assert_eq!(report.faults.len(), 3);
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| f.kind == FaultKind::ArrivalRate));
+        assert_eq!(wd.pfc_errors_total(), 0);
+    }
+
+    #[test]
+    fn acknowledge_recovery_rearms_monitoring() {
+        let mut wd = safespeed_watchdog();
+        for cycle in 1..=3u64 {
+            wd.run_cycle(t(cycle * 10));
+        }
+        assert!(wd.task_state(TaskId(0)).is_faulty());
+        wd.acknowledge_task_recovered(TaskId(0));
+        assert_eq!(wd.task_state(TaskId(0)), HealthState::Ok);
+        assert!(wd.counters(r(0)).unwrap().activation);
+        // Beats flow again from the entry point.
+        beat_all(&mut wd, 100);
+        let report = wd.run_cycle(t(100));
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    fn state_changes_are_drained_separately() {
+        let mut wd = safespeed_watchdog();
+        for cycle in 1..=3u64 {
+            wd.run_cycle(t(cycle * 10));
+        }
+        let changes = wd.take_state_changes();
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, StateChange::TaskFaulty { .. })));
+        assert!(wd.take_state_changes().is_empty());
+    }
+
+    #[test]
+    fn costs_accumulate_per_operation() {
+        let mut wd = safespeed_watchdog();
+        beat_all(&mut wd, 5);
+        let after_beats = wd.costs().total_cycles();
+        assert!(after_beats > 0);
+        wd.run_cycle(t(10));
+        assert!(wd.costs().total_cycles() > after_beats);
+    }
+
+    #[test]
+    fn heartbeat_sink_trait_routes_to_service() {
+        let mut wd = safespeed_watchdog();
+        HeartbeatSink::indicate(&mut wd, r(0), t(1));
+        assert_eq!(wd.counters(r(0)).unwrap().ac, 1);
+    }
+
+    #[test]
+    fn set_activation_controls_monitoring() {
+        let mut wd = safespeed_watchdog();
+        assert!(wd.set_activation(r(2), false));
+        wd.heartbeat(r(0), t(1));
+        wd.heartbeat(r(1), t(2));
+        let report = wd.run_cycle(t(10)); // r2 silent but deactivated
+        assert!(report.faults.is_empty());
+        assert!(!wd.set_activation(r(99), false));
+    }
+}
+
+/// A rendered supervision snapshot — see
+/// [`SoftwareWatchdog::supervision_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// One line per monitored runnable: counters + attributed errors.
+    pub runnable_lines: Vec<String>,
+    /// One line per mapped task: verdict + error-vector summary.
+    pub task_lines: Vec<String>,
+    /// Application and ECU state summary.
+    pub state_line: String,
+}
+
+impl std::fmt::Display for SupervisionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "-- supervision report --")?;
+        for line in &self.runnable_lines {
+            writeln!(f, "{line}")?;
+        }
+        for line in &self.task_lines {
+            writeln!(f, "{line}")?;
+        }
+        writeln!(f, "{}", self.state_line)
+    }
+}
+
+impl SoftwareWatchdog {
+    /// Generates the paper's "individual supervision reports on runnables"
+    /// plus the derived task/application/ECU states, as a displayable
+    /// snapshot (what ControlDesk showed the experimenter).
+    pub fn supervision_report(&self) -> SupervisionReport {
+        let mut runnable_lines = Vec::new();
+        for runnable in self.config.monitored() {
+            let c = self.counters(runnable).expect("monitored");
+            runnable_lines.push(format!(
+                "  {runnable}: AS={} AC={} CCA={} ARC={} CCAR={} errors(alive/rate/flow)={}/{}/{}",
+                if c.activation { "on" } else { "off" },
+                c.ac,
+                c.cca,
+                c.arc,
+                c.ccar,
+                c.aliveness_errors,
+                c.arrival_rate_errors,
+                c.program_flow_errors,
+            ));
+        }
+        let mut task_lines = Vec::new();
+        for task in self.config.mapping().tasks() {
+            let vector = self.tsi_unit.error_vector(task);
+            let total: u32 = vector.iter().map(|e| e.count).sum();
+            task_lines.push(format!(
+                "  {task}: state={} error-vector-elements={} total-errors={}",
+                self.tsi_unit.task_state(task),
+                vector.len(),
+                total,
+            ));
+        }
+        let faulty_apps = (0..self.config.mapping().application_count() as u32)
+            .filter(|&a| {
+                self.tsi_unit
+                    .app_state(easis_rte::mapping::ApplicationId(a))
+                    .is_faulty()
+            })
+            .count();
+        let state_line = format!(
+            "  applications faulty: {faulty_apps}/{}; global ECU state: {}",
+            self.config.mapping().application_count(),
+            self.tsi_unit.ecu_state(),
+        );
+        SupervisionReport {
+            runnable_lines,
+            task_lines,
+            state_line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+    use crate::config::RunnableHypothesis;
+    use easis_rte::mapping::SystemMapping;
+    use easis_sim::time::Duration;
+
+    #[test]
+    fn supervision_report_covers_everything() {
+        let mut mapping = SystemMapping::new();
+        let app = mapping.add_application("SafeSpeed");
+        mapping.assign_task(TaskId(0), app);
+        mapping.assign_runnable(RunnableId(0), TaskId(0));
+        mapping.assign_runnable(RunnableId(1), TaskId(0));
+        let config = WatchdogConfig::builder(Duration::from_millis(10))
+            .mapping(mapping)
+            .monitor(RunnableHypothesis::new(RunnableId(0)).alive_at_least(1, 1))
+            .monitor(RunnableHypothesis::new(RunnableId(1)).alive_at_least(1, 1))
+            .error_threshold(1)
+            .build();
+        let mut wd = SoftwareWatchdog::new(config);
+        wd.heartbeat(RunnableId(0), Instant::from_millis(5));
+        wd.run_cycle(Instant::from_millis(10)); // R1 silent → task faulty
+        let report = wd.supervision_report();
+        assert_eq!(report.runnable_lines.len(), 2);
+        assert_eq!(report.task_lines.len(), 1);
+        assert!(report.task_lines[0].contains("state=faulty"));
+        assert!(report.state_line.contains("applications faulty: 1/1"));
+        let text = report.to_string();
+        assert!(text.contains("supervision report"));
+        assert!(text.contains("R0") && text.contains("R1"));
+    }
+
+    #[test]
+    fn healthy_report_shows_ok_everywhere() {
+        let config = WatchdogConfig::builder(Duration::from_millis(10))
+            .monitor(RunnableHypothesis::new(RunnableId(0)).alive_at_least(0, 1))
+            .build();
+        let wd = SoftwareWatchdog::new(config);
+        let report = wd.supervision_report();
+        assert_eq!(report.runnable_lines.len(), 1);
+        assert!(report.runnable_lines[0].contains("errors(alive/rate/flow)=0/0/0"));
+        assert!(report.state_line.contains("ECU state: ok"));
+    }
+}

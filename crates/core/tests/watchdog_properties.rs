@@ -1,0 +1,159 @@
+//! Property-based tests of the Software Watchdog service as a whole:
+//! phase-independence of the hypotheses, cost accounting, recovery
+//! semantics and state-machine monotonicity.
+
+use easis_osek::task::TaskId;
+use easis_rte::mapping::SystemMapping;
+use easis_rte::runnable::RunnableId;
+use easis_sim::time::{Duration, Instant};
+use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
+use easis_watchdog::report::HealthState;
+use easis_watchdog::SoftwareWatchdog;
+use proptest::prelude::*;
+
+fn r(n: u32) -> RunnableId {
+    RunnableId(n)
+}
+
+fn single_runnable_watchdog(min: u32, max: u32, cycles: u32, threshold: u32) -> SoftwareWatchdog {
+    let mut mapping = SystemMapping::new();
+    let app = mapping.add_application("A");
+    mapping.assign_task(TaskId(0), app);
+    mapping.assign_runnable(r(0), TaskId(0));
+    SoftwareWatchdog::new(
+        WatchdogConfig::builder(Duration::from_millis(10))
+            .mapping(mapping)
+            .monitor(
+                RunnableHypothesis::new(r(0))
+                    .alive_at_least(min, cycles)
+                    .arrive_at_most(max, cycles),
+            )
+            .error_threshold(threshold)
+            .build(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A runnable executing exactly `rate` times per cycle with
+    /// `min ≤ rate·cycles` and `max ≥ rate·cycles` per window never
+    /// triggers, regardless of where inside the cycle the beats land.
+    #[test]
+    fn exact_rate_streams_never_alarm(
+        rate in 1u32..4,
+        cycles in 1u32..4,
+        phases in prop::collection::vec(0u64..9_999, 1..8),
+    ) {
+        let per_window = rate * cycles;
+        let mut wd = single_runnable_watchdog(per_window, per_window, cycles, 3);
+        let mut now = Instant::ZERO;
+        for (c, &phase) in (0..cycles as u64 * 8).zip(phases.iter().cycle()) {
+            for k in 0..rate {
+                let at = now + Duration::from_micros(phase / (k as u64 + 1));
+                wd.heartbeat(r(0), at);
+            }
+            now += Duration::from_millis(10);
+            let report = wd.run_cycle(now);
+            prop_assert!(report.faults.is_empty(), "cycle {c}: {report:?}");
+        }
+        prop_assert_eq!(wd.task_state(TaskId(0)), HealthState::Ok);
+    }
+
+    /// The task verdict is monotone until recovery: once faulty it stays
+    /// faulty no matter how many healthy cycles follow.
+    #[test]
+    fn faulty_verdict_is_sticky_until_acknowledged(
+        threshold in 1u32..5,
+        healthy_after in 1u64..20,
+    ) {
+        let mut wd = single_runnable_watchdog(1, 10, 1, threshold);
+        let mut now = Instant::ZERO;
+        // Starve until faulty.
+        for _ in 0..threshold {
+            now += Duration::from_millis(10);
+            wd.run_cycle(now);
+        }
+        prop_assert!(wd.task_state(TaskId(0)).is_faulty());
+        // Healthy beats change nothing (monitoring deactivated).
+        for _ in 0..healthy_after {
+            wd.heartbeat(r(0), now);
+            now += Duration::from_millis(10);
+            wd.run_cycle(now);
+            prop_assert!(wd.task_state(TaskId(0)).is_faulty());
+        }
+        // Acknowledge → Ok again, and healthy operation stays clean.
+        wd.acknowledge_task_recovered(TaskId(0));
+        prop_assert_eq!(wd.task_state(TaskId(0)), HealthState::Ok);
+        for _ in 0..5 {
+            wd.heartbeat(r(0), now);
+            now += Duration::from_millis(10);
+            let report = wd.run_cycle(now);
+            prop_assert!(report.faults.is_empty());
+        }
+    }
+
+    /// Monitoring cost grows linearly: cycles charged are proportional to
+    /// heartbeats + checks, independent of fault content.
+    #[test]
+    fn cost_accounting_is_linear(beats in 0u64..200, cycles in 1u64..50) {
+        let mut wd = single_runnable_watchdog(0, 1_000, 1, 1_000);
+        for _ in 0..beats {
+            wd.heartbeat(r(0), Instant::ZERO);
+        }
+        for c in 1..=cycles {
+            wd.run_cycle(Instant::from_millis(10 * c));
+        }
+        let expected = beats
+            * (easis_watchdog::heartbeat::HEARTBEAT_COST_CYCLES
+                + easis_watchdog::pfc::LOOKUP_COST_CYCLES)
+            + cycles * easis_watchdog::heartbeat::CHECK_COST_CYCLES;
+        prop_assert_eq!(wd.costs().total_cycles(), expected);
+    }
+
+    /// Faults on unmapped runnables never flip any task state.
+    #[test]
+    fn unmapped_runnables_cannot_poison_states(extra in 1u32..20) {
+        let mut wd = single_runnable_watchdog(1, 1, 1, 1);
+        // Heartbeats from an unmonitored, unmapped runnable id.
+        for i in 0..extra {
+            wd.heartbeat(r(100 + i), Instant::from_millis(i as u64));
+        }
+        // Keep the real runnable healthy.
+        wd.heartbeat(r(0), Instant::from_millis(1));
+        let report = wd.run_cycle(Instant::from_millis(10));
+        prop_assert!(report.faults.is_empty());
+        prop_assert_eq!(wd.task_state(TaskId(0)), HealthState::Ok);
+    }
+
+    /// Reconfiguration to the observed rate silences a mismatch alarm
+    /// stream; reconfiguration away from it raises one.
+    #[test]
+    fn reconfiguration_tracks_the_true_rate(rate in 1u32..4) {
+        // Hypothesis expects `rate`, runnable delivers `rate` → quiet.
+        let mut wd = single_runnable_watchdog(rate, rate, 1, 1_000);
+        let mut now = Instant::ZERO;
+        for _ in 0..5 {
+            for _ in 0..rate {
+                wd.heartbeat(r(0), now);
+            }
+            now += Duration::from_millis(10);
+            prop_assert!(wd.run_cycle(now).faults.is_empty());
+        }
+        // Mode change: actual rate doubles. Without reconfig → arrival
+        // faults; with reconfig → quiet again.
+        wd.reconfigure(
+            RunnableHypothesis::new(r(0))
+                .alive_at_least(rate * 2, 1)
+                .arrive_at_most(rate * 2, 1),
+        );
+        for _ in 0..5 {
+            for _ in 0..rate * 2 {
+                wd.heartbeat(r(0), now);
+            }
+            now += Duration::from_millis(10);
+            let report = wd.run_cycle(now);
+            prop_assert!(report.faults.is_empty(), "{report:?}");
+        }
+    }
+}

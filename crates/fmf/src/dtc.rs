@@ -1,0 +1,323 @@
+//! Diagnostic trouble code (DTC) fault memory.
+//!
+//! Production automotive fault management persists detections as DTCs with
+//! occurrence counters, status bits and a freeze frame of the conditions at
+//! first detection — this is what the workshop tester reads out. The EASIS
+//! Fault Management Framework "gathers the information on the detected
+//! faults"; [`DtcStore`] is that gathered memory, following the ISO 14229
+//! status-bit spirit (pending → confirmed → aged out).
+
+use easis_rte::runnable::RunnableId;
+use easis_sim::time::Instant;
+use easis_watchdog::report::{DetectedFault, FaultKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A diagnostic trouble code. Encodes the fault source and kind:
+/// `0x94_RRRR_KK` with `RRRR` the runnable id and `KK` the fault kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DtcCode(pub u32);
+
+impl DtcCode {
+    /// Derives the code of a watchdog fault.
+    pub fn of(runnable: RunnableId, kind: FaultKind) -> Self {
+        let kind_code = match kind {
+            FaultKind::Aliveness => 0x01,
+            FaultKind::ArrivalRate => 0x02,
+            FaultKind::ProgramFlow => 0x03,
+        };
+        DtcCode(0x9400_0000 | ((runnable.0 & 0xFFFF) << 8) | kind_code)
+    }
+
+    /// The encoded runnable.
+    pub fn runnable(self) -> RunnableId {
+        RunnableId((self.0 >> 8) & 0xFFFF)
+    }
+
+    /// The encoded fault kind, if valid.
+    pub fn kind(self) -> Option<FaultKind> {
+        match self.0 & 0xFF {
+            0x01 => Some(FaultKind::Aliveness),
+            0x02 => Some(FaultKind::ArrivalRate),
+            0x03 => Some(FaultKind::ProgramFlow),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DtcCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DTC-{:08X}", self.0)
+    }
+}
+
+/// Maturity of a stored code (ISO 14229 spirit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DtcStatus {
+    /// Seen, but below the confirmation threshold.
+    #[default]
+    Pending,
+    /// Confirmed (threshold reached); survives until cleared or aged out.
+    Confirmed,
+}
+
+/// Environmental snapshot captured at first occurrence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FreezeFrame {
+    /// Named operating-condition values (e.g. vehicle speed).
+    pub conditions: Vec<(String, f64)>,
+}
+
+/// One stored code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtcRecord {
+    /// The code.
+    pub code: DtcCode,
+    /// First occurrence time.
+    pub first_seen: Instant,
+    /// Latest occurrence time.
+    pub last_seen: Instant,
+    /// Occurrence counter.
+    pub occurrences: u32,
+    /// Pending / confirmed.
+    pub status: DtcStatus,
+    /// Conditions at first occurrence.
+    pub freeze_frame: FreezeFrame,
+    /// Healthy operating cycles since the last occurrence (for aging).
+    healthy_cycles: u32,
+}
+
+/// The fault memory.
+///
+/// # Examples
+///
+/// ```
+/// use easis_fmf::dtc::{DtcCode, DtcStore, FreezeFrame};
+/// use easis_rte::runnable::RunnableId;
+/// use easis_sim::time::Instant;
+/// use easis_watchdog::report::{DetectedFault, FaultKind};
+///
+/// let mut store = DtcStore::new(2, 10);
+/// let fault = DetectedFault {
+///     at: Instant::from_millis(30),
+///     runnable: RunnableId(1),
+///     kind: FaultKind::Aliveness,
+/// };
+/// store.record(fault, FreezeFrame::default());
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DtcStore {
+    codes: BTreeMap<DtcCode, DtcRecord>,
+    confirm_threshold: u32,
+    aging_cycles: u32,
+}
+
+impl DtcStore {
+    /// Creates a store: a code confirms after `confirm_threshold`
+    /// occurrences and a *pending* code ages out after `aging_cycles`
+    /// healthy operating cycles (confirmed codes persist until cleared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(confirm_threshold: u32, aging_cycles: u32) -> Self {
+        assert!(confirm_threshold > 0, "confirmation threshold must be positive");
+        assert!(aging_cycles > 0, "aging horizon must be positive");
+        DtcStore {
+            codes: BTreeMap::new(),
+            confirm_threshold,
+            aging_cycles,
+        }
+    }
+
+    /// Records a fault occurrence; the freeze frame is kept only for the
+    /// first occurrence. Returns the code.
+    pub fn record(&mut self, fault: DetectedFault, freeze_frame: FreezeFrame) -> DtcCode {
+        let code = DtcCode::of(fault.runnable, fault.kind);
+        let threshold = self.confirm_threshold;
+        let record = self.codes.entry(code).or_insert_with(|| DtcRecord {
+            code,
+            first_seen: fault.at,
+            last_seen: fault.at,
+            occurrences: 0,
+            status: DtcStatus::Pending,
+            freeze_frame,
+            healthy_cycles: 0,
+        });
+        record.occurrences += 1;
+        record.last_seen = fault.at;
+        record.healthy_cycles = 0;
+        if record.occurrences >= threshold {
+            record.status = DtcStatus::Confirmed;
+        }
+        code
+    }
+
+    /// Marks one healthy operating cycle: pending codes age and eventually
+    /// drop out; confirmed codes persist.
+    pub fn healthy_cycle(&mut self) {
+        let aging = self.aging_cycles;
+        self.codes.retain(|_, rec| {
+            if rec.status == DtcStatus::Confirmed {
+                return true;
+            }
+            rec.healthy_cycles += 1;
+            rec.healthy_cycles < aging
+        });
+    }
+
+    /// Clears one code (tester "clear DTC"). Returns `true` if it existed.
+    pub fn clear(&mut self, code: DtcCode) -> bool {
+        self.codes.remove(&code).is_some()
+    }
+
+    /// Clears the whole memory.
+    pub fn clear_all(&mut self) {
+        self.codes.clear();
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, code: DtcCode) -> Option<&DtcRecord> {
+        self.codes.get(&code)
+    }
+
+    /// All records, sorted by code.
+    pub fn iter(&self) -> impl Iterator<Item = &DtcRecord> {
+        self.codes.values()
+    }
+
+    /// Confirmed records only (what a tester readout shows by default).
+    pub fn confirmed(&self) -> impl Iterator<Item = &DtcRecord> {
+        self.codes
+            .values()
+            .filter(|r| r.status == DtcStatus::Confirmed)
+    }
+
+    /// Number of stored codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+impl Default for DtcStore {
+    fn default() -> Self {
+        DtcStore::new(3, 40)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(runnable: u32, kind: FaultKind, ms: u64) -> DetectedFault {
+        DetectedFault {
+            at: Instant::from_millis(ms),
+            runnable: RunnableId(runnable),
+            kind,
+        }
+    }
+
+    #[test]
+    fn code_derivation_round_trips() {
+        let code = DtcCode::of(RunnableId(7), FaultKind::ProgramFlow);
+        assert_eq!(code.runnable(), RunnableId(7));
+        assert_eq!(code.kind(), Some(FaultKind::ProgramFlow));
+        assert!(code.to_string().starts_with("DTC-94"));
+        assert_eq!(DtcCode(0x9400_0000).kind(), None);
+    }
+
+    #[test]
+    fn occurrences_accumulate_and_confirm() {
+        let mut store = DtcStore::new(3, 10);
+        let f = fault(1, FaultKind::Aliveness, 10);
+        let code = store.record(f, FreezeFrame::default());
+        store.record(fault(1, FaultKind::Aliveness, 20), FreezeFrame::default());
+        assert_eq!(store.get(code).unwrap().status, DtcStatus::Pending);
+        store.record(fault(1, FaultKind::Aliveness, 30), FreezeFrame::default());
+        let rec = store.get(code).unwrap();
+        assert_eq!(rec.status, DtcStatus::Confirmed);
+        assert_eq!(rec.occurrences, 3);
+        assert_eq!(rec.first_seen, Instant::from_millis(10));
+        assert_eq!(rec.last_seen, Instant::from_millis(30));
+        assert_eq!(store.confirmed().count(), 1);
+    }
+
+    #[test]
+    fn freeze_frame_is_from_first_occurrence() {
+        let mut store = DtcStore::new(2, 10);
+        let code = store.record(
+            fault(2, FaultKind::ArrivalRate, 5),
+            FreezeFrame {
+                conditions: vec![("speed".into(), 13.9)],
+            },
+        );
+        store.record(
+            fault(2, FaultKind::ArrivalRate, 50),
+            FreezeFrame {
+                conditions: vec![("speed".into(), 99.0)],
+            },
+        );
+        assert_eq!(
+            store.get(code).unwrap().freeze_frame.conditions[0].1,
+            13.9
+        );
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_codes() {
+        let mut store = DtcStore::new(1, 10);
+        store.record(fault(1, FaultKind::Aliveness, 1), FreezeFrame::default());
+        store.record(fault(1, FaultKind::ProgramFlow, 2), FreezeFrame::default());
+        store.record(fault(2, FaultKind::Aliveness, 3), FreezeFrame::default());
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn pending_codes_age_out_confirmed_persist() {
+        let mut store = DtcStore::new(2, 3);
+        let pending = store.record(fault(1, FaultKind::Aliveness, 1), FreezeFrame::default());
+        let confirmed = store.record(fault(2, FaultKind::Aliveness, 2), FreezeFrame::default());
+        store.record(fault(2, FaultKind::Aliveness, 3), FreezeFrame::default());
+        for _ in 0..3 {
+            store.healthy_cycle();
+        }
+        assert!(store.get(pending).is_none(), "pending code must age out");
+        assert!(store.get(confirmed).is_some(), "confirmed code must persist");
+    }
+
+    #[test]
+    fn reoccurrence_resets_aging() {
+        let mut store = DtcStore::new(5, 3);
+        let code = store.record(fault(1, FaultKind::Aliveness, 1), FreezeFrame::default());
+        store.healthy_cycle();
+        store.healthy_cycle();
+        store.record(fault(1, FaultKind::Aliveness, 40), FreezeFrame::default());
+        store.healthy_cycle();
+        store.healthy_cycle();
+        assert!(store.get(code).is_some(), "aging must restart on reoccurrence");
+    }
+
+    #[test]
+    fn clear_semantics() {
+        let mut store = DtcStore::new(1, 10);
+        let code = store.record(fault(1, FaultKind::Aliveness, 1), FreezeFrame::default());
+        assert!(store.clear(code));
+        assert!(!store.clear(code));
+        store.record(fault(1, FaultKind::Aliveness, 2), FreezeFrame::default());
+        store.clear_all();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = DtcStore::new(0, 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The Fault Management Framework service.
+//!
+//! [`FaultManagementFramework`] is the "general fault treatment system that
+//! gathers the information on the detected faults" (paper §4.4). It ingests
+//! the Software Watchdog's fault and state-change outboxes, keeps the fault
+//! log, applies the [`TreatmentPolicy`] and queues [`TreatmentAction`]s
+//! for the platform integration to execute.
+
+use crate::dtc::{DtcStore, FreezeFrame};
+use crate::policy::{Treatment, TreatmentAction, TreatmentPolicy};
+use crate::record::{FaultRecord, Severity, SeverityMap};
+use easis_rte::mapping::ApplicationId;
+use easis_sim::time::Instant;
+use easis_watchdog::report::{DetectedFault, FaultKind, StateChange};
+use std::collections::BTreeMap;
+
+/// The FMF service.
+#[derive(Debug, Clone)]
+pub struct FaultManagementFramework {
+    severity_map: SeverityMap,
+    policy: TreatmentPolicy,
+    log: Vec<FaultRecord>,
+    dtc: DtcStore,
+    actions: Vec<TreatmentAction>,
+    app_restarts: BTreeMap<ApplicationId, u32>,
+    terminated_apps: Vec<ApplicationId>,
+    ecu_resets: u32,
+}
+
+impl FaultManagementFramework {
+    /// Creates the framework with the given classification and policy.
+    pub fn new(severity_map: SeverityMap, policy: TreatmentPolicy) -> Self {
+        FaultManagementFramework {
+            severity_map,
+            policy,
+            log: Vec::new(),
+            dtc: DtcStore::default(),
+            actions: Vec::new(),
+            app_restarts: BTreeMap::new(),
+            terminated_apps: Vec::new(),
+            ecu_resets: 0,
+        }
+    }
+
+    /// Records a detected fault in the log and the DTC memory.
+    pub fn ingest_fault(&mut self, fault: DetectedFault) {
+        self.ingest_fault_with_conditions(fault, FreezeFrame::default());
+    }
+
+    /// Records a detected fault with freeze-frame conditions (captured by
+    /// the platform at detection time, e.g. the current vehicle speed).
+    pub fn ingest_fault_with_conditions(
+        &mut self,
+        fault: DetectedFault,
+        freeze_frame: FreezeFrame,
+    ) {
+        self.log.push(FaultRecord {
+            fault,
+            severity: self.severity_map.classify(fault.kind),
+        });
+        self.dtc.record(fault, freeze_frame);
+    }
+
+    /// Marks one healthy operating cycle for DTC aging (call it e.g. once
+    /// per watchdog cycle without detections).
+    pub fn healthy_cycle(&mut self) {
+        self.dtc.healthy_cycle();
+    }
+
+    /// Read access to the DTC fault memory.
+    pub fn dtc(&self) -> &DtcStore {
+        &self.dtc
+    }
+
+    /// Mutable access to the DTC fault memory (tester clear operations).
+    pub fn dtc_mut(&mut self) -> &mut DtcStore {
+        &mut self.dtc
+    }
+
+    /// Processes a watchdog state change, possibly queueing treatments.
+    pub fn ingest_state_change(&mut self, change: StateChange) {
+        match change {
+            StateChange::TaskFaulty { .. } => {
+                // Task-level verdicts are treated at the application level;
+                // the change is implicit in the ApplicationFaulty that
+                // accompanies it.
+            }
+            StateChange::ApplicationFaulty { app, at } => {
+                if !self.policy.treat {
+                    return;
+                }
+                if self.terminated_apps.contains(&app) {
+                    return; // already failed silent
+                }
+                let restarts = self.app_restarts.get(&app).copied().unwrap_or(0);
+                let treatment = self.policy.for_faulty_app(app, restarts);
+                match treatment {
+                    Treatment::RestartApplication(_) => {
+                        *self.app_restarts.entry(app).or_insert(0) += 1;
+                    }
+                    Treatment::TerminateApplication(_) => {
+                        self.terminated_apps.push(app);
+                    }
+                    _ => {}
+                }
+                self.push_action(at, treatment, format!("application {app} faulty"));
+            }
+            StateChange::EcuFaulty { at } => {
+                if !self.policy.treat {
+                    return;
+                }
+                if let Some(treatment) = self.policy.for_faulty_ecu() {
+                    self.ecu_resets += 1;
+                    self.push_action(at, treatment, "global ECU state faulty".to_string());
+                }
+            }
+        }
+    }
+
+    /// Convenience: ingest everything a watchdog cycle produced.
+    pub fn ingest_all(
+        &mut self,
+        faults: impl IntoIterator<Item = DetectedFault>,
+        changes: impl IntoIterator<Item = StateChange>,
+    ) {
+        for f in faults {
+            self.ingest_fault(f);
+        }
+        for c in changes {
+            self.ingest_state_change(c);
+        }
+    }
+
+    fn push_action(&mut self, at: Instant, treatment: Treatment, reason: String) {
+        self.actions.push(TreatmentAction {
+            at,
+            treatment,
+            reason,
+        });
+    }
+
+    /// Drains the queued treatment actions for execution.
+    pub fn take_actions(&mut self) -> Vec<TreatmentAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// Number of queued, unexecuted actions.
+    pub fn pending_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// The complete fault log.
+    pub fn log(&self) -> &[FaultRecord] {
+        &self.log
+    }
+
+    /// Faults of one kind in the log.
+    pub fn count_kind(&self, kind: FaultKind) -> usize {
+        self.log.iter().filter(|r| r.fault.kind == kind).count()
+    }
+
+    /// Faults at or above a severity.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.log.iter().filter(|r| r.severity >= severity).count()
+    }
+
+    /// Restart count of an application.
+    pub fn restarts_of(&self, app: ApplicationId) -> u32 {
+        self.app_restarts.get(&app).copied().unwrap_or(0)
+    }
+
+    /// `true` if the application was terminated (failed silent).
+    pub fn is_terminated(&self, app: ApplicationId) -> bool {
+        self.terminated_apps.contains(&app)
+    }
+
+    /// Number of ECU software resets commanded.
+    pub fn ecu_resets(&self) -> u32 {
+        self.ecu_resets
+    }
+
+    /// Marks a recovery cycle complete: clears restart budgets (e.g. after
+    /// an ECU reset, everything starts fresh).
+    pub fn reset_budgets(&mut self) {
+        self.app_restarts.clear();
+        self.terminated_apps.clear();
+    }
+}
+
+impl Default for FaultManagementFramework {
+    fn default() -> Self {
+        FaultManagementFramework::new(SeverityMap::default(), TreatmentPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easis_osek::task::TaskId;
+    use easis_rte::runnable::RunnableId;
+
+    fn fault(ms: u64, kind: FaultKind) -> DetectedFault {
+        DetectedFault {
+            at: Instant::from_millis(ms),
+            runnable: RunnableId(0),
+            kind,
+        }
+    }
+
+    fn app_faulty(ms: u64) -> StateChange {
+        StateChange::ApplicationFaulty {
+            app: ApplicationId(0),
+            at: Instant::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn faults_are_logged_and_classified() {
+        let mut fmf = FaultManagementFramework::default();
+        fmf.ingest_fault(fault(1, FaultKind::Aliveness));
+        fmf.ingest_fault(fault(2, FaultKind::ProgramFlow));
+        assert_eq!(fmf.log().len(), 2);
+        assert_eq!(fmf.count_kind(FaultKind::Aliveness), 1);
+        assert_eq!(fmf.count_at_least(Severity::Critical), 1);
+        assert_eq!(fmf.count_at_least(Severity::Major), 2);
+    }
+
+    #[test]
+    fn faulty_app_restarts_then_terminates() {
+        let mut fmf = FaultManagementFramework::default(); // budget 3
+        for i in 0..5 {
+            fmf.ingest_state_change(app_faulty(i * 10));
+        }
+        let actions = fmf.take_actions();
+        let restarts = actions
+            .iter()
+            .filter(|a| matches!(a.treatment, Treatment::RestartApplication(_)))
+            .count();
+        let terminates = actions
+            .iter()
+            .filter(|a| matches!(a.treatment, Treatment::TerminateApplication(_)))
+            .count();
+        assert_eq!(restarts, 3);
+        assert_eq!(terminates, 1); // 5th change hits an already-terminated app
+        assert_eq!(fmf.restarts_of(ApplicationId(0)), 3);
+        assert!(fmf.is_terminated(ApplicationId(0)));
+    }
+
+    #[test]
+    fn ecu_faulty_triggers_reset() {
+        let mut fmf = FaultManagementFramework::default();
+        fmf.ingest_state_change(StateChange::EcuFaulty {
+            at: Instant::from_millis(50),
+        });
+        let actions = fmf.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].treatment, Treatment::EcuReset);
+        assert_eq!(fmf.ecu_resets(), 1);
+    }
+
+    #[test]
+    fn ecu_reset_can_be_disabled_by_policy() {
+        let policy = TreatmentPolicy {
+            reset_on_ecu_faulty: false,
+            ..TreatmentPolicy::default()
+        };
+        let mut fmf = FaultManagementFramework::new(SeverityMap::default(), policy);
+        fmf.ingest_state_change(StateChange::EcuFaulty {
+            at: Instant::ZERO,
+        });
+        assert_eq!(fmf.pending_actions(), 0);
+    }
+
+    #[test]
+    fn task_faulty_alone_produces_no_action() {
+        let mut fmf = FaultManagementFramework::default();
+        fmf.ingest_state_change(StateChange::TaskFaulty {
+            task: TaskId(0),
+            at: Instant::ZERO,
+        });
+        assert_eq!(fmf.pending_actions(), 0);
+    }
+
+    #[test]
+    fn ingest_all_and_drain() {
+        let mut fmf = FaultManagementFramework::default();
+        fmf.ingest_all(
+            vec![fault(1, FaultKind::Aliveness)],
+            vec![app_faulty(1)],
+        );
+        assert_eq!(fmf.log().len(), 1);
+        assert_eq!(fmf.take_actions().len(), 1);
+        assert!(fmf.take_actions().is_empty());
+    }
+
+    #[test]
+    fn reset_budgets_restores_restart_capacity() {
+        let mut fmf = FaultManagementFramework::default();
+        for i in 0..4 {
+            fmf.ingest_state_change(app_faulty(i));
+        }
+        assert!(fmf.is_terminated(ApplicationId(0)));
+        fmf.reset_budgets();
+        assert!(!fmf.is_terminated(ApplicationId(0)));
+        assert_eq!(fmf.restarts_of(ApplicationId(0)), 0);
+        fmf.ingest_state_change(app_faulty(100));
+        let actions = fmf.take_actions();
+        assert!(matches!(
+            actions.last().unwrap().treatment,
+            Treatment::RestartApplication(_)
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! # easis-injection — error injection and fault campaigns
+//!
+//! "Since different faults can result in the same error, error injection is
+//! applied for the evaluation of the design and prototyping of the Software
+//! Watchdog" (paper §4.5). This crate reproduces that methodology,
+//! replacing the manual ControlDesk sliders with scripted, reproducible
+//! injections:
+//!
+//! * [`injector`] — the error classes (execution-time scaling, heartbeat
+//!   loss, skipped runnables / invalid branches, duplicate dispatch, loop
+//!   counter overruns, alarm rescaling) armed and reverted inside time
+//!   windows;
+//! * [`campaign`] — seeded plans of injection trials over target
+//!   runnables;
+//! * [`stats`] — detection coverage and latency aggregation across the
+//!   Software Watchdog units and the baseline monitors.
+//!
+//! # Examples
+//!
+//! ```
+//! use easis_injection::campaign::CampaignBuilder;
+//! use easis_rte::runnable::RunnableId;
+//!
+//! let plan = CampaignBuilder::new(42, vec![RunnableId(0), RunnableId(1)])
+//!     .trials_per_class(5)
+//!     .build();
+//! assert_eq!(plan.len(), 25); // 5 classes × 5 trials
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod injector;
+pub mod stats;
+
+pub use campaign::{CampaignBuilder, CampaignPlan, TrialSpec};
+pub use injector::{ErrorClass, Injection, Injector};
+pub use stats::{CampaignStats, DetectorId, TrialOutcome};

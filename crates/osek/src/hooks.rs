@@ -1,0 +1,109 @@
+//! OS hooks.
+//!
+//! OSEK defines hook routines called by the OS at notable points
+//! (startup, task switches, errors). The EASIS platform hangs its
+//! task-granularity monitors off these hooks: the hardware-watchdog and
+//! deadline-monitor baselines subscribe here, and the Software Watchdog's
+//! task state indication consumes task-switch notifications.
+
+use crate::error::OsError;
+use crate::task::TaskId;
+use easis_sim::time::{Duration, Instant};
+use std::fmt;
+
+/// A notification delivered to hook subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookEvent {
+    /// OS finished starting up.
+    Startup,
+    /// A task entered the running state (`PreTaskHook`).
+    PreTask(TaskId),
+    /// A task left the running state (`PostTaskHook`).
+    PostTask(TaskId),
+    /// A task was activated (entered ready from suspended, or queued).
+    Activate(TaskId),
+    /// A task terminated.
+    Terminate(TaskId),
+    /// A system service failed (`ErrorHook`).
+    Error(OsError),
+    /// OSEKTime-style deadline miss: the activation that started at the
+    /// given instant did not finish within the task's deadline.
+    DeadlineMiss {
+        /// The late task.
+        task: TaskId,
+        /// When the missed activation was released.
+        activated_at: Instant,
+    },
+    /// AUTOSAR-OS-style timing protection: the running task exhausted its
+    /// execution budget.
+    BudgetExceeded {
+        /// The overrunning task.
+        task: TaskId,
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// The OS was shut down.
+    Shutdown,
+}
+
+impl fmt::Display for HookEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HookEvent::Startup => write!(f, "startup"),
+            HookEvent::PreTask(t) => write!(f, "pre-task {t}"),
+            HookEvent::PostTask(t) => write!(f, "post-task {t}"),
+            HookEvent::Activate(t) => write!(f, "activate {t}"),
+            HookEvent::Terminate(t) => write!(f, "terminate {t}"),
+            HookEvent::Error(e) => write!(f, "error: {e}"),
+            HookEvent::DeadlineMiss { task, activated_at } => {
+                write!(f, "deadline miss {task} (activated {activated_at})")
+            }
+            HookEvent::BudgetExceeded { task, budget } => {
+                write!(f, "budget exceeded {task} (budget {budget})")
+            }
+            HookEvent::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// A hook subscriber. Receives every [`HookEvent`] with its timestamp and
+/// mutable access to the shared world `W`.
+pub trait HookObserver<W>: Send {
+    /// Called by the kernel for every hook event.
+    fn on_hook(&mut self, now: Instant, event: HookEvent, world: &mut W);
+}
+
+impl<W, F> HookObserver<W> for F
+where
+    F: FnMut(Instant, HookEvent, &mut W) + Send,
+{
+    fn on_hook(&mut self, now: Instant, event: HookEvent, world: &mut W) {
+        self(now, event, world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert_eq!(HookEvent::PreTask(TaskId(1)).to_string(), "pre-task T1");
+        assert!(HookEvent::Error(OsError::InvalidId).to_string().contains("E_OS_ID"));
+        let miss = HookEvent::DeadlineMiss {
+            task: TaskId(2),
+            activated_at: Instant::from_millis(5),
+        };
+        assert!(miss.to_string().contains("deadline miss T2"));
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |_: Instant, e: HookEvent, w: &mut Vec<HookEvent>| w.push(e);
+            obs.on_hook(Instant::ZERO, HookEvent::Startup, &mut seen);
+        }
+        assert_eq!(seen, vec![HookEvent::Startup]);
+    }
+}

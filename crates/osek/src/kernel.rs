@@ -1,0 +1,1399 @@
+//! The OS kernel: fixed-priority preemptive scheduling over simulated time.
+//!
+//! [`Os`] owns the task, alarm and resource tables and executes task plans
+//! under OSEK full-preemptive scheduling semantics:
+//!
+//! * the highest-priority ready task runs; equal priorities are FIFO and a
+//!   preempted task re-enters its priority queue at the *front* (OSEK spec);
+//! * non-preemptable tasks yield only at termination or `WaitEvent`;
+//! * resources follow the priority-ceiling protocol;
+//! * cyclic alarms re-arm with their (possibly injector-scaled) cycle;
+//! * optional per-task deadlines (OSEKTime) and execution budgets
+//!   (AUTOSAR OS timing protection) are detected exactly and reported
+//!   through hooks and the trace.
+//!
+//! Execution is deterministic: ties on the event queue break by insertion
+//! order and the scheduler state machine contains no hidden randomness.
+
+use crate::alarm::{Alarm, AlarmAction, AlarmId};
+use crate::error::OsError;
+use crate::hooks::{HookEvent, HookObserver};
+use crate::plan::{EffectCtx, Plan, ResourceId, ServiceRequest, Step, TaskBody};
+use crate::resource::{HeldResources, Resource};
+use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
+use easis_sim::event::EventQueue;
+use easis_sim::time::{Duration, Instant};
+use easis_sim::trace::TraceRecorder;
+
+/// Trace source tag used by the kernel.
+pub const TRACE_SOURCE: &str = "osek";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelEvent {
+    AlarmExpiry(AlarmId),
+    DeadlineCheck { task: TaskId, seq: u64 },
+}
+
+struct Tcb<W> {
+    config: TaskConfig,
+    state: TaskState,
+    body: Option<Box<dyn TaskBody<W>>>,
+    plan: Option<Plan<W>>,
+    current_priority: Priority,
+    set_events: EventMask,
+    waiting_for: EventMask,
+    held: HeldResources,
+    /// Activations issued / completed (monotonic counters); the difference
+    /// is the queue depth including the current instance.
+    issued: u64,
+    completed: u64,
+    /// Execution time consumed by the current activation.
+    exec_time: Duration,
+    budget_reported: bool,
+    /// Ordering key within a priority band: lower runs first. Preempted
+    /// tasks receive keys below all waiting ones (front of the band).
+    ready_key: i64,
+}
+
+impl<W> Tcb<W> {
+    fn queued(&self) -> u64 {
+        self.issued - self.completed
+    }
+}
+
+/// The OSEK operating system model, generic over the ECU world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use easis_osek::kernel::Os;
+/// use easis_osek::plan::Plan;
+/// use easis_osek::task::{Priority, TaskConfig};
+/// use easis_sim::time::{Duration, Instant};
+///
+/// let mut os: Os<u32> = Os::new();
+/// let t = os.add_task(
+///     TaskConfig::new("tick", Priority(1)),
+///     |_now: Instant, _w: &u32| {
+///         Plan::new()
+///             .compute(Duration::from_micros(100))
+///             .effect(|w, _ctx| *w += 1)
+///     },
+/// );
+/// let alarm = os.add_alarm("tick10ms", easis_osek::alarm::AlarmAction::ActivateTask(t));
+/// let mut world = 0u32;
+/// os.start(&mut world);
+/// os.set_rel_alarm(alarm, Duration::from_millis(10), Some(Duration::from_millis(10))).unwrap();
+/// os.run_until(Instant::from_millis(102), &mut world);
+/// assert_eq!(world, 10);
+/// ```
+pub struct Os<W> {
+    tasks: Vec<Tcb<W>>,
+    alarms: Vec<Alarm>,
+    resources: Vec<Resource>,
+    timers: EventQueue<KernelEvent>,
+    now: Instant,
+    running: Option<TaskId>,
+    observers: Vec<Box<dyn HookObserver<W>>>,
+    trace: TraceRecorder,
+    started: bool,
+    /// Monotone counters generating ready-queue ordering keys.
+    next_back_key: i64,
+    next_front_key: i64,
+    busy: Duration,
+}
+
+impl<W> Default for Os<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Os<W> {
+    /// Creates an empty OS with tracing enabled.
+    pub fn new() -> Self {
+        Os {
+            tasks: Vec::new(),
+            alarms: Vec::new(),
+            resources: Vec::new(),
+            timers: EventQueue::new(),
+            now: Instant::ZERO,
+            running: None,
+            observers: Vec::new(),
+            trace: TraceRecorder::new(),
+            started: false,
+            next_back_key: 1,
+            next_front_key: -1,
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Creates an OS whose trace recorder drops everything (for overhead
+    /// benchmarking).
+    pub fn with_disabled_trace() -> Self {
+        let mut os = Self::new();
+        os.trace = TraceRecorder::disabled();
+        os
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration (pre-start)
+    // ------------------------------------------------------------------
+
+    /// Declares a task. Returns its id.
+    pub fn add_task(&mut self, config: TaskConfig, body: impl TaskBody<W> + 'static) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        let priority = config.priority();
+        self.tasks.push(Tcb {
+            config,
+            state: TaskState::Suspended,
+            body: Some(Box::new(body)),
+            plan: None,
+            current_priority: priority,
+            set_events: EventMask::NONE,
+            waiting_for: EventMask::NONE,
+            held: HeldResources::new(),
+            issued: 0,
+            completed: 0,
+            exec_time: Duration::ZERO,
+            budget_reported: false,
+            ready_key: 0,
+        });
+        id
+    }
+
+    /// Declares an alarm. Returns its id; arm it with [`Os::set_rel_alarm`].
+    pub fn add_alarm(&mut self, name: impl Into<String>, action: AlarmAction) -> AlarmId {
+        let id = AlarmId(self.alarms.len() as u32);
+        self.alarms.push(Alarm::new(name, action));
+        id
+    }
+
+    /// Declares a resource with the given ceiling priority. Returns its id.
+    pub fn add_resource(&mut self, name: impl Into<String>, ceiling: Priority) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource::new(name, ceiling));
+        id
+    }
+
+    /// Subscribes a hook observer.
+    pub fn add_observer(&mut self, observer: impl HookObserver<W> + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The trace recorder.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Mutable access to the trace recorder (e.g. to clear between phases).
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    /// Number of declared tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// State of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidId`] for an unknown id.
+    pub fn task_state(&self, id: TaskId) -> Result<TaskState, OsError> {
+        self.tasks
+            .get(id.index())
+            .map(|t| t.state)
+            .ok_or(OsError::InvalidId)
+    }
+
+    /// Name of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidId`] for an unknown id.
+    pub fn task_name(&self, id: TaskId) -> Result<&str, OsError> {
+        self.tasks
+            .get(id.index())
+            .map(|t| t.config.name())
+            .ok_or(OsError::InvalidId)
+    }
+
+    /// Finds a task by name.
+    pub fn find_task(&self, name: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.config.name() == name)
+            .map(|i| TaskId(i as u32))
+    }
+
+    /// Currently running task, if any.
+    pub fn running_task(&self) -> Option<TaskId> {
+        self.running
+    }
+
+    /// Total CPU time consumed by tasks so far.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// CPU utilisation since start (0.0 when no time has passed).
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.now.duration_since(Instant::ZERO);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_micros() as f64 / elapsed.as_micros() as f64
+        }
+    }
+
+    /// Mutable access to an alarm (used by the frequency error injector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidId`] for an unknown id.
+    pub fn alarm_mut(&mut self, id: AlarmId) -> Result<&mut Alarm, OsError> {
+        self.alarms.get_mut(id.index()).ok_or(OsError::InvalidId)
+    }
+
+    /// Immutable access to an alarm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidId`] for an unknown id.
+    pub fn alarm(&self, id: AlarmId) -> Result<&Alarm, OsError> {
+        self.alarms.get(id.index()).ok_or(OsError::InvalidId)
+    }
+
+    // ------------------------------------------------------------------
+    // System services (callable from outside the kernel loop)
+    // ------------------------------------------------------------------
+
+    /// Starts the OS: fires the startup hook and activates autostart tasks.
+    pub fn start(&mut self, world: &mut W) {
+        assert!(!self.started, "OS started twice");
+        self.started = true;
+        self.trace.record(self.now, TRACE_SOURCE, "startup", "");
+        self.fire_hook(HookEvent::Startup, world);
+        let autostart: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.config.is_autostart())
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for id in autostart {
+            let _ = self.activate_task(id, world);
+        }
+    }
+
+    /// Shuts the OS down (fires the shutdown hook; scheduling stops).
+    pub fn shutdown(&mut self, world: &mut W) {
+        self.trace.record(self.now, TRACE_SOURCE, "shutdown", "");
+        self.fire_hook(HookEvent::Shutdown, world);
+        self.started = false;
+    }
+
+    /// `ActivateTask`: moves a suspended task to ready or queues an extra
+    /// activation.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::ActivationLimit`]
+    /// when the activation queue is full (also reported via the error hook).
+    pub fn activate_task(&mut self, id: TaskId, world: &mut W) -> Result<(), OsError> {
+        if id.index() >= self.tasks.len() {
+            return Err(OsError::InvalidId);
+        }
+        let max = self.tasks[id.index()].config.max_activations() as u64;
+        if self.tasks[id.index()].queued() >= max {
+            self.report_error(OsError::ActivationLimit, world);
+            return Err(OsError::ActivationLimit);
+        }
+        {
+            let tcb = &mut self.tasks[id.index()];
+            tcb.issued += 1;
+        }
+        let seq = self.tasks[id.index()].issued;
+        // Arm the deadline check for this activation.
+        if let Some(deadline) = self.tasks[id.index()].config.deadline() {
+            self.timers
+                .schedule(self.now + deadline, KernelEvent::DeadlineCheck { task: id, seq });
+        }
+        let name = self.tasks[id.index()].config.name().to_string();
+        self.trace.record(self.now, TRACE_SOURCE, "activate", name);
+        self.fire_hook(HookEvent::Activate(id), world);
+        if self.tasks[id.index()].state == TaskState::Suspended {
+            self.make_ready(id, false);
+        }
+        Ok(())
+    }
+
+    /// `SetEvent`: sets events on an extended task, waking it if it waits
+    /// for any of them.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::InvalidAccess`]
+    /// for basic tasks, [`OsError::InvalidState`] if the task is suspended.
+    pub fn set_event(&mut self, id: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        let Some(tcb) = self.tasks.get_mut(id.index()) else {
+            return Err(OsError::InvalidId);
+        };
+        if tcb.config.kind() != TaskKind::Extended {
+            self.report_error(OsError::InvalidAccess, world);
+            return Err(OsError::InvalidAccess);
+        }
+        if tcb.state == TaskState::Suspended {
+            self.report_error(OsError::InvalidState, world);
+            return Err(OsError::InvalidState);
+        }
+        tcb.set_events = tcb.set_events.union(mask);
+        if tcb.state == TaskState::Waiting && tcb.set_events.intersects(tcb.waiting_for) {
+            tcb.waiting_for = EventMask::NONE;
+            self.make_ready(id, false);
+            let name = self.tasks[id.index()].config.name().to_string();
+            self.trace.record(self.now, TRACE_SOURCE, "wake", name);
+        }
+        Ok(())
+    }
+
+    /// `SetRelAlarm`: arms an alarm `offset` from now, optionally cyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::InvalidState`]
+    /// if already armed, [`OsError::InvalidValue`] for a zero offset or cycle.
+    pub fn set_rel_alarm(
+        &mut self,
+        id: AlarmId,
+        offset: Duration,
+        cycle: Option<Duration>,
+    ) -> Result<(), OsError> {
+        let Some(alarm) = self.alarms.get_mut(id.index()) else {
+            return Err(OsError::InvalidId);
+        };
+        if alarm.is_armed() {
+            return Err(OsError::InvalidState);
+        }
+        if offset.is_zero() || cycle.is_some_and(|c| c.is_zero()) {
+            return Err(OsError::InvalidValue);
+        }
+        alarm.arm(cycle);
+        self.timers
+            .schedule(self.now + offset, KernelEvent::AlarmExpiry(id));
+        Ok(())
+    }
+
+    /// `CancelAlarm`: disarms an alarm.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::AlarmNotInUse`]
+    /// if disarmed.
+    pub fn cancel_alarm(&mut self, id: AlarmId) -> Result<(), OsError> {
+        let Some(alarm) = self.alarms.get_mut(id.index()) else {
+            return Err(OsError::InvalidId);
+        };
+        if !alarm.is_armed() {
+            return Err(OsError::AlarmNotInUse);
+        }
+        alarm.disarm();
+        // The pending AlarmExpiry stays queued; expiry of a disarmed alarm
+        // is ignored, matching CancelAlarm semantics.
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation until `end` (inclusive of events at `end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS was not started or `end` is in the past.
+    pub fn run_until(&mut self, end: Instant, world: &mut W) {
+        assert!(self.started, "call start() first");
+        assert!(end >= self.now, "cannot run backwards in time");
+        loop {
+            // Fire every timer event due at the current instant.
+            self.fire_due_timers(world);
+            // Choose who runs.
+            let chosen = self.pick_next();
+            match chosen {
+                None => {
+                    // CPU idle: jump to the next timer event or to `end`.
+                    match self.timers.peek_time() {
+                        Some(t) if t <= end => {
+                            self.now = t;
+                        }
+                        _ => {
+                            self.now = end;
+                            return;
+                        }
+                    }
+                }
+                Some(id) => {
+                    self.dispatch(id, world);
+                    let done = self.execute_slice(id, end, world);
+                    if done {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs for `dur` from the current time.
+    pub fn run_for(&mut self, dur: Duration, world: &mut W) {
+        self.run_until(self.now + dur, world);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn fire_due_timers(&mut self, world: &mut W) {
+        while let Some(t) = self.timers.peek_time() {
+            if t > self.now {
+                break;
+            }
+            let (_, ev) = self.timers.pop().expect("peeked event exists");
+            match ev {
+                KernelEvent::AlarmExpiry(id) => self.expire_alarm(id, world),
+                KernelEvent::DeadlineCheck { task, seq } => self.check_deadline(task, seq, world),
+            }
+        }
+    }
+
+    fn expire_alarm(&mut self, id: AlarmId, world: &mut W) {
+        let alarm = &self.alarms[id.index()];
+        if !alarm.is_armed() {
+            return; // cancelled
+        }
+        let action = alarm.action();
+        let name = alarm.name().to_string();
+        let effective_cycle = alarm.effective_cycle();
+        self.trace.record(self.now, TRACE_SOURCE, "alarm", name);
+        match effective_cycle {
+            Some(cycle) => {
+                self.timers
+                    .schedule(self.now + cycle, KernelEvent::AlarmExpiry(id));
+            }
+            None => self.alarms[id.index()].disarm(),
+        }
+        match action {
+            AlarmAction::ActivateTask(t) => {
+                let _ = self.activate_task(t, world);
+            }
+            AlarmAction::SetEvent(t, m) => {
+                let _ = self.set_event(t, m, world);
+            }
+        }
+    }
+
+    fn check_deadline(&mut self, task: TaskId, seq: u64, world: &mut W) {
+        let tcb = &self.tasks[task.index()];
+        if tcb.completed < seq {
+            let name = tcb.config.name().to_string();
+            self.trace
+                .record(self.now, TRACE_SOURCE, "deadline_miss", name);
+            self.fire_hook(
+                HookEvent::DeadlineMiss {
+                    task,
+                    activated_at: self.now
+                        - tcb.config.deadline().expect("deadline configured"),
+                },
+                world,
+            );
+        }
+    }
+
+    fn make_ready(&mut self, id: TaskId, front: bool) {
+        let key = if front {
+            let k = self.next_front_key;
+            self.next_front_key -= 1;
+            k
+        } else {
+            let k = self.next_back_key;
+            self.next_back_key += 1;
+            k
+        };
+        let tcb = &mut self.tasks[id.index()];
+        tcb.state = TaskState::Ready;
+        tcb.ready_key = key;
+    }
+
+    /// Like [`Os::pick_next`] but ignoring the running task's
+    /// non-preemptability — the decision `Schedule()` asks for.
+    fn pick_ignoring_nonpreempt(&self) -> Option<TaskId> {
+        let mut best: Option<(Priority, i64, TaskId)> = None;
+        for (i, tcb) in self.tasks.iter().enumerate() {
+            if !matches!(tcb.state, TaskState::Ready | TaskState::Running) {
+                continue;
+            }
+            let cand = (tcb.current_priority, tcb.ready_key, TaskId(i as u32));
+            best = match best {
+                None => Some(cand),
+                Some(b) if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) => Some(cand),
+                b => b,
+            };
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Picks the task that should run now, honouring non-preemptability.
+    fn pick_next(&self) -> Option<TaskId> {
+        if let Some(run) = self.running {
+            let tcb = &self.tasks[run.index()];
+            if tcb.state == TaskState::Running && !tcb.config.is_preemptable() {
+                return Some(run);
+            }
+        }
+        let mut best: Option<(Priority, i64, TaskId)> = None;
+        for (i, tcb) in self.tasks.iter().enumerate() {
+            let eligible = matches!(tcb.state, TaskState::Ready | TaskState::Running);
+            if !eligible {
+                continue;
+            }
+            let cand = (tcb.current_priority, tcb.ready_key, TaskId(i as u32));
+            best = match best {
+                None => Some(cand),
+                Some(b) => {
+                    // Higher priority wins; within a priority, lower key wins.
+                    if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) {
+                        Some(cand)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        // The running task keeps the CPU against equal-priority ready tasks:
+        // its key is its dispatch-time key which is already minimal in band.
+        best.map(|(_, _, id)| id)
+    }
+
+    fn dispatch(&mut self, id: TaskId, world: &mut W) {
+        if self.running == Some(id) && self.tasks[id.index()].state == TaskState::Running {
+            return;
+        }
+        // Preempt whoever was running.
+        if let Some(prev) = self.running {
+            if self.tasks[prev.index()].state == TaskState::Running {
+                self.make_ready(prev, true);
+                let name = self.tasks[prev.index()].config.name().to_string();
+                self.trace.record(self.now, TRACE_SOURCE, "preempt", name);
+                self.fire_hook(HookEvent::PostTask(prev), world);
+            }
+        }
+        let tcb = &mut self.tasks[id.index()];
+        tcb.state = TaskState::Running;
+        self.running = Some(id);
+        let name = self.tasks[id.index()].config.name().to_string();
+        self.trace.record(self.now, TRACE_SOURCE, "dispatch", name);
+        self.fire_hook(HookEvent::PreTask(id), world);
+        // First dispatch of an activation: plan the body.
+        if self.tasks[id.index()].plan.is_none() {
+            let mut body = self.tasks[id.index()].body.take().expect("body present");
+            let plan = body.plan(self.now, world);
+            self.tasks[id.index()].body = Some(body);
+            self.tasks[id.index()].plan = Some(plan);
+            self.tasks[id.index()].exec_time = Duration::ZERO;
+            self.tasks[id.index()].budget_reported = false;
+        }
+    }
+
+    /// Executes steps of the running task until it terminates, blocks, is
+    /// preempted, or simulated time reaches `end`. Returns `true` when the
+    /// caller's horizon `end` was reached.
+    fn execute_slice(&mut self, id: TaskId, end: Instant, world: &mut W) -> bool {
+        loop {
+            // A timer may have readied a higher-priority task.
+            if self.pick_next() != Some(id) {
+                return false;
+            }
+            let step = {
+                let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
+                plan.pop()
+            };
+            let Some(step) = step else {
+                self.terminate_running(id, world);
+                return false;
+            };
+            match step {
+                Step::Compute(d) => {
+                    if let Some(reached_end) = self.run_compute(id, d, end, world) {
+                        return reached_end;
+                    }
+                }
+                Step::Effect(mut f) => {
+                    let mut ctx = EffectCtx::new(self.now, id, &mut self.trace);
+                    f(world, &mut ctx);
+                    let requests = ctx.take_requests();
+                    for req in requests {
+                        match req {
+                            ServiceRequest::ActivateTask(t) => {
+                                let _ = self.activate_task(t, world);
+                            }
+                            ServiceRequest::SetEvent(t, m) => {
+                                let _ = self.set_event(t, m, world);
+                            }
+                            ServiceRequest::CancelAlarm(a) => {
+                                let _ = self.cancel_alarm(AlarmId(a));
+                            }
+                        }
+                    }
+                }
+                Step::ActivateTask(t) => {
+                    let _ = self.activate_task(t, world);
+                }
+                Step::SetEvent(t, m) => {
+                    let _ = self.set_event(t, m, world);
+                }
+                Step::WaitEvent(mask) => {
+                    if self.tasks[id.index()].config.kind() != TaskKind::Extended {
+                        self.report_error(OsError::InvalidAccess, world);
+                        // Basic tasks cannot wait; ignore the step.
+                        continue;
+                    }
+                    let tcb = &mut self.tasks[id.index()];
+                    if tcb.set_events.intersects(mask) {
+                        continue; // event already pending: no blocking
+                    }
+                    tcb.waiting_for = mask;
+                    tcb.state = TaskState::Waiting;
+                    self.running = None;
+                    let name = self.tasks[id.index()].config.name().to_string();
+                    self.trace.record(self.now, TRACE_SOURCE, "wait", name);
+                    self.fire_hook(HookEvent::PostTask(id), world);
+                    return false;
+                }
+                Step::ClearEvent(mask) => {
+                    let tcb = &mut self.tasks[id.index()];
+                    tcb.set_events = tcb.set_events.clear(mask);
+                }
+                Step::GetResource(rid) => {
+                    if rid.0 as usize >= self.resources.len() {
+                        self.report_error(OsError::InvalidId, world);
+                        continue;
+                    }
+                    if self.resources[rid.0 as usize].is_occupied() {
+                        // With a correct ceiling this cannot happen; report
+                        // and skip so faulty configs surface in the trace.
+                        self.report_error(OsError::ResourceOrder, world);
+                        continue;
+                    }
+                    let prior = self.tasks[id.index()].current_priority;
+                    let ceiling = self.resources[rid.0 as usize].ceiling();
+                    self.resources[rid.0 as usize].occupy(id);
+                    let tcb = &mut self.tasks[id.index()];
+                    tcb.held.push(rid, prior);
+                    if ceiling > tcb.current_priority {
+                        tcb.current_priority = ceiling;
+                    }
+                }
+                Step::ReleaseResource(rid) => {
+                    if rid.0 as usize >= self.resources.len() {
+                        self.report_error(OsError::InvalidId, world);
+                        continue;
+                    }
+                    let restored = self.tasks[id.index()].held.pop_matching(rid);
+                    match restored {
+                        Some(prior) => {
+                            self.resources[rid.0 as usize].release();
+                            self.tasks[id.index()].current_priority = prior;
+                            // Dropping priority may enable preemption.
+                            if self.pick_next() != Some(id) {
+                                return false;
+                            }
+                        }
+                        None => {
+                            self.report_error(OsError::ResourceOrder, world);
+                        }
+                    }
+                }
+                Step::ChainTask(t) => {
+                    self.terminate_running(id, world);
+                    let _ = self.activate_task(t, world);
+                    return false;
+                }
+                Step::Schedule => {
+                    // Re-run the dispatch decision ignoring this task's
+                    // non-preemptability: OSEK Schedule() semantics. If a
+                    // higher-priority task is ready, yield to it (re-enter
+                    // the ready queue at the front, like a preemption).
+                    if let Some(best) = self.pick_ignoring_nonpreempt() {
+                        if best != id {
+                            self.make_ready(id, true);
+                            let name = self.tasks[id.index()].config.name().to_string();
+                            self.trace.record(self.now, TRACE_SOURCE, "yield", name);
+                            self.running = None;
+                            self.fire_hook(HookEvent::PostTask(id), world);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time while the task computes. Returns `Some(true)`
+    /// if the run horizon was reached, `Some(false)` if the task should stop
+    /// executing this slice (preemption), `None` when the compute step
+    /// finished and the next step may run.
+    fn run_compute(
+        &mut self,
+        id: TaskId,
+        d: Duration,
+        end: Instant,
+        world: &mut W,
+    ) -> Option<bool> {
+        let mut remaining = d;
+        while !remaining.is_zero() {
+            let finish = self.now + remaining;
+            // Budget crossing, if any, caps the slice so the hook fires at
+            // the exact overrun instant.
+            let budget_cross = {
+                let tcb = &self.tasks[id.index()];
+                match tcb.config.execution_budget() {
+                    Some(budget) if !tcb.budget_reported && tcb.exec_time < budget => {
+                        Some(self.now + (budget - tcb.exec_time))
+                    }
+                    _ => None,
+                }
+            };
+            let next_timer = self.timers.peek_time();
+            let mut slice_end = finish;
+            if let Some(t) = next_timer {
+                if t < slice_end {
+                    slice_end = t;
+                }
+            }
+            if let Some(b) = budget_cross {
+                if b < slice_end {
+                    slice_end = b;
+                }
+            }
+            if end < slice_end {
+                slice_end = end;
+            }
+            let consumed = slice_end.saturating_duration_since(self.now);
+            self.now = slice_end;
+            self.busy += consumed;
+            remaining = remaining.saturating_sub(consumed);
+            {
+                let tcb = &mut self.tasks[id.index()];
+                tcb.exec_time += consumed;
+            }
+            // Budget exactly reached?
+            let over = {
+                let tcb = &self.tasks[id.index()];
+                matches!(tcb.config.execution_budget(), Some(b) if !tcb.budget_reported && tcb.exec_time >= b)
+            };
+            if over {
+                let budget = self.tasks[id.index()]
+                    .config
+                    .execution_budget()
+                    .expect("budget configured");
+                self.tasks[id.index()].budget_reported = true;
+                let name = self.tasks[id.index()].config.name().to_string();
+                self.trace
+                    .record(self.now, TRACE_SOURCE, "budget_exceeded", name);
+                self.fire_hook(HookEvent::BudgetExceeded { task: id, budget }, world);
+            }
+            if self.now == end && !remaining.is_zero() {
+                // Horizon reached mid-compute: save the remainder.
+                let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
+                plan.push_front(Step::Compute(remaining));
+                return Some(true);
+            }
+            // Process timers due exactly now; they may ready someone higher.
+            self.fire_due_timers(world);
+            if self.pick_next() != Some(id) {
+                if !remaining.is_zero() {
+                    let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
+                    plan.push_front(Step::Compute(remaining));
+                }
+                return Some(false);
+            }
+        }
+        // Step finished; horizon may coincide with completion.
+        if self.now == end {
+            return Some(true);
+        }
+        None
+    }
+
+    fn terminate_running(&mut self, id: TaskId, world: &mut W) {
+        // OSEK: terminating with occupied resources is an error; release them.
+        if !self.tasks[id.index()].held.is_empty() {
+            self.report_error(OsError::ResourceOrder, world);
+            let ids: Vec<ResourceId> = self.tasks[id.index()].held.ids().collect();
+            for rid in ids {
+                self.resources[rid.0 as usize].release();
+            }
+            self.tasks[id.index()].held.clear();
+            let base = self.tasks[id.index()].config.priority();
+            self.tasks[id.index()].current_priority = base;
+        }
+        {
+            let tcb = &mut self.tasks[id.index()];
+            tcb.completed += 1;
+            tcb.plan = None;
+            tcb.set_events = EventMask::NONE;
+        }
+        self.running = None;
+        let name = self.tasks[id.index()].config.name().to_string();
+        self.trace.record(self.now, TRACE_SOURCE, "terminate", name);
+        self.fire_hook(HookEvent::Terminate(id), world);
+        // Queued activation pending? Re-enter ready immediately.
+        if self.tasks[id.index()].queued() > 0 {
+            self.make_ready(id, false);
+        } else {
+            self.tasks[id.index()].state = TaskState::Suspended;
+        }
+    }
+
+    fn report_error(&mut self, err: OsError, world: &mut W) {
+        self.trace
+            .record(self.now, TRACE_SOURCE, "os_error", err.to_string());
+        self.fire_hook(HookEvent::Error(err), world);
+    }
+
+    fn fire_hook(&mut self, event: HookEvent, world: &mut W) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let mut observers = std::mem::take(&mut self.observers);
+        for obs in &mut observers {
+            obs.on_hook(self.now, event, world);
+        }
+        // New observers cannot be registered from inside hooks.
+        debug_assert!(self.observers.is_empty());
+        self.observers = observers;
+    }
+}
+
+impl<W> std::fmt::Debug for Os<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Os")
+            .field("now", &self.now)
+            .field("tasks", &self.tasks.len())
+            .field("alarms", &self.alarms.len())
+            .field("resources", &self.resources.len())
+            .field("running", &self.running)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type W = Vec<String>;
+
+    fn log_body(
+        label: &'static str,
+        cost: Duration,
+    ) -> impl FnMut(Instant, &W) -> Plan<W> + Send {
+        move |_now, _w| {
+            Plan::new().compute(cost).effect(move |w: &mut W, ctx| {
+                w.push(format!("{label}@{}", ctx.now().as_micros()));
+            })
+        }
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn cyclic_alarm_activates_task_periodically() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("p", Priority(1)), log_body("p", us(100)));
+        let a = os.add_alarm("cyc", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(10), Some(ms(10))).unwrap();
+        os.run_until(Instant::from_millis(55), &mut w);
+        assert_eq!(w.len(), 5, "{w:?}");
+        assert_eq!(w[0], "p@10100");
+    }
+
+    #[test]
+    fn higher_priority_task_preempts_lower() {
+        let mut os: Os<W> = Os::new();
+        let lo = os.add_task(TaskConfig::new("lo", Priority(1)), log_body("lo", ms(10)));
+        let hi = os.add_task(TaskConfig::new("hi", Priority(5)), log_body("hi", us(500)));
+        let a_lo = os.add_alarm("alo", AlarmAction::ActivateTask(lo));
+        let a_hi = os.add_alarm("ahi", AlarmAction::ActivateTask(hi));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a_lo, ms(1), None).unwrap();
+        os.set_rel_alarm(a_hi, ms(5), None).unwrap();
+        os.run_until(Instant::from_millis(20), &mut w);
+        // hi runs 5.0–5.5ms; lo resumes and finishes at 11.5ms.
+        assert_eq!(w, vec!["hi@5500".to_string(), "lo@11500".to_string()]);
+        assert_eq!(os.trace().count_kind("preempt"), 1);
+    }
+
+    #[test]
+    fn non_preemptable_task_defers_higher_priority() {
+        let mut os: Os<W> = Os::new();
+        let lo = os.add_task(
+            TaskConfig::new("lo", Priority(1)).non_preemptable(),
+            log_body("lo", ms(10)),
+        );
+        let hi = os.add_task(TaskConfig::new("hi", Priority(5)), log_body("hi", us(500)));
+        let a_lo = os.add_alarm("alo", AlarmAction::ActivateTask(lo));
+        let a_hi = os.add_alarm("ahi", AlarmAction::ActivateTask(hi));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a_lo, ms(1), None).unwrap();
+        os.set_rel_alarm(a_hi, ms(5), None).unwrap();
+        os.run_until(Instant::from_millis(20), &mut w);
+        assert_eq!(w, vec!["lo@11000".to_string(), "hi@11500".to_string()]);
+        assert_eq!(os.trace().count_kind("preempt"), 0);
+    }
+
+    #[test]
+    fn equal_priority_is_fifo_and_non_preemptive() {
+        let mut os: Os<W> = Os::new();
+        let a = os.add_task(TaskConfig::new("a", Priority(2)), log_body("a", ms(2)));
+        let b = os.add_task(TaskConfig::new("b", Priority(2)), log_body("b", ms(2)));
+        let al_a = os.add_alarm("aa", AlarmAction::ActivateTask(a));
+        let al_b = os.add_alarm("ab", AlarmAction::ActivateTask(b));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(al_a, ms(1), None).unwrap();
+        os.set_rel_alarm(al_b, ms(2), None).unwrap(); // during a's execution
+        os.run_until(Instant::from_millis(10), &mut w);
+        assert_eq!(w, vec!["a@3000".to_string(), "b@5000".to_string()]);
+    }
+
+    #[test]
+    fn preempted_task_reenters_front_of_its_band() {
+        let mut os: Os<W> = Os::new();
+        let a = os.add_task(TaskConfig::new("a", Priority(2)), log_body("a", ms(4)));
+        let b = os.add_task(TaskConfig::new("b", Priority(2)), log_body("b", ms(1)));
+        let hi = os.add_task(TaskConfig::new("hi", Priority(9)), log_body("hi", ms(1)));
+        let al_a = os.add_alarm("aa", AlarmAction::ActivateTask(a));
+        let al_b = os.add_alarm("ab", AlarmAction::ActivateTask(b));
+        let al_h = os.add_alarm("ah", AlarmAction::ActivateTask(hi));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(al_a, ms(1), None).unwrap();
+        os.set_rel_alarm(al_b, ms(2), None).unwrap(); // queued behind a
+        os.set_rel_alarm(al_h, ms(3), None).unwrap(); // preempts a
+        os.run_until(Instant::from_millis(20), &mut w);
+        // After hi (3-4ms), a resumes before b despite b being activated.
+        assert_eq!(
+            w,
+            vec!["hi@4000".to_string(), "a@6000".to_string(), "b@7000".to_string()]
+        );
+    }
+
+    #[test]
+    fn multiple_activations_queue_up_to_limit() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(1)).with_max_activations(2),
+            log_body("t", ms(8)),
+        );
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        // Period 5ms < execution 8ms: activations pile up, third is lost.
+        os.set_rel_alarm(a, ms(5), Some(ms(5))).unwrap();
+        os.run_until(Instant::from_millis(30), &mut w);
+        assert!(os.trace().count_kind("os_error") > 0, "activation limit reported");
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn extended_task_waits_and_wakes_on_event() {
+        let mut os: Os<W> = Os::new();
+        let waiter_body = |_now: Instant, _w: &W| {
+            Plan::new()
+                .effect(|w: &mut W, ctx| w.push(format!("before@{}", ctx.now().as_micros())))
+                .step(Step::WaitEvent(EventMask::bit(0)))
+                .effect(|w: &mut W, ctx| w.push(format!("after@{}", ctx.now().as_micros())))
+        };
+        let waiter = os.add_task(
+            TaskConfig::new("waiter", Priority(3))
+                .with_kind(TaskKind::Extended)
+                .autostart(),
+            waiter_body,
+        );
+        let a = os.add_alarm("wake", AlarmAction::SetEvent(waiter, EventMask::bit(0)));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(7), None).unwrap();
+        os.run_until(Instant::from_millis(10), &mut w);
+        assert_eq!(w, vec!["before@0".to_string(), "after@7000".to_string()]);
+        assert_eq!(os.task_state(waiter).unwrap(), TaskState::Suspended);
+    }
+
+    #[test]
+    fn wait_with_pending_event_does_not_block() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(1)).with_kind(TaskKind::Extended),
+            |_now: Instant, _w: &W| {
+                Plan::new()
+                    .step(Step::WaitEvent(EventMask::bit(1)))
+                    .effect(|w: &mut W, _| w.push("ran".into()))
+            },
+        );
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        // Event set while the task is ready (before it reaches WaitEvent).
+        os.set_event(t, EventMask::bit(1), &mut w).unwrap();
+        os.run_until(Instant::from_millis(1), &mut w);
+        assert_eq!(w, vec!["ran".to_string()]);
+    }
+
+    #[test]
+    fn deadline_miss_is_reported_exactly_once_per_late_activation() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(1)).with_deadline(ms(5)),
+            log_body("t", ms(8)),
+        );
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(1), None).unwrap();
+        os.run_until(Instant::from_millis(20), &mut w);
+        assert_eq!(os.trace().count_kind("deadline_miss"), 1);
+        let miss = os.trace().first_of_kind("deadline_miss").unwrap();
+        assert_eq!(miss.at, Instant::from_millis(6));
+    }
+
+    #[test]
+    fn meeting_deadline_reports_nothing() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(1)).with_deadline(ms(5)),
+            log_body("t", ms(2)),
+        );
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(1), Some(ms(10))).unwrap();
+        os.run_until(Instant::from_millis(50), &mut w);
+        assert_eq!(os.trace().count_kind("deadline_miss"), 0);
+    }
+
+    #[test]
+    fn budget_overrun_fires_at_exact_crossing() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(1)).with_execution_budget(ms(3)),
+            log_body("t", ms(10)),
+        );
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(1), None).unwrap();
+        os.run_until(Instant::from_millis(20), &mut w);
+        assert_eq!(os.trace().count_kind("budget_exceeded"), 1);
+        let e = os.trace().first_of_kind("budget_exceeded").unwrap();
+        assert_eq!(e.at, Instant::from_millis(4)); // activated at 1ms + 3ms budget
+    }
+
+    #[test]
+    fn resource_ceiling_blocks_mid_priority_interference() {
+        // lo takes R (ceiling hi); mid is activated meanwhile; with the
+        // ceiling protocol, mid must not run until lo releases R.
+        let mut os: Os<W> = Os::new();
+        let r = ResourceId(0);
+        let lo = os.add_task(TaskConfig::new("lo", Priority(1)), move |_n: Instant, _w: &W| {
+            Plan::new()
+                .step(Step::GetResource(r))
+                .compute(ms(5))
+                .step(Step::ReleaseResource(r))
+                .effect(|w: &mut W, ctx| w.push(format!("lo@{}", ctx.now().as_micros())))
+        });
+        let mid = os.add_task(TaskConfig::new("mid", Priority(3)), log_body("mid", ms(1)));
+        let _ = os.add_resource("R", Priority(5));
+        let a_lo = os.add_alarm("alo", AlarmAction::ActivateTask(lo));
+        let a_mid = os.add_alarm("amid", AlarmAction::ActivateTask(mid));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a_lo, ms(1), None).unwrap();
+        os.set_rel_alarm(a_mid, ms(2), None).unwrap();
+        os.run_until(Instant::from_millis(20), &mut w);
+        // Without the ceiling, mid would preempt lo at 2ms and log at 3000.
+        // With it, mid is deferred to the release point (6ms), runs 6–7ms,
+        // and lo's post-release effect then executes at 7ms.
+        assert_eq!(w, vec!["mid@7000".to_string(), "lo@7000".to_string()]);
+        assert_eq!(os.trace().count_kind("preempt"), 1); // only at release
+    }
+
+    #[test]
+    fn lifo_violation_reports_resource_error() {
+        let mut os: Os<W> = Os::new();
+        let r0 = ResourceId(0);
+        let r1 = ResourceId(1);
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), move |_n: Instant, _w: &W| {
+            Plan::new()
+                .step(Step::GetResource(r0))
+                .step(Step::GetResource(r1))
+                .step(Step::ReleaseResource(r0)) // out of order
+                .step(Step::ReleaseResource(r1))
+                .step(Step::ReleaseResource(r0))
+        });
+        os.add_resource("R0", Priority(5));
+        os.add_resource("R1", Priority(5));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        os.run_until(Instant::from_millis(1), &mut w);
+        assert_eq!(os.trace().count_kind("os_error"), 1);
+    }
+
+    #[test]
+    fn terminating_with_held_resource_releases_and_reports() {
+        let mut os: Os<W> = Os::new();
+        let r0 = ResourceId(0);
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), move |_n: Instant, _w: &W| {
+            Plan::new().step(Step::GetResource(r0)).compute(ms(1))
+        });
+        os.add_resource("R0", Priority(5));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        os.run_until(Instant::from_millis(5), &mut w);
+        assert_eq!(os.trace().count_kind("os_error"), 1);
+        // Resource is free again: re-running the task must not error twice
+        // because of a stuck resource.
+        os.activate_task(t, &mut w).unwrap();
+        os.run_until(Instant::from_millis(10), &mut w);
+        assert_eq!(os.trace().count_kind("os_error"), 2); // same error, fresh run
+    }
+
+    #[test]
+    fn chain_task_terminates_and_activates() {
+        let mut os: Os<W> = Os::new();
+        // b logs, a chains to b.
+        let b = os.add_task(TaskConfig::new("b", Priority(1)), log_body("b", ms(1)));
+        let a = os.add_task(TaskConfig::new("a", Priority(2)), move |_n: Instant, _w: &W| {
+            Plan::new().compute(ms(1)).step(Step::ChainTask(b))
+        });
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(a, &mut w).unwrap();
+        os.run_until(Instant::from_millis(5), &mut w);
+        assert_eq!(w, vec!["b@2000".to_string()]);
+        assert_eq!(os.task_state(a).unwrap(), TaskState::Suspended);
+    }
+
+    #[test]
+    fn hooks_observe_lifecycle() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(1)));
+        os.add_observer(move |_now: Instant, ev: HookEvent, _w: &mut W| {
+            sink.lock().unwrap().push(ev.to_string());
+        });
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        os.run_until(Instant::from_millis(5), &mut w);
+        let log = seen.lock().unwrap();
+        assert_eq!(
+            *log,
+            vec![
+                "startup".to_string(),
+                format!("activate {t}"),
+                format!("pre-task {t}"),
+                format!("terminate {t}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(5)));
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(10), Some(ms(10))).unwrap();
+        os.run_until(Instant::from_millis(100), &mut w);
+        let u = os.utilization();
+        assert!((u - 0.5).abs() < 0.06, "expected ~50% utilisation, got {u}");
+    }
+
+    #[test]
+    fn cancelled_alarm_does_not_fire() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(1)));
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a, ms(10), Some(ms(10))).unwrap();
+        os.run_until(Instant::from_millis(15), &mut w);
+        os.cancel_alarm(a).unwrap();
+        os.run_until(Instant::from_millis(60), &mut w);
+        assert_eq!(w.len(), 1, "only the first expiry fires: {w:?}");
+    }
+
+    #[test]
+    fn set_rel_alarm_validates_arguments() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(1)));
+        let a = os.add_alarm("a", AlarmAction::ActivateTask(t));
+        assert_eq!(
+            os.set_rel_alarm(AlarmId(9), ms(1), None),
+            Err(OsError::InvalidId)
+        );
+        assert_eq!(
+            os.set_rel_alarm(a, Duration::ZERO, None),
+            Err(OsError::InvalidValue)
+        );
+        os.set_rel_alarm(a, ms(1), None).unwrap();
+        assert_eq!(os.set_rel_alarm(a, ms(1), None), Err(OsError::InvalidState));
+        assert_eq!(os.cancel_alarm(AlarmId(9)), Err(OsError::InvalidId));
+        os.cancel_alarm(a).unwrap();
+        assert_eq!(os.cancel_alarm(a), Err(OsError::AlarmNotInUse));
+    }
+
+    #[test]
+    fn set_event_on_basic_task_is_access_error() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(1)));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        assert_eq!(
+            os.set_event(t, EventMask::bit(0), &mut w),
+            Err(OsError::InvalidAccess)
+        );
+    }
+
+    #[test]
+    fn effect_requested_activation_takes_effect_immediately() {
+        let mut os: Os<W> = Os::new();
+        let b = os.add_task(TaskConfig::new("b", Priority(9)), log_body("b", ms(1)));
+        let a = os.add_task(TaskConfig::new("a", Priority(1)), move |_n: Instant, _w: &W| {
+            Plan::new()
+                .effect(move |_w: &mut W, ctx| ctx.request_activate(b))
+                .compute(ms(5))
+                .effect(|w: &mut W, ctx| w.push(format!("a@{}", ctx.now().as_micros())))
+        });
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(a, &mut w).unwrap();
+        os.run_until(Instant::from_millis(10), &mut w);
+        // b (priority 9) preempts a right after the effect, so b logs first.
+        assert_eq!(w, vec!["b@1000".to_string(), "a@6000".to_string()]);
+    }
+
+    #[test]
+    fn find_task_and_names() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("SafeSpeedTask", Priority(1)), log_body("x", ms(1)));
+        assert_eq!(os.find_task("SafeSpeedTask"), Some(t));
+        assert_eq!(os.find_task("nope"), None);
+        assert_eq!(os.task_name(t).unwrap(), "SafeSpeedTask");
+        assert_eq!(os.task_name(TaskId(9)), Err(OsError::InvalidId));
+        assert_eq!(os.task_state(TaskId(9)), Err(OsError::InvalidId));
+    }
+
+    #[test]
+    fn run_until_is_resumable_across_calls() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(TaskConfig::new("t", Priority(1)), log_body("t", ms(10)));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        // Split the 10ms execution across three run_until calls.
+        os.run_until(Instant::from_millis(3), &mut w);
+        assert!(w.is_empty());
+        os.run_until(Instant::from_millis(7), &mut w);
+        assert!(w.is_empty());
+        os.run_until(Instant::from_millis(12), &mut w);
+        assert_eq!(w, vec!["t@10000".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+
+    type W = Vec<String>;
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn schedule_yields_inside_non_preemptable_task() {
+        let mut os: Os<W> = Os::new();
+        let hi = os.add_task(TaskConfig::new("hi", Priority(9)), |_: Instant, _: &W| {
+            Plan::new()
+                .compute(ms(1))
+                .effect(|w: &mut W, ctx| w.push(format!("hi@{}", ctx.now().as_micros())))
+        });
+        let lo = os.add_task(
+            TaskConfig::new("lo", Priority(1)).non_preemptable(),
+            |_: Instant, _: &W| {
+                Plan::new()
+                    .compute(ms(4))
+                    .step(Step::Schedule)
+                    .compute(ms(4))
+                    .effect(|w: &mut W, ctx| w.push(format!("lo@{}", ctx.now().as_micros())))
+            },
+        );
+        let a_lo = os.add_alarm("alo", AlarmAction::ActivateTask(lo));
+        let a_hi = os.add_alarm("ahi", AlarmAction::ActivateTask(hi));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a_lo, ms(1), None).unwrap();
+        os.set_rel_alarm(a_hi, ms(2), None).unwrap(); // during lo's first half
+        os.run_until(Instant::from_millis(20), &mut w);
+        // Without Schedule, hi would wait until lo terminates (9ms);
+        // with it, hi runs at the explicit scheduling point (5ms).
+        assert_eq!(w, vec!["hi@6000".to_string(), "lo@10000".to_string()]);
+    }
+
+    #[test]
+    fn schedule_is_noop_without_higher_priority_work() {
+        let mut os: Os<W> = Os::new();
+        let t = os.add_task(
+            TaskConfig::new("t", Priority(5)).non_preemptable(),
+            |_: Instant, _: &W| {
+                Plan::new()
+                    .compute(ms(1))
+                    .step(Step::Schedule)
+                    .compute(ms(1))
+                    .effect(|w: &mut W, ctx| w.push(format!("t@{}", ctx.now().as_micros())))
+            },
+        );
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(t, &mut w).unwrap();
+        os.run_until(Instant::from_millis(5), &mut w);
+        assert_eq!(w, vec!["t@2000".to_string()]);
+        assert_eq!(os.trace().count_kind("preempt"), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # easis-osek — an OSEK/VDX operating-system model
+//!
+//! The EASIS software platform (DSN 2007 Software Watchdog paper, §3.1)
+//! integrates "an OSEK-conforming operating system with safety relevant
+//! services" across layers L2/L3. This crate is that substrate: a
+//! deterministic simulation of an OSEK OS with
+//!
+//! * basic and extended tasks under fixed-priority full-preemptive
+//!   scheduling ([`kernel::Os`]);
+//! * counters/alarms for periodic activation ([`alarm`]);
+//! * events, resources with priority ceiling ([`resource`]);
+//! * startup/pre-task/post-task/error hooks ([`hooks`]) plus
+//!   OSEKTime-style deadline monitoring and AUTOSAR-OS-style execution
+//!   budgets — the *task-granularity* comparators of the paper's related
+//!   work section;
+//! * task bodies expressed as preemptible execution [`plan`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use easis_osek::alarm::AlarmAction;
+//! use easis_osek::kernel::Os;
+//! use easis_osek::plan::Plan;
+//! use easis_osek::task::{Priority, TaskConfig};
+//! use easis_sim::time::{Duration, Instant};
+//!
+//! // A 10 ms periodic task incrementing a counter in the shared world.
+//! let mut os: Os<u64> = Os::new();
+//! let task = os.add_task(TaskConfig::new("tick", Priority(1)), |_, _: &u64| {
+//!     Plan::new().compute(Duration::from_micros(200)).effect(|w, _| *w += 1)
+//! });
+//! let alarm = os.add_alarm("cyc", AlarmAction::ActivateTask(task));
+//! let mut world = 0;
+//! os.start(&mut world);
+//! os.set_rel_alarm(alarm, Duration::from_millis(10), Some(Duration::from_millis(10)))?;
+//! os.run_until(Instant::from_millis(55), &mut world);
+//! assert_eq!(world, 5);
+//! # Ok::<(), easis_osek::error::OsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alarm;
+pub mod error;
+pub mod gantt;
+pub mod hooks;
+pub mod isr;
+pub mod kernel;
+pub mod plan;
+pub mod resource;
+pub mod task;
+
+pub use alarm::{Alarm, AlarmAction, AlarmId};
+pub use error::OsError;
+pub use hooks::{HookEvent, HookObserver};
+pub use isr::{IsrId, ISR_PRIORITY};
+pub use kernel::Os;
+pub use plan::{EffectCtx, Plan, ResourceId, Step, TaskBody};
+pub use resource::Resource;
+pub use task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};

@@ -1,0 +1,332 @@
+//! Task bodies and execution plans.
+//!
+//! A task body does not run as native code; when the task is dispatched it
+//! *plans* a sequence of [`Step`]s which the kernel then executes under
+//! preemptive scheduling. `Compute` steps consume simulated CPU time and can
+//! be preempted mid-step; all other steps are instantaneous at the simulated
+//! time at which execution reaches them. This mirrors the paper's
+//! model-based runnables: function-call subsystems triggered in a defined
+//! sequence with auto-generated glue code (heartbeat indications) in between.
+//!
+//! Bodies are generic over a *world* type `W` — the shared state of the ECU
+//! (signal database, dependability services). Effects receive `&mut W` plus
+//! an [`EffectCtx`] through which they can request OS services.
+
+use crate::task::{EventMask, TaskId};
+use easis_sim::time::{Duration, Instant};
+use easis_sim::trace::TraceRecorder;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Resource identifier (index into the OS resource table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// An instantaneous side effect executed by a task at the current simulated
+/// time. Receives the shared world and an [`EffectCtx`] for OS requests.
+pub type Effect<W> = Box<dyn FnMut(&mut W, &mut EffectCtx<'_>) + Send>;
+
+/// One step of a task's execution plan.
+pub enum Step<W> {
+    /// Consume simulated CPU time. Preemption can occur inside this step.
+    Compute(Duration),
+    /// Run an instantaneous effect (signal I/O, heartbeat indication, …).
+    Effect(Effect<W>),
+    /// `ActivateTask` system service.
+    ActivateTask(TaskId),
+    /// `SetEvent` system service (target must be an extended task).
+    SetEvent(TaskId, EventMask),
+    /// `WaitEvent` system service — blocks until one of the events is set.
+    /// Only valid in extended tasks.
+    WaitEvent(EventMask),
+    /// `ClearEvent` system service.
+    ClearEvent(EventMask),
+    /// `GetResource` — occupy a resource (priority-ceiling protocol).
+    GetResource(ResourceId),
+    /// `ReleaseResource` — release the most recently taken resource.
+    ReleaseResource(ResourceId),
+    /// `ChainTask` — terminate and immediately activate another task.
+    ChainTask(TaskId),
+    /// `Schedule` — explicit scheduling point: a non-preemptable task
+    /// voluntarily yields to any higher-priority ready task (no-op for
+    /// preemptable tasks, which reschedule continuously anyway).
+    Schedule,
+}
+
+impl<W> fmt::Debug for Step<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Compute(d) => write!(f, "Compute({d})"),
+            Step::Effect(_) => write!(f, "Effect(..)"),
+            Step::ActivateTask(t) => write!(f, "ActivateTask({t})"),
+            Step::SetEvent(t, m) => write!(f, "SetEvent({t}, {m})"),
+            Step::WaitEvent(m) => write!(f, "WaitEvent({m})"),
+            Step::ClearEvent(m) => write!(f, "ClearEvent({m})"),
+            Step::GetResource(r) => write!(f, "GetResource({r})"),
+            Step::ReleaseResource(r) => write!(f, "ReleaseResource({r})"),
+            Step::ChainTask(t) => write!(f, "ChainTask({t})"),
+            Step::Schedule => write!(f, "Schedule"),
+        }
+    }
+}
+
+/// An ordered sequence of steps; what a task executes for one activation.
+pub struct Plan<W> {
+    steps: VecDeque<Step<W>>,
+}
+
+impl<W> fmt::Debug for Plan<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plan").field("steps", &self.steps).finish()
+    }
+}
+
+impl<W> Default for Plan<W> {
+    fn default() -> Self {
+        Plan {
+            steps: VecDeque::new(),
+        }
+    }
+}
+
+impl<W> Plan<W> {
+    /// Creates an empty plan (the task terminates immediately).
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Appends a compute step.
+    pub fn compute(mut self, d: Duration) -> Self {
+        self.steps.push_back(Step::Compute(d));
+        self
+    }
+
+    /// Appends an instantaneous effect.
+    pub fn effect(mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_>) + Send + 'static) -> Self {
+        self.steps.push_back(Step::Effect(Box::new(f)));
+        self
+    }
+
+    /// Appends an arbitrary step.
+    pub fn step(mut self, s: Step<W>) -> Self {
+        self.steps.push_back(s);
+        self
+    }
+
+    /// Appends all steps of `other`.
+    pub fn extend(mut self, other: Plan<W>) -> Self {
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// Number of remaining steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if no steps remain.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Removes and returns the next step.
+    pub fn pop(&mut self) -> Option<Step<W>> {
+        self.steps.pop_front()
+    }
+
+    /// Puts a step back at the front (used when a `Compute` is preempted
+    /// with remaining work).
+    pub fn push_front(&mut self, s: Step<W>) {
+        self.steps.push_front(s);
+    }
+}
+
+impl<W> FromIterator<Step<W>> for Plan<W> {
+    fn from_iter<I: IntoIterator<Item = Step<W>>>(iter: I) -> Self {
+        Plan {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A task body: invoked once per activation to produce that activation's
+/// execution plan.
+pub trait TaskBody<W>: Send {
+    /// Plans the steps for one activation starting at `now`.
+    ///
+    /// The body may inspect (but not mutate) the world when deciding the
+    /// plan; mutations belong in `Effect` steps so they happen at the right
+    /// simulated time.
+    fn plan(&mut self, now: Instant, world: &W) -> Plan<W>;
+
+    /// Name used in traces; defaults to `"task"`.
+    fn name(&self) -> &str {
+        "task"
+    }
+}
+
+/// Blanket impl so plain closures can serve as task bodies.
+impl<W, F> TaskBody<W> for F
+where
+    F: FnMut(Instant, &W) -> Plan<W> + Send,
+{
+    fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
+        self(now, world)
+    }
+}
+
+/// OS service requests an effect can issue; applied by the kernel right
+/// after the effect returns (still at the same simulated instant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceRequest {
+    /// Activate a task.
+    ActivateTask(TaskId),
+    /// Set events on an extended task.
+    SetEvent(TaskId, EventMask),
+    /// Cancel an alarm by raw id (see `Os::set_rel_alarm`).
+    CancelAlarm(u32),
+}
+
+/// Context handed to [`Effect`]s: current time, the trace, and a queue of
+/// OS service requests.
+pub struct EffectCtx<'a> {
+    now: Instant,
+    task: TaskId,
+    trace: &'a mut TraceRecorder,
+    requests: Vec<ServiceRequest>,
+}
+
+impl<'a> EffectCtx<'a> {
+    /// Creates a context (kernel-internal, public for testing bodies).
+    pub fn new(now: Instant, task: TaskId, trace: &'a mut TraceRecorder) -> Self {
+        EffectCtx {
+            now,
+            task,
+            trace,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The task executing this effect.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Records a trace event at the current time.
+    pub fn trace(&mut self, source: &str, kind: &str, detail: impl Into<String>) {
+        self.trace.record(self.now, source, kind, detail);
+    }
+
+    /// Requests `ActivateTask(task)` once the effect returns.
+    pub fn request_activate(&mut self, task: TaskId) {
+        self.requests.push(ServiceRequest::ActivateTask(task));
+    }
+
+    /// Requests `SetEvent(task, mask)` once the effect returns.
+    pub fn request_set_event(&mut self, task: TaskId, mask: EventMask) {
+        self.requests.push(ServiceRequest::SetEvent(task, mask));
+    }
+
+    /// Requests `CancelAlarm` on the alarm with the given raw id once the
+    /// effect returns (used by fault treatment to stop a terminated
+    /// application's activation source).
+    pub fn request_cancel_alarm(&mut self, raw_alarm_id: u32) {
+        self.requests.push(ServiceRequest::CancelAlarm(raw_alarm_id));
+    }
+
+    /// Drains the queued requests (kernel-internal).
+    pub fn take_requests(&mut self) -> Vec<ServiceRequest> {
+        std::mem::take(&mut self.requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easis_sim::time::Duration;
+
+    type W = u32;
+
+    #[test]
+    fn plan_builder_orders_steps() {
+        let mut p: Plan<W> = Plan::new()
+            .compute(Duration::from_micros(5))
+            .effect(|w, _| *w += 1)
+            .step(Step::ActivateTask(TaskId(1)));
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.pop(), Some(Step::Compute(_))));
+        assert!(matches!(p.pop(), Some(Step::Effect(_))));
+        assert!(matches!(p.pop(), Some(Step::ActivateTask(TaskId(1)))));
+        assert!(p.pop().is_none());
+    }
+
+    #[test]
+    fn push_front_resumes_preempted_compute() {
+        let mut p: Plan<W> = Plan::new().compute(Duration::from_micros(10));
+        let _ = p.pop();
+        p.push_front(Step::Compute(Duration::from_micros(4)));
+        match p.pop() {
+            Some(Step::Compute(d)) => assert_eq!(d, Duration::from_micros(4)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn closure_acts_as_task_body() {
+        let mut body = |_now: Instant, _w: &W| Plan::<W>::new().compute(Duration::from_micros(1));
+        let plan = body.plan(Instant::ZERO, &0);
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn effect_ctx_queues_requests() {
+        let mut trace = TraceRecorder::new();
+        let mut ctx = EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
+        ctx.request_activate(TaskId(2));
+        ctx.request_set_event(TaskId(3), EventMask::bit(1));
+        let reqs = ctx.take_requests();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0], ServiceRequest::ActivateTask(TaskId(2)));
+        assert!(ctx.take_requests().is_empty());
+    }
+
+    #[test]
+    fn effect_ctx_traces_at_current_time() {
+        let mut trace = TraceRecorder::new();
+        {
+            let mut ctx = EffectCtx::new(Instant::from_micros(7), TaskId(0), &mut trace);
+            ctx.trace("body", "mark", "x");
+        }
+        assert_eq!(trace.events()[0].at, Instant::from_micros(7));
+    }
+
+    #[test]
+    fn plan_from_iterator() {
+        let p: Plan<W> = vec![
+            Step::Compute(Duration::from_micros(1)),
+            Step::WaitEvent(EventMask::bit(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn debug_formatting_is_informative() {
+        let s: Step<W> = Step::Compute(Duration::from_millis(2));
+        assert_eq!(format!("{s:?}"), "Compute(2ms)");
+        let e: Step<W> = Step::Effect(Box::new(|_, _| {}));
+        assert_eq!(format!("{e:?}"), "Effect(..)");
+    }
+}

@@ -1,0 +1,192 @@
+//! Edge cases of the kernel's OSEK service semantics, exercised through
+//! the public API.
+
+use easis_osek::alarm::AlarmAction;
+use easis_osek::error::OsError;
+use easis_osek::kernel::Os;
+use easis_osek::plan::{Plan, Step};
+use easis_osek::task::{EventMask, Priority, TaskConfig, TaskKind, TaskState};
+use easis_sim::time::{Duration, Instant};
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+#[test]
+fn chain_task_to_itself_reruns_immediately() {
+    let mut os: Os<u32> = Os::new();
+    // The task chains to itself until the world counter reaches 3.
+    let t = os.add_task(TaskConfig::new("self", Priority(1)), {
+        move |_: Instant, w: &u32| {
+            let mut plan = Plan::new()
+                .compute(ms(1))
+                .effect(|w: &mut u32, _| *w += 1);
+            if *w < 2 {
+                // Note: the chain target id equals this task's own id (0).
+                plan = plan.step(Step::ChainTask(easis_osek::task::TaskId(0)));
+            }
+            plan
+        }
+    });
+    let mut w = 0u32;
+    os.start(&mut w);
+    os.activate_task(t, &mut w).unwrap();
+    os.run_until(Instant::from_millis(20), &mut w);
+    assert_eq!(w, 3); // initial + two chains
+    assert_eq!(os.task_state(t).unwrap(), TaskState::Suspended);
+}
+
+#[test]
+fn wait_event_wakes_on_any_of_multiple_bits() {
+    let mut os: Os<Vec<u8>> = Os::new();
+    let waiter = os.add_task(
+        TaskConfig::new("waiter", Priority(2))
+            .with_kind(TaskKind::Extended)
+            .autostart(),
+        |_: Instant, _: &Vec<u8>| {
+            Plan::new()
+                .step(Step::WaitEvent(EventMask::bit(0).union(EventMask::bit(3))))
+                .effect(|w: &mut Vec<u8>, _| w.push(1))
+        },
+    );
+    let a = os.add_alarm("wake", AlarmAction::SetEvent(waiter, EventMask::bit(3)));
+    let mut w = Vec::new();
+    os.start(&mut w);
+    os.set_rel_alarm(a, ms(5), None).unwrap();
+    os.run_until(Instant::from_millis(10), &mut w);
+    assert_eq!(w, vec![1], "bit 3 alone must wake a waiter on bits {{0,3}}");
+}
+
+#[test]
+fn clear_event_prevents_stale_wakeups() {
+    let mut os: Os<Vec<u8>> = Os::new();
+    let waiter = os.add_task(
+        TaskConfig::new("waiter", Priority(2))
+            .with_kind(TaskKind::Extended)
+            .autostart(),
+        |_: Instant, _: &Vec<u8>| {
+            Plan::new()
+                .step(Step::WaitEvent(EventMask::bit(0)))
+                .effect(|w: &mut Vec<u8>, _| w.push(1))
+                .step(Step::ClearEvent(EventMask::bit(0)))
+                // Second wait: the cleared bit must block again.
+                .step(Step::WaitEvent(EventMask::bit(0)))
+                .effect(|w: &mut Vec<u8>, _| w.push(2))
+        },
+    );
+    let a = os.add_alarm("wake", AlarmAction::SetEvent(waiter, EventMask::bit(0)));
+    let mut w = Vec::new();
+    os.start(&mut w);
+    os.set_rel_alarm(a, ms(5), None).unwrap();
+    os.run_until(Instant::from_millis(20), &mut w);
+    // Only the first wait was satisfied; the second blocks forever.
+    assert_eq!(w, vec![1]);
+    assert_eq!(os.task_state(waiter).unwrap(), TaskState::Waiting);
+}
+
+#[test]
+fn set_event_on_suspended_task_is_a_state_error() {
+    let mut os: Os<()> = Os::new();
+    let t = os.add_task(
+        TaskConfig::new("ext", Priority(1)).with_kind(TaskKind::Extended),
+        |_: Instant, _: &()| Plan::new(),
+    );
+    let mut w = ();
+    os.start(&mut w);
+    assert_eq!(
+        os.set_event(t, EventMask::bit(0), &mut w),
+        Err(OsError::InvalidState)
+    );
+}
+
+#[test]
+fn one_shot_alarm_can_be_rearmed_after_firing() {
+    let mut os: Os<u32> = Os::new();
+    let t = os.add_task(TaskConfig::new("t", Priority(1)), |_: Instant, _: &u32| {
+        Plan::new().effect(|w: &mut u32, _| *w += 1)
+    });
+    let a = os.add_alarm("once", AlarmAction::ActivateTask(t));
+    let mut w = 0u32;
+    os.start(&mut w);
+    os.set_rel_alarm(a, ms(5), None).unwrap();
+    os.run_until(Instant::from_millis(10), &mut w);
+    assert_eq!(w, 1);
+    // After expiry the alarm is free again.
+    os.set_rel_alarm(a, ms(5), None).unwrap();
+    os.run_until(Instant::from_millis(20), &mut w);
+    assert_eq!(w, 2);
+}
+
+#[test]
+fn idle_cpu_jumps_to_the_horizon() {
+    let mut os: Os<()> = Os::new();
+    let mut w = ();
+    os.start(&mut w);
+    os.run_until(Instant::from_millis(1_000), &mut w);
+    assert_eq!(os.now(), Instant::from_millis(1_000));
+    assert_eq!(os.busy_time(), Duration::ZERO);
+    assert_eq!(os.utilization(), 0.0);
+}
+
+#[test]
+fn activation_during_execution_queues_a_back_to_back_rerun() {
+    let mut os: Os<u32> = Os::new();
+    let t = os.add_task(
+        TaskConfig::new("t", Priority(1)).with_max_activations(2),
+        |_: Instant, _: &u32| {
+            Plan::new()
+                .compute(ms(3))
+                .effect(|w: &mut u32, _| *w += 1)
+        },
+    );
+    let mut w = 0u32;
+    os.start(&mut w);
+    os.activate_task(t, &mut w).unwrap();
+    os.run_until(Instant::from_millis(1), &mut w);
+    // Mid-execution re-activation queues a second run.
+    os.activate_task(t, &mut w).unwrap();
+    os.run_until(Instant::from_millis(10), &mut w);
+    assert_eq!(w, 2);
+    // Effects landed back to back at 3ms and 6ms.
+    let runs: Vec<u64> = os
+        .trace()
+        .of_kind("terminate")
+        .map(|e| e.at.as_millis())
+        .collect();
+    assert_eq!(runs, vec![3, 6]);
+}
+
+#[test]
+fn activating_an_invalid_task_id_fails_cleanly() {
+    let mut os: Os<()> = Os::new();
+    let mut w = ();
+    os.start(&mut w);
+    assert_eq!(
+        os.activate_task(easis_osek::task::TaskId(42), &mut w),
+        Err(OsError::InvalidId)
+    );
+}
+
+#[test]
+fn run_until_same_instant_is_a_noop() {
+    let mut os: Os<()> = Os::new();
+    let mut w = ();
+    os.start(&mut w);
+    os.run_until(Instant::from_millis(5), &mut w);
+    os.run_until(Instant::from_millis(5), &mut w);
+    assert_eq!(os.now(), Instant::from_millis(5));
+}
+
+#[test]
+fn isr_during_idle_runs_at_trigger_time() {
+    let mut os: Os<Vec<u64>> = Os::new();
+    let isr = os.add_isr("rx", Duration::from_micros(20), |w: &mut Vec<u64>, ctx| {
+        w.push(ctx.now().as_micros())
+    });
+    let mut w = Vec::new();
+    os.start(&mut w);
+    os.run_until(Instant::from_millis(3), &mut w);
+    os.trigger_isr(isr, &mut w).unwrap();
+    os.run_until(Instant::from_millis(5), &mut w);
+    assert_eq!(w, vec![3_020]);
+}

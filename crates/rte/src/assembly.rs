@@ -1,0 +1,376 @@
+//! Task assembly: runnables → OSEK task bodies with heartbeat glue code.
+//!
+//! The paper models each application as runnables "triggered as
+//! function-call subsystems by the Stateflow chart …, in which the
+//! execution sequence of runnables is implemented", with additional
+//! subsystems simulating "the glue code … which report the execution of the
+//! runnables". [`SequencedTask`] is that chart: it owns the task's
+//! runnables, asks a [`Sequencer`] for the activation's execution order,
+//! and emits per runnable a compute segment followed by an effect that
+//! (a) fires the aliveness-indication glue and (b) runs the runnable
+//! logic. All manipulation controls are honoured here, so error injection
+//! needs no special code paths in the applications.
+
+use crate::runnable::{RunnableDef, RunnableId};
+use crate::world::EcuWorld;
+use easis_osek::plan::{Plan, TaskBody};
+use easis_sim::time::{Duration, Instant};
+
+/// Trace source tag used by the runnable layer.
+pub const TRACE_SOURCE: &str = "rte";
+
+/// Chooses the runnable execution order for one task activation.
+///
+/// `branch_override` (from the task's control block) must be honoured by
+/// implementations that model branching charts.
+pub trait Sequencer<W>: Send {
+    /// Returns indices into the task's runnable list, in execution order.
+    fn sequence(&mut self, now: Instant, world: &W, branch_override: Option<usize>) -> Vec<usize>;
+
+    /// Number of distinct branches (1 for fixed sequences).
+    fn branch_count(&self) -> usize {
+        1
+    }
+}
+
+/// Executes all runnables in declaration order — the common case of a
+/// periodic task chart.
+#[derive(Debug, Clone, Default)]
+pub struct FixedSequencer {
+    len: usize,
+}
+
+impl FixedSequencer {
+    /// Sequencer over `len` runnables.
+    pub fn new(len: usize) -> Self {
+        FixedSequencer { len }
+    }
+}
+
+impl<W> Sequencer<W> for FixedSequencer {
+    fn sequence(&mut self, _now: Instant, _world: &W, _branch: Option<usize>) -> Vec<usize> {
+        (0..self.len).collect()
+    }
+}
+
+/// A branching chart: several alternative sequences, selected by a function
+/// of the world (e.g. a mode signal). The task control's `branch_override`
+/// forces a branch — including deliberately invalid ones, the paper's
+/// "building invalid execution branches" injection.
+pub struct BranchingSequencer<W> {
+    branches: Vec<Vec<usize>>,
+    select: Box<dyn Fn(&W) -> usize + Send>,
+}
+
+impl<W> std::fmt::Debug for BranchingSequencer<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BranchingSequencer")
+            .field("branches", &self.branches)
+            .finish()
+    }
+}
+
+impl<W> BranchingSequencer<W> {
+    /// Creates a sequencer over the given branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<Vec<usize>>, select: impl Fn(&W) -> usize + Send + 'static) -> Self {
+        assert!(!branches.is_empty(), "need at least one branch");
+        BranchingSequencer {
+            branches,
+            select: Box::new(select),
+        }
+    }
+}
+
+impl<W: Send> Sequencer<W> for BranchingSequencer<W> {
+    fn sequence(&mut self, _now: Instant, world: &W, branch: Option<usize>) -> Vec<usize> {
+        let idx = branch.unwrap_or_else(|| (self.select)(world));
+        let idx = idx.min(self.branches.len() - 1);
+        self.branches[idx].clone()
+    }
+
+    fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+}
+
+/// An OSEK task body executing a sequence of runnables with heartbeat glue.
+pub struct SequencedTask<W> {
+    task_name: String,
+    runnables: Vec<RunnableDef<W>>,
+    sequencer: Box<dyn Sequencer<W>>,
+}
+
+impl<W> std::fmt::Debug for SequencedTask<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SequencedTask")
+            .field("task_name", &self.task_name)
+            .field("runnables", &self.runnables.len())
+            .finish()
+    }
+}
+
+impl<W: EcuWorld + 'static> SequencedTask<W> {
+    /// Creates a task body running `runnables` in declaration order.
+    pub fn fixed(task_name: impl Into<String>, runnables: Vec<RunnableDef<W>>) -> Self {
+        let len = runnables.len();
+        SequencedTask {
+            task_name: task_name.into(),
+            runnables,
+            sequencer: Box::new(FixedSequencer::new(len)),
+        }
+    }
+
+    /// Creates a task body with a custom sequencer.
+    pub fn with_sequencer(
+        task_name: impl Into<String>,
+        runnables: Vec<RunnableDef<W>>,
+        sequencer: impl Sequencer<W> + 'static,
+    ) -> Self {
+        SequencedTask {
+            task_name: task_name.into(),
+            runnables,
+            sequencer: Box::new(sequencer),
+        }
+    }
+
+    /// The task name (key of its control block).
+    pub fn task_name(&self) -> &str {
+        &self.task_name
+    }
+
+    /// Ids of the runnables hosted by this task, in declaration order.
+    pub fn runnable_ids(&self) -> Vec<RunnableId> {
+        self.runnables.iter().map(|r| r.spec().id()).collect()
+    }
+
+    /// Nominal execution cost of the declaration-order sequence.
+    pub fn nominal_cost(&self) -> Duration {
+        self.runnables
+            .iter()
+            .fold(Duration::ZERO, |acc, r| acc + r.spec().nominal_cost())
+    }
+}
+
+impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
+    fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
+        let branch = world.controls().task(&self.task_name).branch_override;
+        let order = self.sequencer.sequence(now, world, branch);
+        let mut plan = Plan::new();
+        for idx in order {
+            let Some(def) = self.runnables.get(idx) else {
+                continue; // tolerate stale branch tables
+            };
+            let spec = def.spec();
+            let id = spec.id();
+            let ctl = world.controls().runnable(id);
+            if ctl.skip {
+                continue;
+            }
+            let iters = ctl.effective_iterations(spec.default_iterations());
+            let scale = ctl.exec_scale_ppm as f64 / 1_000_000.0
+                * world.controls().global_exec_scale_ppm() as f64
+                / 1_000_000.0;
+            let cost = spec.cost_with_iterations(iters).mul_f64(scale);
+            let logic = def.logic();
+            let name = spec.name().to_string();
+            plan = plan.compute(cost).effect(move |w: &mut W, ctx| {
+                // Glue code: aliveness indication (controls re-read at
+                // execution time so mid-run injection takes effect).
+                let ctl = w.controls().runnable(id);
+                if !ctl.suppress_heartbeat {
+                    w.indicate_heartbeat(id, ctx.now());
+                }
+                for _ in 0..ctl.extra_heartbeats {
+                    w.indicate_heartbeat(id, ctx.now());
+                }
+                logic(w, ctx);
+                ctx.trace(TRACE_SOURCE, "runnable", name.clone());
+            });
+        }
+        plan
+    }
+
+    fn name(&self) -> &str {
+        &self.task_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runnable::{RunnableRegistry, RunnableSpec};
+    use crate::world::BasicEcuWorld;
+    use easis_osek::alarm::AlarmAction;
+    use easis_osek::kernel::Os;
+    use easis_osek::task::{Priority, TaskConfig};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    /// Builds a 3-runnable SafeSpeed-like task on a fresh OS.
+    fn build(
+        sequencer: Option<BranchingSequencer<BasicEcuWorld>>,
+    ) -> (Os<BasicEcuWorld>, BasicEcuWorld, Vec<RunnableId>) {
+        let mut reg = RunnableRegistry::new();
+        let s0 = reg.register("GetSensorValue", us(50));
+        let s1 = reg.register_with_loop("SAFE_CC_process", us(100), us(10), 5);
+        let s2 = reg.register("Speed_process", us(50));
+        let mut world = BasicEcuWorld::new();
+        let out = world.signals_mut().declare("out", 0.0);
+        let defs = vec![
+            RunnableDef::no_op(s0.clone()),
+            RunnableDef::new(s1.clone(), move |w: &mut BasicEcuWorld, ctx| {
+                let now = ctx.now();
+                let v = w.signals().read(out);
+                w.signals_mut().write(out, v + 1.0, now);
+            }),
+            RunnableDef::no_op(s2.clone()),
+        ];
+        let body = match sequencer {
+            None => SequencedTask::fixed("SafeSpeedTask", defs),
+            Some(seq) => SequencedTask::with_sequencer("SafeSpeedTask", defs, seq),
+        };
+        let mut os = Os::new();
+        let t = os.add_task(TaskConfig::new("SafeSpeedTask", Priority(3)), body);
+        let a = os.add_alarm("cyc", AlarmAction::ActivateTask(t));
+        os.start(&mut world);
+        os.set_rel_alarm(a, ms(10), Some(ms(10))).unwrap();
+        (os, world, vec![s0.id(), s1.id(), s2.id()])
+    }
+
+    #[test]
+    fn nominal_run_heartbeats_in_sequence() {
+        let (mut os, mut world, ids) = build(None);
+        os.run_until(Instant::from_millis(35), &mut world);
+        // 3 periods × 3 runnables.
+        assert_eq!(world.heartbeats.len(), 9);
+        let first: Vec<RunnableId> = world.heartbeats.iter().take(3).map(|&(r, _)| r).collect();
+        assert_eq!(first, ids);
+        // Logic ran: out incremented once per period.
+        let out = world.signals.id_of("out").unwrap();
+        assert_eq!(world.signals.read(out), 3.0);
+    }
+
+    #[test]
+    fn heartbeat_times_reflect_compute_costs() {
+        let (mut os, mut world, _) = build(None);
+        os.run_until(Instant::from_millis(15), &mut world);
+        // Period starts at 10ms: R0 at +50us, R1 at +50+150us, R2 at +250us.
+        let times: Vec<u64> = world.heartbeats.iter().map(|&(_, t)| t.as_micros()).collect();
+        assert_eq!(times, vec![10_050, 10_200, 10_250]);
+    }
+
+    #[test]
+    fn skip_control_removes_runnable_from_sequence() {
+        let (mut os, mut world, ids) = build(None);
+        world.controls.runnable_mut(ids[1]).skip = true;
+        os.run_until(Instant::from_millis(15), &mut world);
+        let seen: Vec<RunnableId> = world.heartbeats.iter().map(|&(r, _)| r).collect();
+        assert_eq!(seen, vec![ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn suppress_heartbeat_keeps_logic_but_drops_glue() {
+        let (mut os, mut world, ids) = build(None);
+        world.controls.runnable_mut(ids[1]).suppress_heartbeat = true;
+        os.run_until(Instant::from_millis(15), &mut world);
+        let seen: Vec<RunnableId> = world.heartbeats.iter().map(|&(r, _)| r).collect();
+        assert_eq!(seen, vec![ids[0], ids[2]]);
+        // Logic still executed.
+        let out = world.signals.id_of("out").unwrap();
+        assert_eq!(world.signals.read(out), 1.0);
+    }
+
+    #[test]
+    fn extra_heartbeats_duplicate_indications() {
+        let (mut os, mut world, ids) = build(None);
+        world.controls.runnable_mut(ids[0]).extra_heartbeats = 2;
+        os.run_until(Instant::from_millis(15), &mut world);
+        let count0 = world.heartbeats.iter().filter(|&&(r, _)| r == ids[0]).count();
+        assert_eq!(count0, 3);
+    }
+
+    #[test]
+    fn exec_scale_stretches_compute() {
+        let (mut os, mut world, ids) = build(None);
+        world.controls.runnable_mut(ids[0]).exec_scale_ppm = 10_000_000; // 10x
+        os.run_until(Instant::from_millis(15), &mut world);
+        let times: Vec<u64> = world.heartbeats.iter().map(|&(_, t)| t.as_micros()).collect();
+        assert_eq!(times[0], 10_500); // 50us → 500us
+    }
+
+    #[test]
+    fn iteration_override_changes_loop_cost() {
+        let (mut os, mut world, ids) = build(None);
+        world.controls.runnable_mut(ids[1]).iterations_override = Some(100);
+        os.run_until(Instant::from_millis(15), &mut world);
+        // R1 cost: 100 + 100*10 = 1100us, so R2 heartbeat at 10_050+1100+50.
+        let times: Vec<u64> = world.heartbeats.iter().map(|&(_, t)| t.as_micros()).collect();
+        assert_eq!(times[2], 11_200);
+    }
+
+    #[test]
+    fn branching_sequencer_selects_by_world_and_override() {
+        let seq = BranchingSequencer::new(
+            vec![vec![0, 1, 2], vec![0, 2]],
+            |w: &BasicEcuWorld| {
+                let mode = w.signals.id_of("mode").map(|m| w.signals.read(m)).unwrap_or(0.0);
+                mode as usize
+            },
+        );
+        let (mut os, mut world, ids) = build(Some(seq));
+        world.signals.declare("mode", 0.0);
+        os.run_until(Instant::from_millis(15), &mut world);
+        assert_eq!(world.heartbeats.len(), 3);
+        // Force the degenerate branch 1 (skips SAFE_CC_process).
+        world.heartbeats.clear();
+        world.controls.task_mut("SafeSpeedTask").branch_override = Some(1);
+        os.run_until(Instant::from_millis(25), &mut world);
+        let seen: Vec<RunnableId> = world.heartbeats.iter().map(|&(r, _)| r).collect();
+        assert_eq!(seen, vec![ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn branch_override_is_clamped_to_valid_range() {
+        let seq = BranchingSequencer::new(vec![vec![0, 1, 2], vec![0, 2]], |_: &BasicEcuWorld| 0);
+        let (mut os, mut world, _) = build(Some(seq));
+        world.controls.task_mut("SafeSpeedTask").branch_override = Some(99);
+        os.run_until(Instant::from_millis(15), &mut world);
+        assert_eq!(world.heartbeats.len(), 2); // clamped to branch 1
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let mut reg = RunnableRegistry::new();
+        let s0 = reg.register("a", us(10));
+        let s1 = reg.register("b", us(20));
+        let body: SequencedTask<BasicEcuWorld> = SequencedTask::fixed(
+            "T",
+            vec![RunnableDef::no_op(s0), RunnableDef::no_op(s1)],
+        );
+        assert_eq!(body.task_name(), "T");
+        assert_eq!(body.runnable_ids(), vec![RunnableId(0), RunnableId(1)]);
+        assert_eq!(body.nominal_cost(), us(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn empty_branch_table_rejected() {
+        let _ = BranchingSequencer::<BasicEcuWorld>::new(vec![], |_| 0);
+    }
+
+    #[test]
+    fn spec_builder_is_consistent() {
+        let spec = RunnableSpec::new(RunnableId(7), "x", us(1)).with_loop(us(2), 3);
+        assert_eq!(spec.id(), RunnableId(7));
+        assert_eq!(spec.nominal_cost(), us(7));
+    }
+}

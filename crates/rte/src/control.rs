@@ -1,0 +1,227 @@
+//! Runtime calibration and manipulation controls.
+//!
+//! The paper injects errors with dSPACE ControlDesk by manipulating, at
+//! runtime, "the timing parameter of runnables … loop counters and …
+//! invalid execution branches". [`RunnableControls`] is that manipulation
+//! surface: a per-runnable and per-task parameter store that the task
+//! assembly consults on every activation. With all controls at their
+//! defaults the system behaves nominally; the error-injection crate drives
+//! experiments purely by writing here.
+
+use crate::runnable::RunnableId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-runnable manipulation parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunnableControl {
+    /// Execution-time scale in parts-per-million of nominal (the
+    /// ControlDesk "time scalar" slider). `1_000_000` = nominal.
+    pub exec_scale_ppm: u64,
+    /// Overrides the loop iteration count of the cost model.
+    pub iterations_override: Option<u32>,
+    /// Drops the aliveness-indication glue call (models glue-code loss or
+    /// a crashed runnable whose computation still burns time).
+    pub suppress_heartbeat: bool,
+    /// Emits this many additional heartbeats per execution (models
+    /// excessive dispatch without scheduling it — used for targeted
+    /// arrival-rate tests).
+    pub extra_heartbeats: u32,
+    /// Removes the runnable from every execution sequence (models an
+    /// invalid branch that bypasses it).
+    pub skip: bool,
+}
+
+impl Default for RunnableControl {
+    fn default() -> Self {
+        RunnableControl {
+            exec_scale_ppm: 1_000_000,
+            iterations_override: None,
+            suppress_heartbeat: false,
+            extra_heartbeats: 0,
+            skip: false,
+        }
+    }
+}
+
+impl RunnableControl {
+    /// `true` if every parameter is at its nominal default.
+    pub fn is_nominal(&self) -> bool {
+        *self == RunnableControl::default()
+    }
+
+    /// Effective iteration count given a spec default.
+    pub fn effective_iterations(&self, default_iterations: u32) -> u32 {
+        self.iterations_override.unwrap_or(default_iterations)
+    }
+}
+
+/// Per-task manipulation parameters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskControl {
+    /// Forces a branching sequencer to take branch `n` (an *invalid
+    /// execution branch* when `n` names an off-nominal path).
+    pub branch_override: Option<usize>,
+}
+
+/// The ECU-wide control store: one [`RunnableControl`] per runnable and one
+/// [`TaskControl`] per task name.
+///
+/// # Examples
+///
+/// ```
+/// use easis_rte::control::RunnableControls;
+/// use easis_rte::runnable::RunnableId;
+///
+/// let mut controls = RunnableControls::new();
+/// controls.runnable_mut(RunnableId(2)).exec_scale_ppm = 3_000_000;
+/// assert_eq!(controls.runnable(RunnableId(2)).exec_scale_ppm, 3_000_000);
+/// assert!(controls.runnable(RunnableId(7)).is_nominal());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunnableControls {
+    runnables: Vec<RunnableControl>,
+    tasks: BTreeMap<String, TaskControl>,
+    /// Global execution-time scale in ppm applied to *every* runnable on
+    /// top of its individual scale. Models running the identical software
+    /// on a slower CPU (e.g. the outlook's 50 MHz S12XF instead of the
+    /// 480 MHz AutoBox ⇒ ~9.6e6 ppm).
+    global_exec_scale_ppm: u64,
+}
+
+impl Default for RunnableControls {
+    fn default() -> Self {
+        RunnableControls {
+            runnables: Vec::new(),
+            tasks: BTreeMap::new(),
+            global_exec_scale_ppm: 1_000_000,
+        }
+    }
+}
+
+impl RunnableControls {
+    /// Creates a store with everything nominal.
+    pub fn new() -> Self {
+        RunnableControls::default()
+    }
+
+    /// Sets the global execution-time scale (CPU-speed model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm` is zero.
+    pub fn set_global_exec_scale_ppm(&mut self, ppm: u64) {
+        assert!(ppm > 0, "global scale must be positive");
+        self.global_exec_scale_ppm = ppm;
+    }
+
+    /// The global execution-time scale in ppm.
+    pub fn global_exec_scale_ppm(&self) -> u64 {
+        self.global_exec_scale_ppm
+    }
+
+    /// Control block of a runnable (default values if never touched).
+    pub fn runnable(&self, id: RunnableId) -> RunnableControl {
+        self.runnables
+            .get(id.index())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Mutable control block of a runnable, growing the table as needed.
+    pub fn runnable_mut(&mut self, id: RunnableId) -> &mut RunnableControl {
+        if self.runnables.len() <= id.index() {
+            self.runnables
+                .resize_with(id.index() + 1, RunnableControl::default);
+        }
+        &mut self.runnables[id.index()]
+    }
+
+    /// Control block of a task (default values if never touched).
+    pub fn task(&self, name: &str) -> TaskControl {
+        self.tasks.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Mutable control block of a task.
+    pub fn task_mut(&mut self, name: &str) -> &mut TaskControl {
+        self.tasks.entry(name.to_string()).or_default()
+    }
+
+    /// Resets every injection control to nominal (end of an injection
+    /// window); the global CPU scale is a platform property and persists.
+    pub fn reset(&mut self) {
+        self.runnables.clear();
+        self.tasks.clear();
+    }
+
+    /// `true` if every runnable and task control is nominal (the global
+    /// CPU scale is not an injection and does not count).
+    pub fn is_nominal(&self) -> bool {
+        self.runnables.iter().all(RunnableControl::is_nominal)
+            && self.tasks.values().all(|t| t.branch_override.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nominal() {
+        let c = RunnableControls::new();
+        assert!(c.is_nominal());
+        assert!(c.runnable(RunnableId(5)).is_nominal());
+        assert_eq!(c.task("any").branch_override, None);
+    }
+
+    #[test]
+    fn runnable_mut_grows_table() {
+        let mut c = RunnableControls::new();
+        c.runnable_mut(RunnableId(3)).suppress_heartbeat = true;
+        assert!(c.runnable(RunnableId(3)).suppress_heartbeat);
+        assert!(c.runnable(RunnableId(0)).is_nominal());
+        assert!(!c.is_nominal());
+    }
+
+    #[test]
+    fn task_override_round_trips() {
+        let mut c = RunnableControls::new();
+        c.task_mut("SafeSpeedTask").branch_override = Some(2);
+        assert_eq!(c.task("SafeSpeedTask").branch_override, Some(2));
+        assert!(!c.is_nominal());
+    }
+
+    #[test]
+    fn reset_restores_nominal() {
+        let mut c = RunnableControls::new();
+        c.runnable_mut(RunnableId(1)).skip = true;
+        c.task_mut("t").branch_override = Some(1);
+        c.reset();
+        assert!(c.is_nominal());
+    }
+
+    #[test]
+    fn global_scale_round_trips_and_survives_reset() {
+        let mut c = RunnableControls::new();
+        assert_eq!(c.global_exec_scale_ppm(), 1_000_000);
+        c.set_global_exec_scale_ppm(9_600_000);
+        c.runnable_mut(RunnableId(0)).skip = true;
+        c.reset();
+        assert_eq!(c.global_exec_scale_ppm(), 9_600_000);
+        assert!(c.is_nominal(), "global scale is not an injection");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_global_scale_rejected() {
+        RunnableControls::new().set_global_exec_scale_ppm(0);
+    }
+
+    #[test]
+    fn effective_iterations_prefers_override() {
+        let mut ctl = RunnableControl::default();
+        assert_eq!(ctl.effective_iterations(7), 7);
+        ctl.iterations_override = Some(100);
+        assert_eq!(ctl.effective_iterations(7), 100);
+    }
+}

@@ -1,0 +1,237 @@
+//! Schedule tables.
+//!
+//! Time-triggered dispatching as in OSEKtime / AUTOSAR OS schedule tables:
+//! a periodic table of expiry points, each activating a task (or setting an
+//! event) at a fixed offset into the period. The validator uses one to
+//! phase its application tasks deterministically; the paper's runnables are
+//! "mapped onto tasks and scheduled on the system architecture" in exactly
+//! this style.
+
+use easis_osek::alarm::{AlarmAction, AlarmId};
+use easis_osek::error::OsError;
+use easis_osek::kernel::Os;
+use easis_osek::task::{EventMask, TaskId};
+use easis_sim::time::Duration;
+
+/// Action of one expiry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableAction {
+    /// Activate a task at the expiry point.
+    ActivateTask(TaskId),
+    /// Set events on an extended task at the expiry point.
+    SetEvent(TaskId, EventMask),
+}
+
+/// One expiry point: an offset into the table period plus its action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiryPoint {
+    /// Offset from the period start (must be smaller than the period).
+    pub offset: Duration,
+    /// What happens at the offset.
+    pub action: TableAction,
+}
+
+/// A periodic schedule table.
+///
+/// # Examples
+///
+/// ```
+/// use easis_osek::task::TaskId;
+/// use easis_rte::schedule::{ScheduleTable, TableAction};
+/// use easis_sim::time::Duration;
+///
+/// let table = ScheduleTable::new(Duration::from_millis(10))
+///     .at(Duration::ZERO, TableAction::ActivateTask(TaskId(0)))
+///     .at(Duration::from_millis(5), TableAction::ActivateTask(TaskId(1)));
+/// assert_eq!(table.points().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTable {
+    period: Duration,
+    points: Vec<ExpiryPoint>,
+}
+
+impl ScheduleTable {
+    /// Creates an empty table with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(period: Duration) -> Self {
+        assert!(!period.is_zero(), "table period must be positive");
+        ScheduleTable {
+            period,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds an expiry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not smaller than the period.
+    pub fn at(mut self, offset: Duration, action: TableAction) -> Self {
+        assert!(offset < self.period, "offset must lie inside the period");
+        self.points.push(ExpiryPoint { offset, action });
+        self.points.sort_by_key(|p| p.offset);
+        self
+    }
+
+    /// The table period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// The expiry points, sorted by offset.
+    pub fn points(&self) -> &[ExpiryPoint] {
+        &self.points
+    }
+
+    /// Arms the table on an OS: one cyclic alarm per expiry point. Points
+    /// at offset zero fire first at the end of the initial period (a
+    /// synchronous table start at t=0 would race OS startup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates alarm-arming errors.
+    pub fn arm<W>(&self, os: &mut Os<W>) -> Result<Vec<AlarmId>, OsError> {
+        let mut alarms = Vec::with_capacity(self.points.len());
+        for (i, point) in self.points.iter().enumerate() {
+            let action = match point.action {
+                TableAction::ActivateTask(t) => AlarmAction::ActivateTask(t),
+                TableAction::SetEvent(t, m) => AlarmAction::SetEvent(t, m),
+            };
+            let alarm = os.add_alarm(format!("table_ep{i}"), action);
+            let offset = if point.offset.is_zero() {
+                self.period
+            } else {
+                point.offset
+            };
+            os.set_rel_alarm(alarm, offset, Some(self.period))?;
+            alarms.push(alarm);
+        }
+        Ok(alarms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::BasicEcuWorld;
+    use easis_osek::plan::Plan;
+    use easis_osek::task::{Priority, TaskConfig, TaskKind};
+    use easis_sim::time::Instant;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn logging_task(
+        os: &mut Os<BasicEcuWorld>,
+        name: &'static str,
+        prio: u8,
+    ) -> TaskId {
+        os.add_task(
+            TaskConfig::new(name, Priority(prio)),
+            move |_: Instant, _: &BasicEcuWorld| {
+                Plan::new()
+                    .compute(Duration::from_micros(100))
+                    .effect(move |w: &mut BasicEcuWorld, ctx| {
+                        let now = ctx.now();
+                        let id = w.signals.declare(name, 0.0);
+                        let n = w.signals.read(id);
+                        w.signals.write(id, n + 1.0, now);
+                    })
+            },
+        )
+    }
+
+    #[test]
+    fn phased_activations_follow_the_table() {
+        let mut os: Os<BasicEcuWorld> = Os::new();
+        let a = logging_task(&mut os, "a", 3);
+        let b = logging_task(&mut os, "b", 3);
+        let table = ScheduleTable::new(ms(10))
+            .at(ms(2), TableAction::ActivateTask(a))
+            .at(ms(7), TableAction::ActivateTask(b));
+        let mut w = BasicEcuWorld::new();
+        os.start(&mut w);
+        table.arm(&mut os).unwrap();
+        os.run_until(Instant::from_millis(50), &mut w);
+        // Five periods each: activations at 2,12,…,42 and 7,17,…,47.
+        assert_eq!(w.signals.read(w.signals.id_of("a").unwrap()), 5.0);
+        assert_eq!(w.signals.read(w.signals.id_of("b").unwrap()), 5.0);
+        // Order within a period: `a` always dispatches before `b`.
+        let dispatches: Vec<&str> = os
+            .trace()
+            .of_kind("dispatch")
+            .map(|e| e.detail.as_str())
+            .collect();
+        for pair in dispatches.chunks(2) {
+            assert_eq!(pair, ["a", "b"]);
+        }
+    }
+
+    #[test]
+    fn zero_offset_points_start_one_period_late() {
+        let mut os: Os<BasicEcuWorld> = Os::new();
+        let a = logging_task(&mut os, "a", 3);
+        let table = ScheduleTable::new(ms(10)).at(Duration::ZERO, TableAction::ActivateTask(a));
+        let mut w = BasicEcuWorld::new();
+        os.start(&mut w);
+        table.arm(&mut os).unwrap();
+        os.run_until(Instant::from_millis(35), &mut w);
+        // Fires at 10, 20, 30.
+        assert_eq!(w.signals.read(w.signals.id_of("a").unwrap()), 3.0);
+    }
+
+    #[test]
+    fn set_event_points_wake_extended_tasks() {
+        use easis_osek::plan::Step;
+        let mut os: Os<BasicEcuWorld> = Os::new();
+        let waiter = os.add_task(
+            TaskConfig::new("waiter", Priority(2))
+                .with_kind(TaskKind::Extended)
+                .autostart(),
+            |_: Instant, _: &BasicEcuWorld| {
+                Plan::new()
+                    .step(Step::WaitEvent(EventMask::bit(0)))
+                    .effect(|w: &mut BasicEcuWorld, ctx| {
+                        let now = ctx.now();
+                        let id = w.signals.declare("woken", 0.0);
+                        let n = w.signals.read(id);
+                        w.signals.write(id, n + 1.0, now);
+                    })
+            },
+        );
+        let table = ScheduleTable::new(ms(10))
+            .at(ms(4), TableAction::SetEvent(waiter, EventMask::bit(0)));
+        let mut w = BasicEcuWorld::new();
+        os.start(&mut w);
+        table.arm(&mut os).unwrap();
+        os.run_until(Instant::from_millis(15), &mut w);
+        assert_eq!(w.signals.read(w.signals.id_of("woken").unwrap()), 1.0);
+    }
+
+    #[test]
+    fn points_are_sorted_by_offset() {
+        let t = ScheduleTable::new(ms(10))
+            .at(ms(7), TableAction::ActivateTask(TaskId(0)))
+            .at(ms(2), TableAction::ActivateTask(TaskId(1)));
+        assert_eq!(t.points()[0].offset, ms(2));
+        assert_eq!(t.points()[1].offset, ms(7));
+        assert_eq!(t.period(), ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the period")]
+    fn offset_outside_period_rejected() {
+        let _ = ScheduleTable::new(ms(10)).at(ms(10), TableAction::ActivateTask(TaskId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = ScheduleTable::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,81 @@
+//! The ECU world interface.
+//!
+//! The OSEK kernel is generic over a world type `W`; the runnable layer
+//! narrows it to [`EcuWorld`]: anything that carries a signal database, the
+//! manipulation controls, and a heartbeat path into the dependability
+//! services. Integration crates (the HIL validator) implement this for
+//! their composite world structs.
+
+use crate::control::RunnableControls;
+use crate::runnable::RunnableId;
+use crate::signal::SignalDb;
+use easis_sim::time::Instant;
+
+/// World requirements of the runnable layer.
+pub trait EcuWorld: Send {
+    /// The signal database.
+    fn signals(&self) -> &SignalDb;
+    /// Mutable signal database.
+    fn signals_mut(&mut self) -> &mut SignalDb;
+    /// The runtime manipulation controls.
+    fn controls(&self) -> &RunnableControls;
+    /// Aliveness-indication path: glue code calls this once (or more, under
+    /// injection) per runnable execution.
+    fn indicate_heartbeat(&mut self, runnable: RunnableId, now: Instant);
+}
+
+/// A minimal self-contained world: signals + controls + a heartbeat log.
+/// Used by unit tests, examples, and as a building block for bigger worlds.
+#[derive(Debug, Default)]
+pub struct BasicEcuWorld {
+    /// Signal database.
+    pub signals: SignalDb,
+    /// Manipulation controls.
+    pub controls: RunnableControls,
+    /// Every heartbeat received, in order.
+    pub heartbeats: Vec<(RunnableId, Instant)>,
+}
+
+impl BasicEcuWorld {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        BasicEcuWorld::default()
+    }
+}
+
+impl EcuWorld for BasicEcuWorld {
+    fn signals(&self) -> &SignalDb {
+        &self.signals
+    }
+    fn signals_mut(&mut self) -> &mut SignalDb {
+        &mut self.signals
+    }
+    fn controls(&self) -> &RunnableControls {
+        &self.controls
+    }
+    fn indicate_heartbeat(&mut self, runnable: RunnableId, now: Instant) {
+        self.heartbeats.push((runnable, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_world_logs_heartbeats() {
+        let mut w = BasicEcuWorld::new();
+        w.indicate_heartbeat(RunnableId(2), Instant::from_millis(1));
+        w.indicate_heartbeat(RunnableId(3), Instant::from_millis(2));
+        assert_eq!(w.heartbeats.len(), 2);
+        assert_eq!(w.heartbeats[0].0, RunnableId(2));
+    }
+
+    #[test]
+    fn basic_world_exposes_signals_and_controls() {
+        let mut w = BasicEcuWorld::new();
+        let s = w.signals_mut().declare("x", 1.0);
+        assert_eq!(w.signals().read(s), 1.0);
+        assert!(w.controls().is_nominal());
+    }
+}

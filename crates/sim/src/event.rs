@@ -1,0 +1,263 @@
+//! Deterministic discrete-event queue.
+//!
+//! The [`EventQueue`] orders events by time; ties are broken by insertion
+//! order so that a simulation run is fully reproducible regardless of heap
+//! internals. The queue is generic over the event payload, letting each layer
+//! (OS kernel, bus, vehicle model) define its own event vocabulary.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number (monotonically increasing per queue).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    cancelled: bool,
+    payload: Option<E>,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the lowest sequence number winning ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with stable tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use easis_sim::event::EventQueue;
+/// use easis_sim::time::Instant;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_micros(20), "late");
+/// q.schedule(Instant::from_micros(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_micros(), e), (10, "early"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    live: usize,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns a handle for [`cancel`].
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled.
+    ///
+    /// [`cancel`]: EventQueue::cancel
+    pub fn schedule(&mut self, at: Instant, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            cancelled: false,
+            payload: Some(payload),
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending; cancelling twice (or after the event fired) returns
+    /// `false` and has no effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(id.0) {
+            // The entry may have already popped; `live` is corrected lazily in
+            // `pop`, so only mark it here.
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(mut entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) || entry.cancelled {
+                self.live = self.live.saturating_sub(1);
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            let payload = entry.payload.take().expect("entry payload present");
+            return Some((entry.at, payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        loop {
+            let skip = match self.heap.peek() {
+                Some(entry) => self.cancelled.contains(&entry.seq),
+                None => return None,
+            };
+            if skip {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.seq);
+                self.live = self.live.saturating_sub(1);
+            } else {
+                return self.heap.peek().map(|e| e.at);
+            }
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    // `is_empty` purges lazily and therefore takes `&mut self`; the pair
+    // intentionally deviates from the usual signatures.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.live.saturating_sub(
+            self.cancelled
+                .len()
+                .min(self.live),
+        )
+    }
+
+    /// `true` if no events are pending. (Takes `&mut self` because cancelled
+    /// entries are lazily purged during the check; clippy's convention lint
+    /// is silenced for that reason.)
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Instant {
+        Instant::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), 3);
+        q.schedule(t(10), 1);
+        q.schedule(t(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+    }
+
+    #[test]
+    fn is_empty_reflects_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_remain_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        q.schedule(t(30), 3);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        q.schedule(t(20), 2);
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+    }
+}

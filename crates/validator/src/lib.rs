@@ -1,0 +1,30 @@
+//! # easis-validator — the EASIS architecture validator
+//!
+//! The integration crate reproducing the paper's §4 validation setup: the
+//! central node (AutoBox) hosting the ISS applications together with the
+//! Software Watchdog and the Fault Management Framework, the surrounding
+//! sensor/actuator/driving-dynamics nodes, the CAN/FlexRay domains with
+//! the gateway, and the scenario library that regenerates the evaluation.
+//!
+//! * [`world`] — the central node's shared state;
+//! * [`node`] — central-node assembly (tasks, alarms, fault hypotheses,
+//!   baselines, treatment execution);
+//! * [`scenario`] — the evaluation scenarios (Figure 5, Figure 6,
+//!   arrival-rate and program-flow tests, campaign trials);
+//! * [`hil`] — the full hardware-in-the-loop assembly with vehicle plant
+//!   and buses;
+//! * [`distributed`] — the two-ECU variant (SafeSpeed node on FlexRay,
+//!   SafeLane node on CAN) with interrupt-driven frame reception.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod hil;
+pub mod node;
+pub mod scenario;
+pub mod world;
+
+pub use distributed::DistributedValidator;
+pub use node::{CentralNode, NodeConfig};
+pub use world::CentralWorld;

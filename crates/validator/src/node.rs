@@ -1,0 +1,553 @@
+//! Central-node assembly.
+//!
+//! [`CentralNode`] builds the validator's central node (the paper's
+//! AutoBox) from application bundles: OSEK tasks and alarms per
+//! application, the Software Watchdog as the highest-priority periodic
+//! task, a lowest-priority hardware-watchdog kick task, the deployment
+//! mapping, the derived fault hypotheses, and the baseline task-granularity
+//! monitors. The watchdog task's effect also plays the integration role of
+//! §4.4: it drains the watchdog outboxes into the Fault Management
+//! Framework and executes the decided treatments.
+
+use crate::world::CentralWorld;
+use easis_apps::bundle::AppBundle;
+use easis_apps::{lightctl, safelane, safespeed, steer};
+use easis_baselines::task_monitors::{DeadlineMonitor, ExecutionTimeMonitor};
+use easis_fmf::framework::FaultManagementFramework;
+use easis_fmf::policy::{Treatment, TreatmentPolicy};
+use easis_fmf::record::SeverityMap;
+use easis_injection::injector::Injector;
+use easis_osek::alarm::{AlarmAction, AlarmId};
+use easis_osek::kernel::Os;
+use easis_osek::plan::Plan;
+use easis_osek::task::{Priority, TaskConfig, TaskId};
+use easis_rte::assembly::SequencedTask;
+use easis_rte::mapping::{ApplicationId, SystemMapping};
+use easis_rte::runnable::{RunnableId, RunnableRegistry};
+use easis_rte::signal::SignalDb;
+use easis_sim::time::{Duration, Instant};
+use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
+use easis_watchdog::report::RunnableCounters;
+use easis_watchdog::SoftwareWatchdog;
+use std::collections::BTreeMap;
+
+/// Configuration of a central node build.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Host the SafeSpeed application.
+    pub safespeed: bool,
+    /// Host the SafeLane application.
+    pub safelane: bool,
+    /// Host the steer-by-wire path.
+    pub steer: bool,
+    /// Host the light-control function (50 ms body-domain task). Off by
+    /// default to keep the paper's evaluation workload; the distributed
+    /// rig enables it on its CAN-domain node.
+    pub light: bool,
+    /// Watchdog cycle (check period).
+    pub wd_period: Duration,
+    /// TSI error threshold.
+    pub error_threshold: u32,
+    /// Multiplies every monitoring window (1 = one task period per
+    /// window; 4 reproduces the Figure 6 configuration where aliveness
+    /// reporting is slower than PFC).
+    pub window_factor: u32,
+    /// Keep monitoring runnables of faulty tasks (ablation switch).
+    pub keep_monitoring_faulty: bool,
+    /// Hardware-watchdog timeout.
+    pub hw_timeout: Duration,
+    /// Execution budget per task = nominal cost × this factor.
+    pub budget_factor: u64,
+    /// Fault-treatment policy.
+    pub policy: TreatmentPolicy,
+    /// Global CPU-speed scale in ppm: every compute cost is multiplied by
+    /// this (1_000_000 = the AutoBox reference; ~9_600_000 models the
+    /// outlook's 50 MHz S12XF running the same code).
+    pub cpu_scale_ppm: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            safespeed: true,
+            safelane: true,
+            steer: true,
+            light: false,
+            wd_period: Duration::from_millis(10),
+            error_threshold: 3,
+            window_factor: 1,
+            keep_monitoring_faulty: false,
+            hw_timeout: Duration::from_millis(50),
+            budget_factor: 8,
+            policy: TreatmentPolicy::default(),
+            cpu_scale_ppm: 1_000_000,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// A node hosting only SafeSpeed (the paper's evaluation setup).
+    pub fn safespeed_only() -> Self {
+        NodeConfig {
+            safelane: false,
+            steer: false,
+            ..NodeConfig::default()
+        }
+    }
+}
+
+/// The assembled central node.
+pub struct CentralNode {
+    /// The OSEK OS instance.
+    pub os: Os<CentralWorld>,
+    /// The shared world (signals, services, controls).
+    pub world: CentralWorld,
+    /// Runnable registry (naming authority).
+    pub registry: RunnableRegistry,
+    /// Task id per task name.
+    pub tasks: BTreeMap<String, TaskId>,
+    /// Activation alarm per task name.
+    pub alarms: BTreeMap<String, AlarmId>,
+    /// Application id per app name.
+    pub apps: BTreeMap<String, ApplicationId>,
+    /// OSEKTime-style deadline monitor (baseline).
+    pub deadline_monitor: DeadlineMonitor,
+    /// AUTOSAR-style execution-time monitor (baseline).
+    pub exec_monitor: ExecutionTimeMonitor,
+    /// Activation period per app task name.
+    pub periods: BTreeMap<String, Duration>,
+    config: NodeConfig,
+    started: bool,
+}
+
+impl std::fmt::Debug for CentralNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CentralNode")
+            .field("tasks", &self.tasks)
+            .field("apps", &self.apps)
+            .finish()
+    }
+}
+
+impl CentralNode {
+    /// Builds the node from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application is enabled, or if an enabled application's
+    /// period is not compatible with the watchdog period (one must divide
+    /// the other).
+    pub fn build(config: NodeConfig) -> Self {
+        let mut signals = SignalDb::new();
+        let mut registry = RunnableRegistry::new();
+        let mut bundles: Vec<AppBundle<CentralWorld>> = Vec::new();
+        if config.steer {
+            bundles.push(steer::build(&mut signals, &mut registry));
+        }
+        if config.safespeed {
+            bundles.push(safespeed::build(&mut signals, &mut registry));
+        }
+        if config.safelane {
+            bundles.push(safelane::build(&mut signals, &mut registry));
+        }
+        if config.light {
+            bundles.push(lightctl::build(&mut signals, &mut registry));
+        }
+        assert!(!bundles.is_empty(), "enable at least one application");
+
+        let mut os: Os<CentralWorld> = Os::new();
+        let mut mapping = SystemMapping::new();
+        let mut tasks = BTreeMap::new();
+        let mut alarms = BTreeMap::new();
+        let mut apps = BTreeMap::new();
+        let mut periods: BTreeMap<String, Duration> = BTreeMap::new();
+        let mut app_alarm_raw: BTreeMap<ApplicationId, u32> = BTreeMap::new();
+        let mut app_prefixes: BTreeMap<ApplicationId, &'static str> = BTreeMap::new();
+        let mut wd_builder = WatchdogConfig::builder(config.wd_period)
+            .error_threshold(config.error_threshold);
+        if config.keep_monitoring_faulty {
+            wd_builder = wd_builder.keep_monitoring_faulty_tasks();
+        }
+
+        for bundle in bundles {
+            let app = mapping.add_application(bundle.app_name);
+            apps.insert(bundle.app_name.to_string(), app);
+            app_prefixes.insert(app, bundle.signal_prefix);
+            let ids = bundle.runnable_ids();
+            let cpu_scale = config.cpu_scale_ppm as f64 / 1_000_000.0;
+            let nominal: Duration = ids
+                .iter()
+                .map(|&r| registry.spec(r).expect("registered").nominal_cost())
+                .fold(Duration::ZERO, |a, b| a + b)
+                .mul_f64(cpu_scale);
+            let task_cfg = TaskConfig::new(bundle.task_name, bundle.priority)
+                .with_deadline(bundle.period)
+                .with_execution_budget(nominal * config.budget_factor)
+                .with_max_activations(2);
+            let body = SequencedTask::fixed(bundle.task_name, bundle.runnables);
+            let task = os.add_task(task_cfg, body);
+            tasks.insert(bundle.task_name.to_string(), task);
+            mapping.assign_task(task, app);
+            for &rid in &ids {
+                mapping.assign_runnable(rid, task);
+            }
+            let alarm = os.add_alarm(
+                format!("{}Cycle", bundle.task_name),
+                AlarmAction::ActivateTask(task),
+            );
+            alarms.insert(bundle.task_name.to_string(), alarm);
+            periods.insert(bundle.task_name.to_string(), bundle.period);
+            app_alarm_raw.insert(app, alarm.0);
+
+            // Fault hypothesis per runnable, derived from the period ratio.
+            let (cycles, expected) = Self::hypothesis_shape(
+                bundle.period,
+                config.wd_period,
+                config.window_factor,
+            );
+            for &rid in &ids {
+                wd_builder = wd_builder.monitor(
+                    RunnableHypothesis::new(rid)
+                        .alive_at_least(expected, cycles)
+                        .arrive_at_most(expected, cycles),
+                );
+            }
+            // Program-flow table: the bundle's nominal cycle.
+            let entry = ids[0];
+            wd_builder = wd_builder.allow_entry(entry);
+            for w in ids.windows(2) {
+                wd_builder = wd_builder.allow_flow(w[0], w[1]);
+            }
+            if ids.len() > 1 {
+                wd_builder = wd_builder.allow_flow(*ids.last().expect("non-empty"), entry);
+            }
+        }
+
+        let wd_config = wd_builder.mapping(mapping.clone()).build();
+        let watchdog = SoftwareWatchdog::new(wd_config);
+        let fmf = FaultManagementFramework::new(SeverityMap::default(), config.policy);
+        let mut world = CentralWorld::new(signals, watchdog, fmf, config.hw_timeout);
+        world
+            .controls
+            .set_global_exec_scale_ppm(config.cpu_scale_ppm);
+        world.app_alarms = app_alarm_raw;
+        world.app_signal_prefixes = app_prefixes;
+        world.initial_signals = world.signals.iter().map(|(_, _, v)| v).collect();
+
+        // The watchdog task: highest priority, runs the cycle check and the
+        // FMF integration.
+        let wd_cost =
+            Duration::from_micros(60).mul_f64(config.cpu_scale_ppm as f64 / 1_000_000.0);
+        let wd_task = os.add_task(
+            TaskConfig::new("SoftwareWatchdogTask", Priority(10)),
+            move |_now: Instant, _w: &CentralWorld| {
+                Plan::new()
+                    .compute(wd_cost)
+                    .effect(|w: &mut CentralWorld, ctx| {
+                        let now = ctx.now();
+                        let report = w.watchdog.run_cycle(now);
+                        for fault in &report.faults {
+                            ctx.trace("watchdog", "fault", fault.to_string());
+                        }
+                        if w.hw_watchdog.poll(now) {
+                            ctx.trace("hw_wd", "hw_expired", "");
+                        }
+                        let faults = w.watchdog.take_faults();
+                        let changes = w.watchdog.take_state_changes();
+                        w.fault_log.extend(faults.iter().copied());
+                        if faults.is_empty() {
+                            w.fmf.healthy_cycle(); // DTC aging
+                        }
+                        // Freeze frame: the operating conditions at
+                        // detection (the signals a tester would want).
+                        let freeze = easis_fmf::dtc::FreezeFrame {
+                            conditions: ["speed_measured", "lateral_measured"]
+                                .iter()
+                                .filter_map(|name| {
+                                    w.signals
+                                        .id_of(name)
+                                        .map(|id| (name.to_string(), w.signals.read(id)))
+                                })
+                                .collect(),
+                        };
+                        for fault in faults {
+                            w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
+                        }
+                        for change in changes {
+                            w.fmf.ingest_state_change(change);
+                        }
+                        for action in w.fmf.take_actions() {
+                            ctx.trace("fmf", "treatment", action.treatment.to_string());
+                            Self::execute_treatment(w, ctx, &action.treatment);
+                            w.treatments.push(action);
+                        }
+                    })
+            },
+        );
+        let wd_alarm = os.add_alarm("WatchdogCycle", AlarmAction::ActivateTask(wd_task));
+        alarms.insert("SoftwareWatchdogTask".to_string(), wd_alarm);
+        tasks.insert("SoftwareWatchdogTask".to_string(), wd_task);
+
+        // Hardware-watchdog kick task: lowest priority, so a saturated CPU
+        // starves it and the hardware watchdog fires.
+        let kick_task = os.add_task(
+            TaskConfig::new("HwKickTask", Priority(0)),
+            move |_now: Instant, _w: &CentralWorld| {
+                Plan::new()
+                    .compute(Duration::from_micros(5))
+                    .effect(|w: &mut CentralWorld, ctx| {
+                        let _ = w.hw_watchdog.kick(ctx.now());
+                    })
+            },
+        );
+        let kick_alarm = os.add_alarm("HwKickCycle", AlarmAction::ActivateTask(kick_task));
+        alarms.insert("HwKickTask".to_string(), kick_alarm);
+        tasks.insert("HwKickTask".to_string(), kick_task);
+
+        let deadline_monitor = DeadlineMonitor::new();
+        let exec_monitor = ExecutionTimeMonitor::new();
+        os.add_observer(deadline_monitor.clone());
+        os.add_observer(exec_monitor.clone());
+
+        CentralNode {
+            os,
+            world,
+            registry,
+            tasks,
+            alarms,
+            apps,
+            deadline_monitor,
+            exec_monitor,
+            periods,
+            config,
+            started: false,
+        }
+    }
+
+    /// Derives the (cycles, expected indications) shape of a fault
+    /// hypothesis from the task period, the watchdog period and the window
+    /// factor.
+    fn hypothesis_shape(period: Duration, wd: Duration, factor: u32) -> (u32, u32) {
+        let factor = factor.max(1);
+        if period >= wd {
+            assert!(
+                (period % wd).is_zero(),
+                "task period must be a multiple of the watchdog period"
+            );
+            let ratio = (period / wd) as u32;
+            (ratio * factor, factor)
+        } else {
+            assert!(
+                (wd % period).is_zero(),
+                "watchdog period must be a multiple of the task period"
+            );
+            let per_cycle = (wd / period) as u32;
+            (factor, per_cycle * factor)
+        }
+    }
+
+    fn execute_treatment(
+        w: &mut CentralWorld,
+        ctx: &mut easis_osek::plan::EffectCtx<'_>,
+        treatment: &Treatment,
+    ) {
+        match treatment {
+            Treatment::RestartTask(task) => {
+                w.watchdog.acknowledge_task_recovered(*task);
+            }
+            Treatment::RestartApplication(app) => {
+                let tasks = w.watchdog.config().mapping().tasks_of_app(*app);
+                for task in tasks {
+                    w.watchdog.acknowledge_task_recovered(task);
+                }
+                // A restarted component starts from initialised state.
+                if let Some(&prefix) = w.app_signal_prefixes.get(app) {
+                    w.reset_signals_with_prefix(prefix, ctx.now());
+                }
+            }
+            Treatment::TerminateApplication(app) => {
+                // Stop the activation source and leave supervision off.
+                if let Some(&raw) = w.app_alarms.get(app) {
+                    ctx.request_cancel_alarm(raw);
+                }
+            }
+            Treatment::EcuReset => {
+                let tasks: Vec<TaskId> =
+                    w.watchdog.config().mapping().tasks().collect();
+                for task in tasks {
+                    w.watchdog.acknowledge_task_recovered(task);
+                }
+                let prefixes: Vec<&'static str> =
+                    w.app_signal_prefixes.values().copied().collect();
+                for prefix in prefixes {
+                    w.reset_signals_with_prefix(prefix, ctx.now());
+                }
+                w.fmf.reset_budgets();
+                w.ecu_resets += 1;
+                ctx.trace("fmf", "ecu_reset", "software reset executed");
+            }
+        }
+    }
+
+    /// Starts the OS and arms all cyclic alarms. The watchdog's first
+    /// check fires after one watchdog period and app tasks are offset by
+    /// half their period, so every monitoring window — including the very
+    /// first — contains exactly the expected number of activations
+    /// ("checked shortly before the next period begins").
+    pub fn start(&mut self) {
+        assert!(!self.started, "node started twice");
+        self.started = true;
+        self.os.start(&mut self.world);
+        let wd_period = self.config.wd_period;
+        for (name, &alarm) in &self.alarms {
+            let (offset, cycle) = match name.as_str() {
+                "SoftwareWatchdogTask" => (wd_period, wd_period),
+                "HwKickTask" => (Duration::from_millis(1), Duration::from_millis(10)),
+                task_name => {
+                    let period = self.periods[task_name];
+                    (period / 2, period)
+                }
+            };
+            self.os
+                .set_rel_alarm(alarm, offset, Some(cycle))
+                .expect("alarms arm exactly once");
+        }
+    }
+
+    /// Runs the node until `end`, ticking the injector once per
+    /// millisecond (the injection granularity of the experiments).
+    pub fn run_until(&mut self, end: Instant, injector: &mut Injector) {
+        assert!(self.started, "call start() first");
+        let step = Duration::from_millis(1);
+        while self.os.now() < end {
+            let slice_end = (self.os.now() + step).min(end);
+            injector.tick(self.os.now(), &mut self.world.controls, &mut self.os);
+            self.os.run_until(slice_end, &mut self.world);
+        }
+        injector.tick(self.os.now(), &mut self.world.controls, &mut self.os);
+    }
+
+    /// Runnable id by name (panics on unknown names — experiment code).
+    pub fn runnable(&self, name: &str) -> RunnableId {
+        self.registry
+            .id_of(name)
+            .unwrap_or_else(|| panic!("unknown runnable {name}"))
+    }
+
+    /// Live watchdog counters of a runnable by name.
+    pub fn counters_of(&self, name: &str) -> RunnableCounters {
+        self.world
+            .watchdog
+            .counters(self.runnable(name))
+            .expect("monitored runnable")
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easis_watchdog::report::HealthState;
+
+    fn ms(n: u64) -> Instant {
+        Instant::from_millis(n)
+    }
+
+    #[test]
+    fn nominal_full_node_runs_clean_for_a_second() {
+        let mut node = CentralNode::build(NodeConfig::default());
+        node.start();
+        let mut injector = Injector::none();
+        node.run_until(ms(1_000), &mut injector);
+        assert!(node.world.fault_log.is_empty(), "{:?}", node.world.fault_log);
+        assert_eq!(node.world.watchdog.ecu_state(), HealthState::Ok);
+        assert_eq!(node.world.hw_watchdog.expirations(), 0);
+        assert_eq!(node.deadline_monitor.stats().total(), 0);
+        assert_eq!(node.exec_monitor.stats().total(), 0);
+        assert!(node.world.watchdog.cycles_run() >= 98);
+        // All three apps heartbeat: 9 runnables monitored.
+        assert_eq!(node.world.watchdog.config().monitored().count(), 9);
+    }
+
+    #[test]
+    fn safespeed_only_node_monitors_three_runnables() {
+        let mut node = CentralNode::build(NodeConfig::safespeed_only());
+        node.start();
+        let mut injector = Injector::none();
+        node.run_until(ms(200), &mut injector);
+        assert_eq!(node.world.watchdog.config().monitored().count(), 3);
+        assert!(node.world.fault_log.is_empty());
+        let c = node.counters_of("SAFE_CC_process");
+        assert!(c.activation);
+        assert_eq!(c.aliveness_errors, 0);
+    }
+
+    #[test]
+    fn hypothesis_shape_handles_both_ratio_directions() {
+        // 10ms task, 10ms wd: 1 per cycle.
+        assert_eq!(
+            CentralNode::hypothesis_shape(Duration::from_millis(10), Duration::from_millis(10), 1),
+            (1, 1)
+        );
+        // 20ms task, 10ms wd: 1 per 2 cycles.
+        assert_eq!(
+            CentralNode::hypothesis_shape(Duration::from_millis(20), Duration::from_millis(10), 1),
+            (2, 1)
+        );
+        // 5ms task, 10ms wd: 2 per cycle.
+        assert_eq!(
+            CentralNode::hypothesis_shape(Duration::from_millis(5), Duration::from_millis(10), 1),
+            (1, 2)
+        );
+        // Factor stretches the window.
+        assert_eq!(
+            CentralNode::hypothesis_shape(Duration::from_millis(10), Duration::from_millis(10), 4),
+            (4, 4)
+        );
+    }
+
+    #[test]
+    fn skipped_runnable_is_detected_and_treated() {
+        use easis_injection::injector::{ErrorClass, Injection};
+        let mut node = CentralNode::build(NodeConfig::safespeed_only());
+        node.start();
+        let target = node.runnable("SAFE_CC_process");
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::SkipRunnable { runnable: target },
+            ms(200),
+            ms(400),
+        )]);
+        node.run_until(ms(1_000), &mut injector);
+        // PFC and aliveness faults were logged…
+        assert!(!node.world.fault_log.is_empty());
+        // …the task went faulty and the FMF restarted SafeSpeed.
+        assert!(node
+            .world
+            .treatments
+            .iter()
+            .any(|t| matches!(t.treatment, Treatment::RestartApplication(_))));
+        // After the injection window, recovery holds: the final state is Ok.
+        assert_eq!(
+            node.world.watchdog.task_state(node.tasks["SafeSpeedTask"]),
+            HealthState::Ok
+        );
+    }
+}
+
+#[cfg(test)]
+mod config_audit_tests {
+    use super::*;
+
+    #[test]
+    fn derived_watchdog_configs_audit_clean() {
+        for config in [NodeConfig::default(), NodeConfig::safespeed_only()] {
+            let node = CentralNode::build(config);
+            let issues = easis_watchdog::validate::validate(node.world.watchdog.config());
+            assert!(issues.is_empty(), "config audit found: {issues:?}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Driver model.
+//!
+//! The human in the loop of the HIL validator: tries to hold a desired
+//! speed (possibly above the commanded limit — that is what SafeSpeed must
+//! override) and keeps the lane with a proportional steering law, with an
+//! optional scripted drift episode that provokes SafeLane warnings.
+
+use crate::dynamics::{ControlInput, VehicleState};
+use serde::{Deserialize, Serialize};
+
+/// A scripted lateral drift: from `from_s` to `to_s` the driver stops
+/// steering back and holds a constant steer offset (distraction episode).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftEpisode {
+    /// Episode start \[s\].
+    pub from_s: f64,
+    /// Episode end \[s\].
+    pub to_s: f64,
+    /// Constant steer angle held during the episode \[rad\].
+    pub steer: f64,
+}
+
+/// The driver model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Driver {
+    /// Speed the driver tries to hold \[m/s\].
+    pub desired_speed: f64,
+    /// Proportional speed gain.
+    speed_gain: f64,
+    /// Lane-keeping gains (offset, heading).
+    lane_gains: (f64, f64),
+    drift: Option<DriftEpisode>,
+}
+
+impl Driver {
+    /// Creates a driver aiming for `desired_speed` m/s.
+    pub fn new(desired_speed: f64) -> Self {
+        Driver {
+            desired_speed,
+            speed_gain: 0.5,
+            lane_gains: (0.4, 1.6),
+            drift: None,
+        }
+    }
+
+    /// Scripts a distraction episode.
+    pub fn with_drift(mut self, drift: DriftEpisode) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Computes the driver's control input at `time_s` for the current
+    /// vehicle state. Throttle/brake request the desired speed; steering
+    /// keeps the lane unless a drift episode is active.
+    pub fn control(&self, time_s: f64, state: VehicleState) -> ControlInput {
+        let err = self.desired_speed - state.speed;
+        let (throttle, brake) = if err >= 0.0 {
+            ((err * self.speed_gain).min(1.0), 0.0)
+        } else {
+            (0.0, (-err * self.speed_gain).min(1.0))
+        };
+        let steer = match self.drift {
+            Some(d) if time_s >= d.from_s && time_s < d.to_s => d.steer,
+            _ => -self.lane_gains.0 * state.lateral_offset - self.lane_gains.1 * state.heading,
+        };
+        ControlInput {
+            throttle,
+            brake,
+            steer,
+        }
+        .clamped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{Vehicle, VehicleParams};
+
+    #[test]
+    fn driver_converges_to_desired_speed() {
+        let driver = Driver::new(25.0);
+        let mut v = Vehicle::new(VehicleParams::default());
+        for i in 0..6000 {
+            let input = driver.control(i as f64 * 0.01, v.state());
+            v.step(input, 0.01);
+        }
+        let speed = v.state().speed;
+        assert!((speed - 25.0).abs() < 1.5, "speed {speed}");
+    }
+
+    #[test]
+    fn driver_brakes_when_too_fast() {
+        let driver = Driver::new(10.0);
+        let input = driver.control(
+            0.0,
+            VehicleState {
+                speed: 30.0,
+                ..VehicleState::default()
+            },
+        );
+        assert_eq!(input.throttle, 0.0);
+        assert!(input.brake > 0.0);
+    }
+
+    #[test]
+    fn lane_keeping_steers_against_offset() {
+        let driver = Driver::new(20.0);
+        let input = driver.control(
+            0.0,
+            VehicleState {
+                speed: 20.0,
+                lateral_offset: 0.5,
+                ..VehicleState::default()
+            },
+        );
+        assert!(input.steer < 0.0);
+    }
+
+    #[test]
+    fn drift_episode_overrides_lane_keeping() {
+        let driver = Driver::new(20.0).with_drift(DriftEpisode {
+            from_s: 5.0,
+            to_s: 8.0,
+            steer: 0.03,
+        });
+        let state = VehicleState {
+            speed: 20.0,
+            lateral_offset: 0.5,
+            ..VehicleState::default()
+        };
+        assert!(driver.control(6.0, state).steer > 0.0); // drifting
+        assert!(driver.control(9.0, state).steer < 0.0); // recovered
+    }
+
+    #[test]
+    fn drifting_driver_departs_the_lane() {
+        let driver = Driver::new(22.0).with_drift(DriftEpisode {
+            from_s: 2.0,
+            to_s: 6.0,
+            steer: 0.02,
+        });
+        let mut v = Vehicle::with_speed(VehicleParams::default(), 22.0);
+        let mut max_offset: f64 = 0.0;
+        for i in 0..800 {
+            let t = i as f64 * 0.01;
+            let input = driver.control(t, v.state());
+            v.step(input, 0.01);
+            max_offset = max_offset.max(v.state().lateral_offset.abs());
+        }
+        assert!(max_offset > 1.75, "max offset {max_offset}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the vehicle plant: physical sanity under
+//! arbitrary inputs and parameterisations.
+
+use easis_vehicle::driver::Driver;
+use easis_vehicle::dynamics::{ControlInput, Vehicle, VehicleParams};
+use easis_vehicle::environment::PositionProfile;
+use easis_vehicle::plant::{Plant, SafetyOverlay};
+use easis_vehicle::sensors::{Actuator, Sensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Speed is never negative and position is non-decreasing, whatever the
+    /// (clamped) inputs.
+    #[test]
+    fn speed_nonnegative_position_monotone(
+        initial in 0.0f64..60.0,
+        inputs in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0), 1..300),
+    ) {
+        let mut v = Vehicle::with_speed(VehicleParams::default(), initial);
+        let mut last_pos = v.state().position;
+        for (throttle, brake, steer) in inputs {
+            v.step(ControlInput { throttle, brake, steer }, 0.01);
+            let s = v.state();
+            prop_assert!(s.speed >= 0.0);
+            prop_assert!(s.position >= last_pos);
+            prop_assert!(s.speed.is_finite() && s.lateral_offset.is_finite());
+            last_pos = s.position;
+        }
+    }
+
+    /// Full braking always dissipates speed monotonically.
+    #[test]
+    fn braking_is_monotone(initial in 1.0f64..60.0) {
+        let mut v = Vehicle::with_speed(VehicleParams::default(), initial);
+        let mut last = initial;
+        for _ in 0..500 {
+            v.step(ControlInput { brake: 1.0, ..ControlInput::default() }, 0.01);
+            prop_assert!(v.state().speed <= last + 1e-12);
+            last = v.state().speed;
+        }
+    }
+
+    /// The driver model always produces physically clamped commands.
+    #[test]
+    fn driver_commands_are_clamped(
+        desired in 0.0f64..60.0,
+        speed in 0.0f64..80.0,
+        offset in -5.0f64..5.0,
+    ) {
+        let driver = Driver::new(desired);
+        let input = driver.control(0.0, easis_vehicle::dynamics::VehicleState {
+            speed,
+            lateral_offset: offset,
+            ..Default::default()
+        });
+        prop_assert!((0.0..=1.0).contains(&input.throttle));
+        prop_assert!((0.0..=1.0).contains(&input.brake));
+        prop_assert!((-0.6..=0.6).contains(&input.steer));
+        // Never throttle and brake simultaneously.
+        prop_assert!(input.throttle == 0.0 || input.brake == 0.0);
+    }
+
+    /// Position profiles return the value of the last breakpoint at or
+    /// before the query position.
+    #[test]
+    fn profile_lookup_matches_reference(
+        breaks in prop::collection::btree_map(0u32..10_000, 0.0f64..50.0, 0..10),
+        query in 0u32..12_000,
+    ) {
+        let mut profile = PositionProfile::constant(99.0);
+        for (&pos, &val) in &breaks {
+            profile = profile.then_at(pos as f64, val);
+        }
+        let expected = breaks
+            .range(..=query)
+            .next_back()
+            .map(|(_, &v)| v)
+            .unwrap_or(99.0);
+        prop_assert_eq!(profile.at(query as f64), expected);
+    }
+
+    /// Sensors without injected faults stay within noise + quantisation of
+    /// the truth.
+    #[test]
+    fn sensor_error_is_bounded(truth in -100.0f64..100.0, seed in any::<u64>()) {
+        let mut s = Sensor::new(0.05, 0.02, seed);
+        let measured = s.measure(truth);
+        prop_assert!((measured - truth).abs() <= 0.05 / 2.0 + 0.02 + 1e-9);
+    }
+
+    /// Actuators never exceed their slew rate or leave their range.
+    #[test]
+    fn actuator_respects_rate_and_range(
+        targets in prop::collection::vec(-2.0f64..3.0, 1..100),
+    ) {
+        let mut a = Actuator::new(0.0, 1.0, 5.0);
+        let mut last = a.position();
+        for t in targets {
+            let p = a.command(t, 0.01);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((p - last).abs() <= 5.0 * 0.01 + 1e-12);
+            last = p;
+        }
+    }
+
+    /// The closed loop with a trivial limiter never diverges.
+    #[test]
+    fn plant_closed_loop_is_stable(seed in any::<u64>(), desired in 10.0f64..40.0) {
+        let mut plant = Plant::motorway(desired, desired, 13.9, seed);
+        for _ in 0..2_000 {
+            let over = plant.state().speed - plant.current_limit();
+            let overlay = if over > 0.0 {
+                SafetyOverlay { throttle_ceiling: 0.0, brake_request: (over * 0.3).min(1.0) }
+            } else {
+                SafetyOverlay::default()
+            };
+            plant.step(overlay, 0.01);
+            prop_assert!(plant.state().speed.is_finite());
+            prop_assert!(plant.state().speed < desired + 10.0);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Golden-fingerprint regression tests of the figure series.
+//!
+//! Each figure scenario is summarised per series (length, max, last, sum)
+//! and compared against checked-in fingerprints in `tests/goldens/`. The
+//! simulation is deterministic, so any drift means a behavioural change in
+//! the platform — review it and regenerate the goldens deliberately.
+
+use easis::sim::series::SeriesSet;
+use easis::validator::scenario;
+use std::fmt::Write as _;
+
+fn fingerprint(set: &SeriesSet) -> String {
+    let mut out = String::new();
+    for name in set.series_names() {
+        let s = set.series(name).expect("listed series exists");
+        let sum: f64 = s.values().sum();
+        let _ = writeln!(
+            out,
+            "{name}|len={}|max={:.3}|last={:.3}|sum={:.3}",
+            s.len(),
+            s.max().unwrap_or(0.0),
+            s.last_value().unwrap_or(0.0),
+            sum
+        );
+    }
+    out
+}
+
+#[test]
+fn fig5_matches_golden() {
+    assert_eq!(
+        fingerprint(&scenario::fig5_aliveness(3_000_000)),
+        include_str!("goldens/fig5.txt"),
+        "fig5 drifted — review the change, then regenerate tests/goldens/fig5.txt"
+    );
+}
+
+#[test]
+fn fig6_matches_golden() {
+    assert_eq!(
+        fingerprint(&scenario::fig6_collaboration()),
+        include_str!("goldens/fig6.txt"),
+        "fig6 drifted — review the change, then regenerate tests/goldens/fig6.txt"
+    );
+}
+
+#[test]
+fn arrival_rate_matches_golden() {
+    assert_eq!(
+        fingerprint(&scenario::exp_arrival_rate(2)),
+        include_str!("goldens/arrival.txt"),
+        "E-ARR drifted — review the change, then regenerate tests/goldens/arrival.txt"
+    );
+}
+
+#[test]
+fn program_flow_matches_golden() {
+    assert_eq!(
+        fingerprint(&scenario::exp_program_flow()),
+        include_str!("goldens/pfc.txt"),
+        "E-PFC drifted — review the change, then regenerate tests/goldens/pfc.txt"
+    );
+}

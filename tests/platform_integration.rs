@@ -1,0 +1,157 @@
+//! Cross-crate platform integration: OSEK scheduling + runnable layer +
+//! watchdog supervision interacting under load, preemption and resource
+//! contention.
+
+use easis::injection::Injector;
+use easis::osek::alarm::AlarmAction;
+use easis::osek::kernel::Os;
+use easis::osek::plan::{Plan, ResourceId, Step};
+use easis::osek::task::{Priority, TaskConfig};
+use easis::rte::assembly::SequencedTask;
+use easis::rte::runnable::{RunnableDef, RunnableRegistry};
+use easis::rte::world::{BasicEcuWorld, EcuWorld};
+use easis::sim::time::{Duration, Instant};
+use easis::validator::{CentralNode, NodeConfig};
+
+fn ms(n: u64) -> Instant {
+    Instant::from_millis(n)
+}
+
+#[test]
+fn preemption_preserves_heartbeat_ordering_within_each_task() {
+    // A slow low-priority task is preempted every period by a fast
+    // high-priority one; heartbeats of each task must still appear in the
+    // task's own program order.
+    let mut registry = RunnableRegistry::new();
+    let slow_specs: Vec<_> = (0..3)
+        .map(|i| registry.register(format!("slow{i}"), Duration::from_millis(3)))
+        .collect();
+    let fast_spec = registry.register("fast", Duration::from_micros(100));
+    let slow_ids: Vec<_> = slow_specs.iter().map(|s| s.id()).collect();
+    let fast_id = fast_spec.id();
+
+    let mut os: Os<BasicEcuWorld> = Os::new();
+    let slow_task = os.add_task(
+        TaskConfig::new("slow", Priority(1)),
+        SequencedTask::fixed("slow", slow_specs.into_iter().map(RunnableDef::no_op).collect()),
+    );
+    let fast_task = os.add_task(
+        TaskConfig::new("fast", Priority(5)),
+        SequencedTask::fixed("fast", vec![RunnableDef::no_op(fast_spec)]),
+    );
+    let a_slow = os.add_alarm("slow", AlarmAction::ActivateTask(slow_task));
+    let a_fast = os.add_alarm("fast", AlarmAction::ActivateTask(fast_task));
+    let mut world = BasicEcuWorld::new();
+    os.start(&mut world);
+    os.set_rel_alarm(a_slow, Duration::from_millis(20), Some(Duration::from_millis(20)))
+        .unwrap();
+    os.set_rel_alarm(a_fast, Duration::from_millis(2), Some(Duration::from_millis(2)))
+        .unwrap();
+    os.run_until(ms(200), &mut world);
+
+    // The fast task interleaved (it ran ~100 times, the slow one ~9).
+    let fast_beats = world.heartbeats.iter().filter(|&&(r, _)| r == fast_id).count();
+    assert!(fast_beats >= 90, "fast ran {fast_beats} times");
+    // Per-task projection of the heartbeat stream is strictly cyclic.
+    let slow_seq: Vec<_> = world
+        .heartbeats
+        .iter()
+        .filter(|(r, _)| slow_ids.contains(r))
+        .map(|&(r, _)| r)
+        .collect();
+    assert!(!slow_seq.is_empty());
+    for (i, r) in slow_seq.iter().enumerate() {
+        assert_eq!(*r, slow_ids[i % 3], "slow sequence broken at {i}");
+    }
+    assert_eq!(os.trace().count_kind("deadline_miss"), 0);
+}
+
+#[test]
+fn resource_contention_delays_but_does_not_corrupt_supervision() {
+    // Two tasks share a resource with a ceiling; the watchdog node's
+    // full-stack equivalent is exercised in the validator, here we check
+    // the kernel+rte layer composition directly.
+    let mut registry = RunnableRegistry::new();
+    let a_spec = registry.register("A", Duration::from_millis(1));
+    let b_spec = registry.register("B", Duration::from_millis(1));
+    let a_id = a_spec.id();
+    let b_id = b_spec.id();
+    let r = ResourceId(0);
+
+    let mut os: Os<BasicEcuWorld> = Os::new();
+    let a_logic = RunnableDef::no_op(a_spec);
+    let t_a = os.add_task(TaskConfig::new("A", Priority(2)), move |_n: Instant, _w: &BasicEcuWorld| {
+        let def = a_logic.clone();
+        let logic = def.logic();
+        let id = def.spec().id();
+        Plan::new()
+            .step(Step::GetResource(r))
+            .compute(Duration::from_millis(4))
+            .step(Step::ReleaseResource(r))
+            .effect(move |w: &mut BasicEcuWorld, ctx| {
+                w.indicate_heartbeat(id, ctx.now());
+                logic(w, ctx);
+            })
+    });
+    let b_logic = RunnableDef::no_op(b_spec);
+    let t_b = os.add_task(TaskConfig::new("B", Priority(4)), move |_n: Instant, _w: &BasicEcuWorld| {
+        let def = b_logic.clone();
+        let logic = def.logic();
+        let id = def.spec().id();
+        Plan::new()
+            .step(Step::GetResource(r))
+            .compute(Duration::from_millis(1))
+            .step(Step::ReleaseResource(r))
+            .effect(move |w: &mut BasicEcuWorld, ctx| {
+                w.indicate_heartbeat(id, ctx.now());
+                logic(w, ctx);
+            })
+    });
+    os.add_resource("shared", Priority(5));
+    let al_a = os.add_alarm("a", AlarmAction::ActivateTask(t_a));
+    let al_b = os.add_alarm("b", AlarmAction::ActivateTask(t_b));
+    let mut world = BasicEcuWorld::new();
+    os.start(&mut world);
+    os.set_rel_alarm(al_a, Duration::from_millis(10), Some(Duration::from_millis(10)))
+        .unwrap();
+    // B arrives while A holds the resource.
+    os.set_rel_alarm(al_b, Duration::from_millis(12), Some(Duration::from_millis(10)))
+        .unwrap();
+    os.run_until(ms(100), &mut world);
+    // No resource-order errors, and both tasks heartbeat every period.
+    assert_eq!(os.trace().count_kind("os_error"), 0, "{}", os.trace().render());
+    let beats_a = world.heartbeats.iter().filter(|&&(x, _)| x == a_id).count();
+    let beats_b = world.heartbeats.iter().filter(|&&(x, _)| x == b_id).count();
+    assert!(beats_a >= 8, "A heartbeats: {beats_a}");
+    assert!(beats_b >= 8, "B heartbeats: {beats_b}");
+}
+
+#[test]
+fn watchdog_task_survives_heavy_application_load() {
+    // Even with the CPU ~95% loaded, the highest-priority watchdog task
+    // keeps its cycle cadence.
+    let mut node = CentralNode::build(NodeConfig::default());
+    node.start();
+    // Stretch every steer runnable so the 5 ms task consumes most of the CPU.
+    let r0 = node.runnable("ReadHandwheel");
+    node.world.controls.runnable_mut(r0).exec_scale_ppm = 150_000_000; // 20µs → 3ms
+    let mut injector = Injector::none();
+    node.run_until(ms(500), &mut injector);
+    let cycles = node.world.watchdog.cycles_run();
+    assert!(cycles >= 48, "watchdog starved: only {cycles} cycles");
+    assert!(node.os.utilization() > 0.5, "load {}", node.os.utilization());
+}
+
+#[test]
+fn trace_contains_the_full_dispatch_story() {
+    let mut node = CentralNode::build(NodeConfig::safespeed_only());
+    node.start();
+    let mut injector = Injector::none();
+    node.run_until(ms(100), &mut injector);
+    let trace = node.os.trace();
+    assert!(trace.count_kind("startup") == 1);
+    assert!(trace.count_kind("alarm") >= 19); // 10ms task + wd + kick
+    assert!(trace.count_kind("dispatch") >= 19);
+    assert!(trace.count_kind("terminate") >= 19);
+    assert!(trace.of_kind("runnable").count() >= 27); // 9 periods × 3
+}

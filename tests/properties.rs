@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! monitoring units and substrates, exercised through the public API.
+
+use easis::baselines::cfcss::{BlockId, CfcssMonitor, CfcssProgram, ControlFlowGraph};
+use easis::rte::runnable::RunnableId;
+use easis::sim::cpu::CostMeter;
+use easis::sim::event::EventQueue;
+use easis::sim::time::{Duration, Instant};
+use easis::watchdog::config::{RunnableHypothesis, WatchdogConfig};
+use easis::watchdog::pfc::{FlowTable, FlowVerdict, ProgramFlowChecker};
+use easis::watchdog::SoftwareWatchdog;
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops are sorted by time
+    /// and FIFO within a timestamp.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Instant::from_micros(t), i);
+        }
+        let mut last: Option<(Instant, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO violated within a timestamp");
+                }
+            }
+            last = Some((at, idx));
+        }
+    }
+
+    /// Heartbeat monitoring never reports an aliveness error while at
+    /// least `min` heartbeats arrive per monitoring period, and always
+    /// reports within one period once heartbeats stop entirely.
+    #[test]
+    fn aliveness_detection_is_sound_and_complete(
+        min in 1u32..4,
+        cycles in 1u32..4,
+        healthy_periods in 1u64..10,
+    ) {
+        let config = WatchdogConfig::builder(Duration::from_millis(10))
+            .monitor(RunnableHypothesis::new(RunnableId(0)).alive_at_least(min, cycles))
+            .build();
+        let mut wd = SoftwareWatchdog::new(config);
+        let mut now = Instant::ZERO;
+        // Healthy phase: exactly `min` beats per cycle (≥ min per window).
+        for _ in 0..healthy_periods * cycles as u64 {
+            for _ in 0..min {
+                wd.heartbeat(RunnableId(0), now);
+            }
+            now += Duration::from_millis(10);
+            let report = wd.run_cycle(now);
+            prop_assert!(report.faults.is_empty(), "false positive: {report:?}");
+        }
+        // Silent phase: the error must come within `cycles` checks.
+        let mut detected = false;
+        for _ in 0..cycles {
+            now += Duration::from_millis(10);
+            if !wd.run_cycle(now).faults.is_empty() {
+                detected = true;
+                break;
+            }
+        }
+        prop_assert!(detected, "missed detection after {cycles} silent cycles");
+    }
+
+    /// Arrival-rate monitoring is exact: `max` beats per window pass,
+    /// `max + k` (k ≥ 1) beats are flagged at the window close.
+    #[test]
+    fn arrival_rate_threshold_is_exact(max in 0u32..5, excess in 1u32..4) {
+        let config = WatchdogConfig::builder(Duration::from_millis(10))
+            .monitor(RunnableHypothesis::new(RunnableId(0)).arrive_at_most(max, 1))
+            .build();
+        let mut wd = SoftwareWatchdog::new(config);
+        for _ in 0..max {
+            wd.heartbeat(RunnableId(0), Instant::from_millis(1));
+        }
+        prop_assert!(wd.run_cycle(Instant::from_millis(10)).faults.is_empty());
+        for _ in 0..max + excess {
+            wd.heartbeat(RunnableId(0), Instant::from_millis(11));
+        }
+        let report = wd.run_cycle(Instant::from_millis(20));
+        prop_assert_eq!(report.faults.len(), 1);
+    }
+
+    /// Walking any legal path of a flow table never raises a violation;
+    /// each counter-table jump raises exactly one.
+    #[test]
+    fn flow_table_accepts_exactly_its_language(
+        chain_len in 2u32..8,
+        steps in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        // Table: cycle 0→1→…→n-1→0. `true` = legal next, `false` = skip one
+        // (illegal).
+        let mut table = FlowTable::new();
+        for i in 0..chain_len {
+            table.allow(RunnableId(i), RunnableId((i + 1) % chain_len));
+        }
+        let mut pfc = ProgramFlowChecker::new(table);
+        let mut pos = 0u32;
+        prop_assert_eq!(pfc.observe(RunnableId(0)), FlowVerdict::Ok);
+        let mut expected_errors = 0u64;
+        for &legal in &steps {
+            let next = if legal {
+                (pos + 1) % chain_len
+            } else {
+                (pos + 2) % chain_len // skips one node: illegal for len > 2
+            };
+            // For chain_len == 2 the "skip" lands back on `pos` itself,
+            // which is equally illegal (no self loops in the table).
+            let verdict = pfc.observe(RunnableId(next));
+            if legal {
+                prop_assert_eq!(verdict, FlowVerdict::Ok);
+            } else {
+                expected_errors += 1;
+                let violated = matches!(verdict, FlowVerdict::Violation { .. });
+                prop_assert!(violated);
+            }
+            pos = next;
+        }
+        prop_assert_eq!(pfc.errors_detected(), expected_errors);
+    }
+
+    /// CFCSS never flags a legal random walk and always flags a random
+    /// illegal jump on a chain graph.
+    #[test]
+    fn cfcss_is_sound_on_legal_walks(
+        blocks in 3usize..32,
+        walk_len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let program = CfcssProgram::instrument(ControlFlowGraph::chain(blocks), seed);
+        let mut monitor = CfcssMonitor::new(program, BlockId(0));
+        let mut costs = CostMeter::new();
+        for i in 1..=walk_len {
+            let failed = monitor.enter(BlockId((i % blocks) as u32), &mut costs);
+            prop_assert!(!failed, "false positive at step {i}");
+        }
+        prop_assert_eq!(monitor.errors(), 0);
+    }
+
+    #[test]
+    fn cfcss_flags_illegal_jumps(
+        blocks in 4usize..32,
+        jump in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let program = CfcssProgram::instrument(ControlFlowGraph::chain(blocks), seed);
+        let mut monitor = CfcssMonitor::new(program, BlockId(0));
+        let mut costs = CostMeter::new();
+        prop_assert!(!monitor.enter(BlockId(1), &mut costs));
+        // Jump somewhere that is not the successor of block 1.
+        let target = 1 + 1 + (jump % (blocks - 2).max(1));
+        prop_assume!(target % blocks != 2 && target % blocks != 1);
+        let failed = monitor.enter(BlockId((target % blocks) as u32), &mut costs);
+        prop_assert!(failed, "illegal jump 1→{target} undetected");
+    }
+
+    /// TSI threshold semantics: exactly at the threshold the task flips,
+    /// never before.
+    #[test]
+    fn tsi_threshold_is_exact(threshold in 1u32..10) {
+        use easis::osek::task::TaskId;
+        use easis::rte::mapping::SystemMapping;
+        use easis::watchdog::report::{DetectedFault, FaultKind};
+        use easis::watchdog::tsi::TaskStateIndication;
+        let mut mapping = SystemMapping::new();
+        let app = mapping.add_application("A");
+        mapping.assign_task(TaskId(0), app);
+        mapping.assign_runnable(RunnableId(0), TaskId(0));
+        let mut tsi = TaskStateIndication::new(mapping, threshold, u32::MAX);
+        for i in 1..=threshold {
+            let changes = tsi.record(DetectedFault {
+                at: Instant::from_millis(i as u64),
+                runnable: RunnableId(0),
+                kind: FaultKind::Aliveness,
+            });
+            if i < threshold {
+                prop_assert!(changes.is_empty(), "flipped early at {i}");
+            } else {
+                prop_assert!(!changes.is_empty(), "did not flip at {threshold}");
+            }
+        }
+    }
+}

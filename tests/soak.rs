@@ -1,0 +1,53 @@
+//! Long-horizon soak tests: the platform must stay healthy, bounded and
+//! deterministic over extended runs. The short variants run in the normal
+//! suite; the minutes-long ones are `#[ignore]`d (run with
+//! `cargo test -- --ignored`).
+
+use easis::injection::{CampaignBuilder, Injector};
+use easis::rte::runnable::RunnableId;
+use easis::sim::time::{Duration, Instant};
+use easis::validator::hil::HilValidator;
+use easis::validator::{scenario, CentralNode, NodeConfig};
+
+#[test]
+fn central_node_stays_clean_for_ten_simulated_seconds() {
+    let mut node = CentralNode::build(NodeConfig::default());
+    node.start();
+    let mut injector = Injector::none();
+    node.run_until(Instant::from_millis(10_000), &mut injector);
+    assert!(node.world.fault_log.is_empty());
+    assert_eq!(node.world.hw_watchdog.expirations(), 0);
+    assert_eq!(node.world.watchdog.cycles_run(), 999);
+    // The trace grows linearly, not explosively (~60 events per 10ms
+    // hyperperiod across 5 tasks).
+    assert!(node.os.trace().len() < 100_000, "{}", node.os.trace().len());
+}
+
+#[test]
+fn hil_long_run_remains_stable_and_supervised() {
+    let mut hil = HilValidator::motorway(25.0, 13.9, None, 99);
+    let mut injector = Injector::none();
+    let report = hil.run(Duration::from_secs(120), &mut injector, None);
+    assert!((report.final_speed - 13.9).abs() < 1.5);
+    assert_eq!(report.faults_detected, 0);
+    // Bus traffic is proportional to time: 120s × (100 speed+50 lat+20 lim)/s.
+    assert!(report.can_frames > 15_000);
+}
+
+#[test]
+#[ignore = "minutes-long campaign; run with --ignored"]
+fn large_campaign_soak() {
+    let targets: Vec<RunnableId> = (0..9).map(RunnableId).collect();
+    let horizon = Instant::from_millis(1_500);
+    let plan = CampaignBuilder::new(7, targets)
+        .loop_targets(vec![RunnableId(4), RunnableId(7)])
+        .trials_per_class(50)
+        .with_horizon(horizon)
+        .build();
+    let stats = plan.run(|t| scenario::run_trial(t, horizon));
+    assert_eq!(stats.len(), 250);
+    // Every runnable-level class stays fully covered at scale.
+    for class in ["heartbeat_loss", "skip_runnable"] {
+        assert_eq!(stats.sw_coverage(class), 1.0, "{class}");
+    }
+}

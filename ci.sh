@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from the repo root.
+# Mirrors what reviewers run before merging; keep it green.
+set -euo pipefail
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

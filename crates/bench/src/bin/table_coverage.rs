@@ -4,10 +4,18 @@
 //! A seeded campaign injects every runnable-level error class into the full
 //! central node (SafeSpeed + SafeLane + steer-by-wire) and reports the
 //! detection coverage of the three Software Watchdog units against the
-//! hardware watchdog and the task-granularity baselines.
+//! hardware watchdog and the task-granularity baselines, with Wilson-score
+//! 95% confidence intervals on every coverage number.
+//!
+//! Usage: `table_coverage [trials_per_class] [workers]` — trials default
+//! to 10 per class; workers default to `EASIS_WORKERS` or the machine's
+//! available parallelism. The emitted JSON is bit-identical for any
+//! worker count.
 
 use easis_bench::{emit_json, header};
 use easis_injection::campaign::CampaignBuilder;
+use easis_injection::executor::CampaignExecutor;
+use easis_injection::report::CampaignReport;
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::{Duration, Instant};
 use easis_validator::scenario;
@@ -17,6 +25,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
+    let executor = match std::env::args().nth(2).and_then(|s| s.parse().ok()) {
+        Some(workers) => CampaignExecutor::new(workers),
+        None => CampaignExecutor::from_env(),
+    };
     header(
         "T-COV",
         "outlook — fault detection coverage analysis",
@@ -32,15 +44,30 @@ fn main() {
         .window(Instant::from_millis(300), Duration::from_millis(400))
         .with_horizon(horizon)
         .build();
-    println!("running {} trials…\n", plan.len());
-    let stats = plan.run(|trial| scenario::run_trial(trial, horizon));
+    println!(
+        "running {} trials on {} worker(s)…\n",
+        plan.len(),
+        executor.workers()
+    );
+    let started = std::time::Instant::now();
+    let stats = scenario::run_plan(&plan, horizon, &executor);
+    let elapsed = started.elapsed();
 
     print!("{}", stats.render_coverage_table());
+    let report = CampaignReport::from_stats(&stats);
+    println!();
+    print!("{}", report.render());
+    println!(
+        "\n[{} trials in {:.2} s on {} worker(s)]",
+        stats.len(),
+        elapsed.as_secs_f64(),
+        executor.workers()
+    );
     println!(
         "\npaper shape check: heartbeat-loss, skipped-runnable and duplicate-\n\
          dispatch errors are runnable-level — only the Software Watchdog units\n\
          detect them; timing-budget errors are also seen by the task-level\n\
          monitors; only CPU-saturating faults reach the hardware watchdog."
     );
-    emit_json("table_coverage", &stats);
+    emit_json("table_coverage", &report);
 }

@@ -7,7 +7,8 @@
 //! detects.
 
 use easis_bench::{emit_json, header};
-use easis_injection::campaign::CampaignBuilder;
+use easis_injection::campaign::{CampaignBuilder, CampaignPlan};
+use easis_injection::executor::CampaignExecutor;
 use easis_injection::stats::DetectorId;
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::{Duration, Instant};
@@ -43,17 +44,21 @@ fn main() {
 
     // Keep only the classes that leave task timing intact.
     let runnable_level = ["heartbeat_loss", "skip_runnable", "duplicate_dispatch"];
-    let trials: Vec<_> = plan
-        .trials()
-        .iter()
-        .filter(|t| runnable_level.contains(&t.injection.class.tag()))
-        .cloned()
-        .collect();
-    println!("running {} runnable-level trials…\n", trials.len());
-    let outcomes: Vec<_> = trials
-        .iter()
-        .map(|t| scenario::run_trial(t, horizon))
-        .collect();
+    let sub_plan = CampaignPlan::from_trials(
+        plan.trials()
+            .iter()
+            .filter(|t| runnable_level.contains(&t.injection.class.tag()))
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    let executor = CampaignExecutor::from_env();
+    println!(
+        "running {} runnable-level trials on {} worker(s)…\n",
+        sub_plan.len(),
+        executor.workers()
+    );
+    let outcomes = scenario::run_plan(&sub_plan, horizon, &executor);
+    let outcomes = outcomes.trials();
 
     let injected = outcomes.len();
     let sw = outcomes.iter().filter(|o| o.detected_by_sw_watchdog()).count();

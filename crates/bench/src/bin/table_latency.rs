@@ -2,10 +2,18 @@
 //! paper §3).
 //!
 //! The same campaign as T-COV, reported as detection-latency distributions
-//! (min / median / p95 from injection start) per error class and monitor.
+//! (min / median / p95 / p99 from injection start) per error class and
+//! monitor.
+//!
+//! Usage: `table_latency [trials_per_class] [workers]` — trials default
+//! to 10 per class; workers default to `EASIS_WORKERS` or the machine's
+//! available parallelism. The emitted JSON is bit-identical for any
+//! worker count.
 
 use easis_bench::{emit_json, header};
 use easis_injection::campaign::CampaignBuilder;
+use easis_injection::executor::CampaignExecutor;
+use easis_injection::report::CampaignReport;
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::{Duration, Instant};
 use easis_validator::scenario;
@@ -15,6 +23,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
+    let executor = match std::env::args().nth(2).and_then(|s| s.parse().ok()) {
+        Some(workers) => CampaignExecutor::new(workers),
+        None => CampaignExecutor::from_env(),
+    };
     header(
         "T-LAT",
         "§3 claim — early detection of timing and flow faults",
@@ -28,14 +40,29 @@ fn main() {
         .window(Instant::from_millis(300), Duration::from_millis(400))
         .with_horizon(horizon)
         .build();
-    println!("running {} trials…\n", plan.len());
-    let stats = plan.run(|trial| scenario::run_trial(trial, horizon));
+    println!(
+        "running {} trials on {} worker(s)…\n",
+        plan.len(),
+        executor.workers()
+    );
+    let started = std::time::Instant::now();
+    let stats = scenario::run_plan(&plan, horizon, &executor);
+    let elapsed = started.elapsed();
 
     print!("{}", stats.render_latency_table());
+    let report = CampaignReport::from_stats(&stats);
+    println!();
+    print!("{}", report.render());
+    println!(
+        "\n[{} trials in {:.2} s on {} worker(s)]",
+        stats.len(),
+        elapsed.as_secs_f64(),
+        executor.workers()
+    );
     println!(
         "\npaper shape check: PFC detects within one task period (immediate\n\
          look-up on the heartbeat); heartbeat monitoring within one watchdog\n\
          monitoring period; the hardware watchdog only after its full timeout."
     );
-    emit_json("table_latency", &stats);
+    emit_json("table_latency", &report);
 }

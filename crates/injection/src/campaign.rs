@@ -30,6 +30,15 @@ pub struct CampaignPlan {
 }
 
 impl CampaignPlan {
+    /// Creates a plan directly from a trial list (for filtered sub-plans
+    /// and synthetic plans in tests; seeded plans come from
+    /// [`CampaignBuilder`]).
+    pub fn from_trials(trials: impl Into<Vec<TrialSpec>>) -> CampaignPlan {
+        CampaignPlan {
+            trials: trials.into(),
+        }
+    }
+
     /// The planned trials.
     pub fn trials(&self) -> &[TrialSpec] {
         &self.trials

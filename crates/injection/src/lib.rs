@@ -12,8 +12,12 @@
 //!   windows;
 //! * [`campaign`] — seeded plans of injection trials over target
 //!   runnables;
+//! * [`executor`] — parallel, deterministic execution of campaign plans
+//!   across worker threads;
 //! * [`stats`] — detection coverage and latency aggregation across the
-//!   Software Watchdog units and the baseline monitors.
+//!   Software Watchdog units and the baseline monitors;
+//! * [`report`] — serialisable campaign reports with Wilson-score
+//!   coverage confidence intervals and latency percentiles.
 //!
 //! # Examples
 //!
@@ -31,9 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod executor;
 pub mod injector;
+pub mod report;
 pub mod stats;
 
 pub use campaign::{CampaignBuilder, CampaignPlan, TrialSpec};
+pub use executor::CampaignExecutor;
 pub use injector::{ErrorClass, Injection, Injector};
+pub use report::{CampaignReport, ClassReport, DetectorReport, LatencySummary, WilsonInterval};
 pub use stats::{CampaignStats, DetectorId, TrialOutcome};

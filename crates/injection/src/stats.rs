@@ -55,7 +55,7 @@ impl DetectorId {
 }
 
 /// Result of one fault-injection trial.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialOutcome {
     /// Error class tag of the injected fault.
     pub class: String,
@@ -97,7 +97,7 @@ impl TrialOutcome {
 }
 
 /// Aggregated campaign results: coverage and latency per (class, detector).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignStats {
     trials: Vec<TrialOutcome>,
 }
@@ -277,6 +277,29 @@ mod tests {
         assert_eq!(CampaignStats::percentile(&sorted, 0.5), Some(ms(51)));
         assert_eq!(CampaignStats::percentile(&sorted, 1.0), Some(ms(100)));
         assert_eq!(CampaignStats::percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_of_empty_list_is_none_for_every_p() {
+        for p in [0.0, 0.5, 1.0, -1.0, 2.0] {
+            assert_eq!(CampaignStats::percentile(&[], p), None);
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let one = [ms(42)];
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(CampaignStats::percentile(&one, p), Some(ms(42)));
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        // p below 0 clamps to the minimum, above 1 to the maximum.
+        assert_eq!(CampaignStats::percentile(&sorted, -0.5), Some(ms(1)));
+        assert_eq!(CampaignStats::percentile(&sorted, 7.0), Some(ms(10)));
     }
 
     #[test]

@@ -231,6 +231,18 @@ pub fn run_trial(spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
     outcome
 }
 
+/// Runs every trial of `plan` on the given executor, each on a freshly
+/// built full node via [`run_trial`]. Trials are hermetic (nothing is
+/// shared between node worlds), so any worker count produces stats
+/// bit-identical to a serial run.
+pub fn run_plan(
+    plan: &easis_injection::campaign::CampaignPlan,
+    horizon: Instant,
+    executor: &easis_injection::executor::CampaignExecutor,
+) -> easis_injection::stats::CampaignStats {
+    executor.run(plan, |spec| run_trial(spec, horizon))
+}
+
 /// A quick health check of a golden (fault-free) run: returns `true` when
 /// no detector fired over the horizon. Used by tests and as the campaign's
 /// false-positive control.
@@ -342,6 +354,23 @@ mod tests {
         assert!(!outcome.detected_by(DetectorId::HwWatchdog));
         assert!(!outcome.detected_by(DetectorId::DeadlineMonitor));
         assert!(!outcome.detected_by(DetectorId::ExecTimeMonitor));
+    }
+
+    #[test]
+    fn run_plan_is_identical_serial_and_parallel() {
+        use easis_injection::campaign::CampaignBuilder;
+        use easis_injection::executor::CampaignExecutor;
+        let horizon = ms(700);
+        let plan = CampaignBuilder::new(11, (3..6).map(easis_rte::runnable::RunnableId).collect())
+            .loop_targets(vec![easis_rte::runnable::RunnableId(4)])
+            .trials_per_class(1)
+            .window(ms(200), easis_sim::time::Duration::from_millis(200))
+            .with_horizon(horizon)
+            .build();
+        let serial = run_plan(&plan, horizon, &CampaignExecutor::serial());
+        let parallel = run_plan(&plan, horizon, &CampaignExecutor::new(2));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), plan.len());
     }
 
     #[test]

@@ -2,16 +2,58 @@
 //! monitoring units and substrates, exercised through the public API.
 
 use easis::baselines::cfcss::{BlockId, CfcssMonitor, CfcssProgram, ControlFlowGraph};
+use easis::injection::campaign::{CampaignBuilder, TrialSpec};
+use easis::injection::executor::CampaignExecutor;
+use easis::injection::stats::{DetectorId, TrialOutcome};
 use easis::rte::runnable::RunnableId;
 use easis::sim::cpu::CostMeter;
 use easis::sim::event::EventQueue;
+use easis::sim::rng::SimRng;
 use easis::sim::time::{Duration, Instant};
 use easis::watchdog::config::{RunnableHypothesis, WatchdogConfig};
 use easis::watchdog::pfc::{FlowTable, FlowVerdict, ProgramFlowChecker};
 use easis::watchdog::SoftwareWatchdog;
 use proptest::prelude::*;
 
+/// A cheap trial runner whose outcome is a pure function of the spec —
+/// stands in for the (expensive) full-node scenario so the executor
+/// property can sweep many plans and worker counts.
+fn synthetic_runner(spec: &TrialSpec) -> TrialOutcome {
+    let mut rng = SimRng::seed_from(spec.seed);
+    let mut outcome = TrialOutcome::new(spec.injection.class.tag());
+    for detector in DetectorId::ALL {
+        if rng.next_below(100) < 55 {
+            outcome.record(detector, Duration::from_micros(rng.next_in(50, 80_000)));
+        }
+    }
+    outcome
+}
+
 proptest! {
+    /// The campaign executor is deterministic: for any plan and any
+    /// worker count, the aggregated stats — and their JSON bytes — equal
+    /// the serial run's exactly.
+    #[test]
+    fn campaign_executor_is_deterministic_for_any_plan_and_worker_count(
+        seed in any::<u64>(),
+        n_targets in 1u32..6,
+        trials_per_class in 1usize..5,
+        workers in 1usize..=8,
+    ) {
+        let targets: Vec<RunnableId> = (0..n_targets).map(RunnableId).collect();
+        let plan = CampaignBuilder::new(seed, targets)
+            .trials_per_class(trials_per_class)
+            .build();
+        let serial = CampaignExecutor::serial().run(&plan, synthetic_runner);
+        let parallel = CampaignExecutor::new(workers).run(&plan, synthetic_runner);
+        prop_assert_eq!(&serial, &parallel, "stats diverged at {} workers", workers);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&serial).unwrap(),
+            serde_json::to_string_pretty(&parallel).unwrap(),
+            "JSON bytes diverged at {} workers", workers
+        );
+    }
+
     /// The event queue is a stable priority queue: pops are sorted by time
     /// and FIFO within a timestamp.
     #[test]

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API surface the workspace benches use —
+//! [`Criterion::bench_function`], benchmark groups, `iter`/`iter_batched*`
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! fixed-iteration wall-clock timer instead of criterion's statistical
+//! analysis. Good enough to keep the benches compiling and producing
+//! comparable ns/iter numbers offline.
+
+use std::time::Instant;
+
+/// How batched setup output is sized (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Opaque measurement driver passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Bencher {
+        Bencher {
+            iterations,
+            elapsed_ns: 0,
+        }
+    }
+
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = 0u128;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = 0u128;
+        for _ in 0..self.iterations {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.parent.sample_size, f);
+        self
+    }
+
+    /// Closes the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, iterations: u64, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(iterations.max(1));
+    f(&mut b);
+    let per_iter = b.elapsed_ns / u128::from(b.iterations.max(1));
+    println!("bench {name:<40} {per_iter:>12} ns/iter ({} iters)", b.iterations);
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        c.bench_function("demo_direct", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("demo");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1, 2, 3], |v| v.pop(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = bench_demo
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

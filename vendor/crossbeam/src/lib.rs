@@ -1,0 +1,226 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities the campaign executor uses:
+//!
+//! * [`channel`] — multi-producer **multi-consumer** channels (std's mpsc
+//!   receiver is single-consumer, so this wraps a mutexed deque with a
+//!   condvar);
+//! * [`thread`] — scoped threads, delegating to `std::thread::scope`
+//!   (stable since Rust 1.63, which is what crossbeam's scope predates).
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a channel with no receivers")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty channel with no senders")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// The sending half; clonable across threads.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half; clonable across threads (MPMC).
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `item`, failing if every receiver has been dropped.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.queue.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().expect("channel poisoned").senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next item, blocking while senders are alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues the next item without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.queue.lock().expect("channel poisoned");
+            if let Some(item) = state.items.pop_front() {
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().expect("channel poisoned").receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+
+    /// Iterator over received items (ends when senders disconnect).
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    /// Spawns scoped threads via `std::thread::scope`; the closure
+    /// receives the std `Scope` directly. Unlike crossbeam's original
+    /// (pre-1.63) API this cannot observe child panics as an `Err` — a
+    /// panicking child aborts the scope by propagating, which is the
+    /// behaviour the campaign executor wants anyway.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn mpmc_channel_distributes_work_across_consumers() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || rx.iter().collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let mut sorted = got;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_reports_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

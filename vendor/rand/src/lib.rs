@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace declares `rand` as a dependency but all simulation code
+//! uses the repo's own deterministic `SimRng`; this stub exists so the
+//! manifests resolve offline. It still provides a working SplitMix64-based
+//! [`StdRng`] and the core [`Rng`]/[`SeedableRng`]/[`RngCore`] traits in
+//! case future code reaches for them.
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be non-zero");
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the simulation ranges this workspace uses.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `bool`.
+    fn gen_bool_uniform(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Module mirror of rand's `rngs` namespace.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let x = a.gen_range_u64(100);
+        assert!(x < 100);
+        let f = a.gen_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! real serde cannot be fetched. This crate provides the subset of the
+//! serde surface the workspace actually uses — the `Serialize` and
+//! `Deserialize` traits, their derive macros, and impls for the standard
+//! types appearing in workspace data structures — implemented over a
+//! simple self-describing [`Value`] tree instead of serde's
+//! serializer/deserializer visitor machinery.
+//!
+//! Design constraints honoured here:
+//!
+//! * **Deterministic output.** Maps preserve insertion order (derive
+//!   emits fields in declaration order; `BTreeMap` iterates sorted), so
+//!   serializing the same data twice yields byte-identical JSON — the
+//!   property the campaign golden-report tests rely on.
+//! * **Round-trip fidelity.** Every impl's `deserialize` accepts exactly
+//!   what its `serialize` produces (plus numeric-from-string leniency for
+//!   JSON map keys, which are always strings on the wire).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Shared null used when a map key is absent.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Creates an empty map value.
+    pub fn new_map() -> Value {
+        Value::Map(Vec::new())
+    }
+
+    /// Wraps a payload as a single-entry map `{variant: payload}` (the
+    /// externally-tagged enum encoding).
+    pub fn variant(name: &str, payload: Value) -> Value {
+        Value::Map(vec![(name.to_string(), payload)])
+    }
+
+    /// Inserts `key` into a map value (replacing an existing entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a map.
+    pub fn map_insert(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Map(entries) => {
+                if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("map_insert on non-map value"),
+        }
+    }
+
+    /// Looks up `key`; absent keys yield `&Value::Null` so `Option`
+    /// fields deserialize as `None`.
+    pub fn map_get(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+
+    /// The entries of a map value.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::expected("map", other)),
+        }
+    }
+
+    /// The elements of a sequence value.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::expected("sequence", other)),
+        }
+    }
+
+    /// The elements of a sequence value of exactly `n` elements.
+    pub fn as_seq_of(&self, n: usize) -> Result<&[Value], Error> {
+        let items = self.as_seq()?;
+        if items.len() != n {
+            return Err(Error::new(format!(
+                "expected sequence of {n} elements, got {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Short tag of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Renders the value usable as a JSON map key (strings pass through,
+    /// numbers and bools are stringified — serde_json semantics).
+    pub fn into_key(self) -> Result<String, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::UInt(n) => Ok(n.to_string()),
+            Value::Int(n) => Ok(n.to_string()),
+            Value::Bool(b) => Ok(b.to_string()),
+            other => Err(Error::expected("key-compatible value", &other)),
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    /// Type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+        Error(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be rendered into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            Value::Str(s) => s.parse().map_err(|_| Error::expected("bool", value)),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::expected("unsigned integer", value))?,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    // JSON map keys are strings on the wire.
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| Error::expected("unsigned integer", value))?,
+                    other => return Err(Error::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::expected("integer", value))?,
+                    Value::Int(n) => *n,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => s
+                        .parse()
+                        .map_err(|_| Error::expected("integer", value))?,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::new(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            Value::Str(s) => s.parse().map_err(|_| Error::expected("float", value)),
+            other => Err(Error::expected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde deserializes `&'de str` zero-copy from the input; this
+    /// owned-tree stub cannot borrow, so it leaks the (small) string to get
+    /// a `'static` lifetime. Only used by config types in tests.
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = value
+            .as_seq_of(N)?
+            .iter()
+            .map(T::deserialize)
+            .collect::<Result<_, _>>()?;
+        Ok(items.try_into().expect("length checked"))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = k
+                .serialize()
+                .into_key()
+                .expect("map key must serialize to a string or number");
+            entries.push((key, v.serialize()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let mut map = BTreeMap::new();
+        for (k, v) in value.as_map()? {
+            map.insert(
+                K::deserialize(&Value::Str(k.clone()))?,
+                V::deserialize(v)?,
+            );
+        }
+        Ok(map)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = $n; 1 })+;
+                let items = value.as_seq_of(N)?;
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces_existing_keys() {
+        let mut m = Value::new_map();
+        m.map_insert("a", Value::UInt(1));
+        m.map_insert("a", Value::UInt(2));
+        assert_eq!(m.map_get("a").unwrap(), &Value::UInt(2));
+        assert_eq!(m.map_get("missing").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn numeric_keys_round_trip_through_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "x".to_string());
+        let v = m.serialize();
+        let back: BTreeMap<u32, String> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn option_absent_field_is_none() {
+        let m = Value::new_map();
+        let got: Option<u32> = Deserialize::deserialize(m.map_get("gone").unwrap()).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = ("speed".to_string(), 19.4f64);
+        let back: (String, f64) = Deserialize::deserialize(&t.serialize()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -15,4 +15,10 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> trace_dump smoke test (fixed-seed flight-recorder trial)"
+cargo run --release -q -p easis-bench --bin trace_dump > /dev/null
+
 echo "CI green."

@@ -7,6 +7,11 @@
 //! table reports detection plus per-cycle monitoring cost. The replayer
 //! column is the capability the passive choice gives up; the cost column is
 //! what it saves.
+//!
+//! Both monitors are driven through the unified [`MonitoringUnit`]
+//! interface: the driver below broadcasts the condition's indications and
+//! runs the periodic check without knowing which unit it is exercising —
+//! the same loop works for either approach.
 
 use easis_bench::{emit_json, header};
 use easis_rte::runnable::RunnableId;
@@ -15,6 +20,7 @@ use easis_sim::time::Instant;
 use easis_watchdog::config::RunnableHypothesis;
 use easis_watchdog::heartbeat::HeartbeatMonitor;
 use easis_watchdog::probe::{expected_response, ActiveProbeMonitor};
+use easis_watchdog::unit::{MonitorEvent, MonitoringUnit};
 use serde::Serialize;
 
 const CYCLES: u64 = 1_000;
@@ -35,43 +41,67 @@ struct Row {
     cycles_per_runnable_cycle: f64,
 }
 
-fn run_passive(condition: Condition) -> (u64, u64) {
-    let r = RunnableId(0);
-    let mut monitor = HeartbeatMonitor::new([RunnableHypothesis::new(r).alive_at_least(1, 1)]);
+/// Drives any monitoring unit over `CYCLES` watchdog cycles; the
+/// condition decides which indications `events_for` produces each cycle.
+fn drive(
+    unit: &mut dyn MonitoringUnit,
+    mut events_for: impl FnMut(u64) -> Vec<MonitorEvent>,
+) -> (u64, u64) {
     let mut costs = CostMeter::new();
     let mut detections = 0;
     for cycle in 1..=CYCLES {
-        match condition {
-            Condition::Healthy | Condition::StuckReplayer => monitor.record(r, &mut costs),
-            Condition::Dead => {}
+        for event in events_for(cycle) {
+            unit.observe(event, &mut costs);
         }
-        detections += monitor
-            .end_of_cycle(Instant::from_millis(cycle * 10), &mut costs)
+        detections += unit
+            .check(Instant::from_millis(cycle * 10), &mut costs)
             .len() as u64;
     }
     (detections, costs.total_cycles())
 }
 
+fn run_passive(condition: Condition) -> (u64, u64) {
+    let r = RunnableId(0);
+    let mut monitor = HeartbeatMonitor::new([RunnableHypothesis::new(r).alive_at_least(1, 1)]);
+    drive(&mut monitor, |cycle| match condition {
+        Condition::Healthy | Condition::StuckReplayer => vec![MonitorEvent::Heartbeat {
+            runnable: r,
+            at: Instant::from_millis(cycle * 10 - 5),
+        }],
+        Condition::Dead => Vec::new(),
+    })
+}
+
 fn run_active(condition: Condition) -> (u64, u64) {
     let r = RunnableId(0);
-    let mut monitor = ActiveProbeMonitor::new([r], 42);
-    let mut costs = CostMeter::new();
-    let stale = expected_response(monitor.challenge_for(r).unwrap());
-    let mut detections = 0;
-    for cycle in 1..=CYCLES {
-        match condition {
-            Condition::Healthy => {
-                let c = monitor.challenge_for(r).unwrap();
-                monitor.respond(r, expected_response(c), &mut costs);
-            }
-            Condition::StuckReplayer => monitor.respond(r, stale, &mut costs),
-            Condition::Dead => {}
-        }
-        detections += monitor
-            .end_of_cycle(Instant::from_millis(cycle * 10), &mut costs)
-            .len() as u64;
+    // The challenge stream is a pure function of the seed (one draw per
+    // runnable per cycle check), so a shadow monitor with the same seed
+    // yields the fresh response the healthy glue would compute each cycle.
+    let mut shadow = ActiveProbeMonitor::new([r], 42);
+    let stale = expected_response(shadow.challenge_for(r).unwrap());
+    let mut fresh = Vec::new();
+    let mut shadow_costs = CostMeter::new();
+    for _ in 1..=CYCLES {
+        fresh.push(expected_response(shadow.challenge_for(r).unwrap()));
+        let _ = shadow.end_of_cycle(Instant::ZERO, &mut shadow_costs);
     }
-    (detections, costs.total_cycles())
+    let mut monitor = ActiveProbeMonitor::new([r], 42);
+    drive(&mut monitor, |cycle| {
+        let at = Instant::from_millis(cycle * 10 - 5);
+        match condition {
+            Condition::Healthy => vec![MonitorEvent::ProbeResponse {
+                runnable: r,
+                response: fresh[(cycle - 1) as usize],
+                at,
+            }],
+            Condition::StuckReplayer => vec![MonitorEvent::ProbeResponse {
+                runnable: r,
+                response: stale,
+                at,
+            }],
+            Condition::Dead => Vec::new(),
+        }
+    })
 }
 
 fn main() {

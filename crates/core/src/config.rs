@@ -223,11 +223,22 @@ impl WatchdogConfigBuilder {
         self
     }
 
-    /// Keeps monitoring runnables of tasks already marked faulty (ablation
-    /// switch; the default deactivates them).
-    pub fn keep_monitoring_faulty_tasks(mut self) -> Self {
-        self.config.deactivate_on_faulty_task = false;
+    /// Sets whether the watchdog clears the activation status of a faulty
+    /// task's runnables (default `true`, matching the paper's Figure 6;
+    /// `false` is the ablation switch that keeps monitoring them). Named
+    /// after the [`WatchdogConfig::deactivate_on_faulty_task`] accessor.
+    pub fn deactivate_on_faulty_task(mut self, deactivate: bool) -> Self {
+        self.config.deactivate_on_faulty_task = deactivate;
         self
+    }
+
+    /// Keeps monitoring runnables of tasks already marked faulty.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `deactivate_on_faulty_task(false)` instead"
+    )]
+    pub fn keep_monitoring_faulty_tasks(self) -> Self {
+        self.deactivate_on_faulty_task(false)
     }
 
     /// Declares the ECU faulty once `n` applications are faulty.
@@ -296,6 +307,27 @@ mod tests {
             9
         );
         assert_eq!(cfg.monitored().count(), 1);
+    }
+
+    #[test]
+    fn deactivate_on_faulty_task_builder_sets_the_flag() {
+        let on = WatchdogConfig::builder(Duration::from_millis(10))
+            .deactivate_on_faulty_task(true)
+            .build();
+        assert!(on.deactivate_on_faulty_task());
+        let off = WatchdogConfig::builder(Duration::from_millis(10))
+            .deactivate_on_faulty_task(false)
+            .build();
+        assert!(!off.deactivate_on_faulty_task());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_keep_monitoring_alias_still_works() {
+        let cfg = WatchdogConfig::builder(Duration::from_millis(10))
+            .keep_monitoring_faulty_tasks()
+            .build();
+        assert!(!cfg.deactivate_on_faulty_task());
     }
 
     #[test]

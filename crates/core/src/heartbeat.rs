@@ -11,6 +11,7 @@
 
 use crate::config::RunnableHypothesis;
 use crate::report::{DetectedFault, FaultKind, RunnableCounters};
+use easis_obs::{ObsEvent, ObsSink};
 use easis_rte::runnable::RunnableId;
 use easis_sim::cpu::CostMeter;
 use easis_sim::time::Instant;
@@ -55,6 +56,7 @@ impl MonitorState {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HeartbeatMonitor {
     states: BTreeMap<RunnableId, MonitorState>,
+    obs: ObsSink,
 }
 
 impl HeartbeatMonitor {
@@ -65,19 +67,27 @@ impl HeartbeatMonitor {
                 .into_iter()
                 .map(|h| (h.runnable, MonitorState::new(h)))
                 .collect(),
+            obs: ObsSink::disabled(),
         }
     }
 
-    /// Records one aliveness indication. Unmonitored runnables and
-    /// runnables with a cleared activation status are ignored (the glue
-    /// call is still charged to `costs`, as the AS test itself costs
+    /// Attaches an observability sink; a disabled sink (the default)
+    /// makes every recording call a no-op.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
+    }
+
+    /// Records one aliveness indication at `now`. Unmonitored runnables
+    /// and runnables with a cleared activation status are ignored (the
+    /// glue call is still charged to `costs`, as the AS test itself costs
     /// cycles).
-    pub fn record(&mut self, runnable: RunnableId, costs: &mut CostMeter) {
+    pub fn record(&mut self, runnable: RunnableId, now: Instant, costs: &mut CostMeter) {
         costs.charge(HEARTBEAT_COST_CYCLES);
         if let Some(st) = self.states.get_mut(&runnable) {
             if st.active {
                 st.ac = st.ac.saturating_add(1);
                 st.arc = st.arc.saturating_add(1);
+                self.obs.record(now, ObsEvent::HeartbeatRecorded { runnable });
             }
         }
     }
@@ -96,6 +106,13 @@ impl HeartbeatMonitor {
                 if st.cca >= spec.cycles {
                     if st.ac < spec.min_indications {
                         st.aliveness_errors += 1;
+                        self.obs.record(
+                            now,
+                            ObsEvent::FaultDetected {
+                                runnable,
+                                kind: easis_obs::FaultClass::Aliveness,
+                            },
+                        );
                         faults.push(DetectedFault {
                             at: now,
                             runnable,
@@ -111,6 +128,13 @@ impl HeartbeatMonitor {
                 if st.ccar >= spec.cycles {
                     if st.arc > spec.max_indications {
                         st.arrival_rate_errors += 1;
+                        self.obs.record(
+                            now,
+                            ObsEvent::FaultDetected {
+                                runnable,
+                                kind: easis_obs::FaultClass::ArrivalRate,
+                            },
+                        );
                         faults.push(DetectedFault {
                             at: now,
                             runnable,
@@ -212,7 +236,7 @@ mod tests {
         let mut m = monitor_one();
         let mut costs = CostMeter::new();
         for cycle in 0..10u64 {
-            m.record(r(0), &mut costs);
+            m.record(r(0), t(cycle * 10), &mut costs);
             assert!(m.end_of_cycle(t(cycle * 10), &mut costs).is_empty());
         }
         let c = m.counters(r(0)).unwrap();
@@ -241,7 +265,7 @@ mod tests {
         let mut m = monitor_one();
         let mut costs = CostMeter::new();
         for _ in 0..5 {
-            m.record(r(0), &mut costs); // max 3 per 2 cycles
+            m.record(r(0), t(0), &mut costs); // max 3 per 2 cycles
         }
         assert!(m.end_of_cycle(t(10), &mut costs).is_empty());
         let faults = m.end_of_cycle(t(20), &mut costs);
@@ -257,7 +281,7 @@ mod tests {
             RunnableHypothesis::new(r(1)).arrive_at_most(0, 1),
         ]);
         let mut costs = CostMeter::new();
-        m.record(r(1), &mut costs); // r0 silent, r1 over limit
+        m.record(r(1), t(0), &mut costs); // r0 silent, r1 over limit
         let faults = m.end_of_cycle(t(10), &mut costs);
         assert_eq!(faults.len(), 2);
     }
@@ -273,11 +297,11 @@ mod tests {
         }
         assert!(!m.is_active(r(0)));
         // Heartbeats while inactive are not counted.
-        m.record(r(0), &mut costs);
+        m.record(r(0), t(60), &mut costs);
         assert_eq!(m.counters(r(0)).unwrap().ac, 0);
         // Re-arming restarts cleanly.
         assert!(m.set_active(r(0), true));
-        m.record(r(0), &mut costs);
+        m.record(r(0), t(70), &mut costs);
         assert_eq!(m.counters(r(0)).unwrap().ac, 1);
     }
 
@@ -285,7 +309,7 @@ mod tests {
     fn unmonitored_runnable_is_ignored_but_charged() {
         let mut m = monitor_one();
         let mut costs = CostMeter::new();
-        m.record(r(9), &mut costs);
+        m.record(r(9), t(0), &mut costs);
         assert_eq!(costs.operations(), 1);
         assert!(m.counters(r(9)).is_none());
         assert!(!m.set_active(r(9), true));
@@ -300,8 +324,8 @@ mod tests {
         let mut costs = CostMeter::new();
         // 2 heartbeats in cycle 1 → arrival fault at the 1-cycle boundary,
         // while the 3-cycle aliveness window is still open.
-        m.record(r(0), &mut costs);
-        m.record(r(0), &mut costs);
+        m.record(r(0), t(0), &mut costs);
+        m.record(r(0), t(0), &mut costs);
         let f1 = m.end_of_cycle(t(10), &mut costs);
         assert_eq!(f1.len(), 1);
         assert_eq!(f1[0].kind, FaultKind::ArrivalRate);
@@ -343,7 +367,7 @@ mod reconfig_tests {
     fn reconfigure_replaces_hypothesis_and_resets_counters() {
         let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
         let mut costs = CostMeter::new();
-        m.record(r(0), &mut costs);
+        m.record(r(0), t(0), &mut costs);
         assert_eq!(m.counters(r(0)).unwrap().ac, 1);
         // Degraded mode: the runnable now runs every 4 cycles.
         m.reconfigure(RunnableHypothesis::new(r(0)).alive_at_least(1, 4));
@@ -382,5 +406,91 @@ mod reconfig_tests {
         assert_eq!(m.end_of_cycle(t(10), &mut costs).len(), 1);
         m.reconfigure(RunnableHypothesis::new(r(0)).alive_at_least(1, 2));
         assert_eq!(m.counters(r(0)).unwrap().aliveness_errors, 1);
+    }
+
+    #[test]
+    fn reconfigure_unknown_runnable_respects_initially_inactive() {
+        let mut m = HeartbeatMonitor::new([]);
+        let mut costs = CostMeter::new();
+        m.reconfigure(
+            RunnableHypothesis::new(r(7))
+                .alive_at_least(1, 1)
+                .initially_inactive(),
+        );
+        // Known to the unit now, but its AS starts cleared: no check runs.
+        assert!(!m.is_active(r(7)));
+        assert!(m.counters(r(7)).is_some());
+        assert!(m.end_of_cycle(t(10), &mut costs).is_empty());
+        // Arming it makes the hypothesis effective.
+        assert!(m.set_active(r(7), true));
+        assert_eq!(m.end_of_cycle(t(20), &mut costs).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod activation_tests {
+    use super::*;
+
+    fn r(n: u32) -> RunnableId {
+        RunnableId(n)
+    }
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn deactivating_mid_period_resets_all_counters() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0))
+            .alive_at_least(2, 4)
+            .arrive_at_most(5, 4)]);
+        let mut costs = CostMeter::new();
+        // Two cycles into the 4-cycle period, with one heartbeat counted.
+        m.record(r(0), t(5), &mut costs);
+        assert!(m.end_of_cycle(t(10), &mut costs).is_empty());
+        assert!(m.end_of_cycle(t(20), &mut costs).is_empty());
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!((c.ac, c.arc, c.cca, c.ccar), (1, 1, 2, 2));
+        // Clearing the AS mid-period wipes counters and cycle positions.
+        assert!(m.set_active(r(0), false));
+        let c = m.counters(r(0)).unwrap();
+        assert_eq!((c.ac, c.arc, c.cca, c.ccar), (0, 0, 0, 0));
+        assert!(!c.activation);
+    }
+
+    #[test]
+    fn reactivation_does_not_report_faults_for_the_gap() {
+        // Aliveness ≥1 per 2 cycles; the runnable goes unsupervised for a
+        // long silent gap, then monitoring is re-armed. The paper's
+        // Activation Status gating means the gap must not be charged: the
+        // monitoring period restarts fresh at reactivation.
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 2)]);
+        let mut costs = CostMeter::new();
+        m.set_active(r(0), false);
+        for cycle in 1..=10u64 {
+            assert!(m.end_of_cycle(t(cycle * 10), &mut costs).is_empty());
+        }
+        m.set_active(r(0), true);
+        // First full period after re-arming: heartbeats arrive → no fault,
+        // and CCA starts from zero (not inherited from the gap).
+        m.record(r(0), t(105), &mut costs);
+        assert!(m.end_of_cycle(t(110), &mut costs).is_empty());
+        assert_eq!(m.counters(r(0)).unwrap().cca, 1);
+        assert!(m.end_of_cycle(t(120), &mut costs).is_empty());
+        assert_eq!(m.counters(r(0)).unwrap().aliveness_errors, 0);
+        // Only genuinely silent periods after reactivation report.
+        assert!(m.end_of_cycle(t(130), &mut costs).is_empty());
+        assert_eq!(m.end_of_cycle(t(140), &mut costs).len(), 1);
+    }
+
+    #[test]
+    fn deactivation_stops_heartbeat_obs_events_too() {
+        let mut m = HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
+        let sink = easis_obs::ObsSink::enabled(16);
+        m.attach_obs(sink.clone());
+        let mut costs = CostMeter::new();
+        m.record(r(0), t(1), &mut costs);
+        m.set_active(r(0), false);
+        m.record(r(0), t(2), &mut costs);
+        assert_eq!(sink.counter("heartbeat_recorded"), 1, "inactive beats unrecorded");
     }
 }

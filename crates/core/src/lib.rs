@@ -20,7 +20,11 @@
 //! The [`SoftwareWatchdog`] facade in [`service`] glues the units together
 //! and exposes the two platform interfaces: the aliveness-indication
 //! routine for glue code, and the fault/state outbox for the Fault
-//! Management Framework.
+//! Management Framework. All three monitoring approaches (plus the
+//! active-probe alternative in [`probe`]) also implement the unified
+//! [`MonitoringUnit`] interface in [`mod@unit`], and every unit can report
+//! structured events to an `easis_obs::ObsSink` flight recorder via
+//! `attach_obs` — disabled by default and free of cost-model side effects.
 //!
 //! # Examples
 //!
@@ -61,6 +65,7 @@ pub mod probe;
 pub mod report;
 pub mod service;
 pub mod tsi;
+pub mod unit;
 pub mod validate;
 
 pub use config::{AlivenessSpec, ArrivalRateSpec, RunnableHypothesis, WatchdogConfig};
@@ -69,5 +74,6 @@ pub use pfc::{FlowTable, FlowVerdict, ProgramFlowChecker};
 pub use probe::ActiveProbeMonitor;
 pub use report::{DetectedFault, FaultKind, HealthState, RunnableCounters, StateChange};
 pub use service::{CycleReport, SoftwareWatchdog};
+pub use unit::{MonitorEvent, MonitoringUnit};
 pub use validate::{validate, ConfigIssue};
 pub use tsi::TaskStateIndication;

@@ -9,7 +9,9 @@
 //! the paper restricts checking to safety-critical runnables to bound
 //! overhead.
 
+use easis_obs::{FaultClass, ObsEvent, ObsSink};
 use easis_rte::runnable::RunnableId;
+use easis_sim::time::Instant;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -96,6 +98,12 @@ pub struct ProgramFlowChecker {
     table: FlowTable,
     last: Option<RunnableId>,
     errors_detected: u64,
+    obs: ObsSink,
+    /// Violations observed through the [`crate::unit::MonitoringUnit`]
+    /// interface, buffered until the next `check` drains them. The inherent
+    /// `observe`/`observe_at` methods never touch this buffer (the service
+    /// facade reports violations immediately instead).
+    pending: Vec<crate::report::DetectedFault>,
 }
 
 /// Outcome of one observation.
@@ -117,7 +125,15 @@ impl ProgramFlowChecker {
             table,
             last: None,
             errors_detected: 0,
+            obs: ObsSink::disabled(),
+            pending: Vec::new(),
         }
+    }
+
+    /// Attaches an observability sink; a disabled sink (the default)
+    /// makes every recording call a no-op.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Observes one heartbeat in program order and returns the verdict.
@@ -150,6 +166,33 @@ impl ProgramFlowChecker {
         }
         self.last = Some(runnable);
         verdict
+    }
+
+    /// Observes one heartbeat like [`ProgramFlowChecker::observe`], and
+    /// additionally records a [`FaultClass::ProgramFlow`] observability
+    /// event stamped `now` when the transition violates the table.
+    pub fn observe_at(&mut self, runnable: RunnableId, now: Instant) -> FlowVerdict {
+        let verdict = self.observe(runnable);
+        if let FlowVerdict::Violation { .. } = verdict {
+            self.obs.record(
+                now,
+                ObsEvent::FaultDetected {
+                    runnable,
+                    kind: FaultClass::ProgramFlow,
+                },
+            );
+        }
+        verdict
+    }
+
+    /// Buffers a violation detected through the `MonitoringUnit` path.
+    pub(crate) fn push_pending(&mut self, fault: crate::report::DetectedFault) {
+        self.pending.push(fault);
+    }
+
+    /// Drains the violations buffered since the last drain.
+    pub(crate) fn take_pending(&mut self) -> Vec<crate::report::DetectedFault> {
+        std::mem::take(&mut self.pending)
     }
 
     /// Resets the sequence position (e.g. after fault treatment), keeping
@@ -257,6 +300,26 @@ mod tests {
         assert!(!t.is_monitored(r(9)));
         assert!(t.is_entry(r(0)));
         assert!(!t.is_entry(r(1)));
+    }
+
+    #[test]
+    fn observe_at_records_violations_to_the_sink() {
+        use easis_sim::time::Instant;
+
+        let mut pfc = ProgramFlowChecker::new(chain_table());
+        let sink = ObsSink::enabled(16);
+        pfc.attach_obs(sink.clone());
+        assert_eq!(pfc.observe_at(r(0), Instant::from_millis(1)), FlowVerdict::Ok);
+        let v = pfc.observe_at(r(2), Instant::from_millis(2)); // skipped 1
+        assert!(matches!(v, FlowVerdict::Violation { .. }));
+        assert_eq!(sink.counter("fault_detected"), 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at, Instant::from_millis(2));
+        assert_eq!(
+            events[0].event,
+            ObsEvent::FaultDetected { runnable: r(2), kind: FaultClass::ProgramFlow }
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   wider glue path, the overhead the paper avoided.
 
 use crate::report::{DetectedFault, FaultKind};
+use easis_obs::{FaultClass, ObsEvent, ObsSink};
 use easis_rte::runnable::RunnableId;
 use easis_sim::cpu::CostMeter;
 use easis_sim::rng::SimRng;
@@ -40,6 +41,7 @@ struct ProbeState {
 pub struct ActiveProbeMonitor {
     states: BTreeMap<RunnableId, ProbeState>,
     rng: SimRng,
+    obs: ObsSink,
 }
 
 /// The transform a healthy runnable applies to the challenge (stands in
@@ -66,7 +68,17 @@ impl ActiveProbeMonitor {
                 )
             })
             .collect();
-        ActiveProbeMonitor { states, rng }
+        ActiveProbeMonitor {
+            states,
+            rng,
+            obs: ObsSink::disabled(),
+        }
+    }
+
+    /// Attaches an observability sink; a disabled sink (the default)
+    /// makes every recording call a no-op.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// The challenge a runnable's glue must read this cycle.
@@ -74,12 +86,13 @@ impl ActiveProbeMonitor {
         self.states.get(&runnable).map(|s| s.current_challenge)
     }
 
-    /// Glue-side call: the runnable echoes (a transform of) the challenge
-    /// it read. Stuck replayers echo an old value.
-    pub fn respond(&mut self, runnable: RunnableId, response: u64, costs: &mut CostMeter) {
+    /// Glue-side call at `now`: the runnable echoes (a transform of) the
+    /// challenge it read. Stuck replayers echo an old value.
+    pub fn respond(&mut self, runnable: RunnableId, response: u64, now: Instant, costs: &mut CostMeter) {
         costs.charge(RESPONSE_COST_CYCLES);
         if let Some(state) = self.states.get_mut(&runnable) {
             state.response = Some(response);
+            self.obs.record(now, ObsEvent::ProbeResponse { runnable });
         }
     }
 
@@ -92,6 +105,13 @@ impl ActiveProbeMonitor {
             let ok = state.response == Some(expected_response(state.current_challenge));
             if !ok {
                 state.errors += 1;
+                self.obs.record(
+                    now,
+                    ObsEvent::FaultDetected {
+                        runnable,
+                        kind: FaultClass::Aliveness,
+                    },
+                );
                 faults.push(DetectedFault {
                     at: now,
                     runnable,
@@ -127,7 +147,7 @@ mod tests {
         let mut costs = CostMeter::new();
         for cycle in 1..=10u64 {
             let c = probe.challenge_for(r(0)).unwrap();
-            probe.respond(r(0), expected_response(c), &mut costs);
+            probe.respond(r(0), expected_response(c), t(cycle * 10), &mut costs);
             assert!(probe.end_of_cycle(t(cycle * 10), &mut costs).is_empty());
         }
         assert_eq!(probe.errors_of(r(0)), 0);
@@ -154,15 +174,15 @@ mod tests {
         // Active: the replayer echoes the response captured in cycle 1.
         let mut probe = ActiveProbeMonitor::new([r(0)], 3);
         let stale = expected_response(probe.challenge_for(r(0)).unwrap());
-        probe.respond(r(0), stale, &mut costs);
+        probe.respond(r(0), stale, t(5), &mut costs);
         assert!(probe.end_of_cycle(t(10), &mut costs).is_empty()); // cycle 1: fresh
 
         let mut active_detected = 0;
         let mut passive_detected = 0;
         for cycle in 2..=6u64 {
             // The runnable is now dead; the replayer repeats old traffic.
-            probe.respond(r(0), stale, &mut costs);
-            passive.record(r(0), &mut costs);
+            probe.respond(r(0), stale, t(cycle * 10), &mut costs);
+            passive.record(r(0), t(cycle * 10), &mut costs);
             active_detected += probe.end_of_cycle(t(cycle * 10), &mut costs).len();
             passive_detected += passive.end_of_cycle(t(cycle * 10), &mut costs).len();
         }
@@ -194,9 +214,9 @@ mod tests {
             HeartbeatMonitor::new([RunnableHypothesis::new(r(0)).alive_at_least(1, 1)]);
         for cycle in 1..=100u64 {
             let c = probe.challenge_for(r(0)).unwrap();
-            probe.respond(r(0), expected_response(c), &mut active_costs);
+            probe.respond(r(0), expected_response(c), t(cycle * 10), &mut active_costs);
             probe.end_of_cycle(t(cycle * 10), &mut active_costs);
-            passive.record(r(0), &mut passive_costs);
+            passive.record(r(0), t(cycle * 10), &mut passive_costs);
             passive.end_of_cycle(t(cycle * 10), &mut passive_costs);
         }
         assert!(
@@ -212,7 +232,7 @@ mod tests {
         let mut probe = ActiveProbeMonitor::new([r(0)], 6);
         let mut costs = CostMeter::new();
         assert_eq!(probe.challenge_for(r(9)), None);
-        probe.respond(r(9), 123, &mut costs); // no panic, no state
+        probe.respond(r(9), 123, t(0), &mut costs); // no panic, no state
         assert_eq!(probe.errors_of(r(9)), 0);
     }
 }

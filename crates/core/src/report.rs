@@ -50,6 +50,16 @@ impl fmt::Display for FaultKind {
     }
 }
 
+impl From<FaultKind> for easis_obs::FaultClass {
+    fn from(kind: FaultKind) -> easis_obs::FaultClass {
+        match kind {
+            FaultKind::Aliveness => easis_obs::FaultClass::Aliveness,
+            FaultKind::ArrivalRate => easis_obs::FaultClass::ArrivalRate,
+            FaultKind::ProgramFlow => easis_obs::FaultClass::ProgramFlow,
+        }
+    }
+}
+
 /// One detected fault, as handed to the Fault Management Framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DetectedFault {

@@ -23,10 +23,11 @@ use crate::heartbeat::HeartbeatMonitor;
 use crate::pfc::{FlowVerdict, ProgramFlowChecker, LOOKUP_COST_CYCLES};
 use crate::report::{DetectedFault, FaultKind, HealthState, RunnableCounters, StateChange};
 use crate::tsi::TaskStateIndication;
+use easis_obs::{ObsEvent, ObsSink};
 use easis_osek::task::TaskId;
 use easis_rte::mapping::ApplicationId;
 use easis_rte::runnable::{HeartbeatSink, RunnableId};
-use easis_sim::cpu::CostMeter;
+use easis_sim::cpu::{CostMeter, CpuModel};
 use easis_sim::time::Instant;
 use std::collections::BTreeMap;
 
@@ -74,6 +75,7 @@ pub struct SoftwareWatchdog {
     costs: CostMeter,
     cycles_run: u64,
     last_heartbeat_now: Instant,
+    obs: ObsSink,
 }
 
 impl SoftwareWatchdog {
@@ -100,7 +102,28 @@ impl SoftwareWatchdog {
             costs: CostMeter::new(),
             cycles_run: 0,
             last_heartbeat_now: Instant::ZERO,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink to the service and all three
+    /// monitoring units (including flow checkers created later). A
+    /// disabled sink — the default — makes every recording call a no-op,
+    /// and recording never charges the [`CostMeter`], so attaching a sink
+    /// does not perturb the simulated cost model.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.heartbeat_unit.attach_obs(obs.clone());
+        self.tsi_unit.attach_obs(obs.clone());
+        for checker in self.pfc_units.values_mut() {
+            checker.attach_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The attached observability sink (disabled unless
+    /// [`SoftwareWatchdog::attach_obs`] was called).
+    pub fn obs(&self) -> &ObsSink {
+        &self.obs
     }
 
     /// The aliveness-indication service routine: called by the glue code of
@@ -120,15 +143,17 @@ impl SoftwareWatchdog {
                 }
             }
         }
-        self.heartbeat_unit.record(runnable, &mut self.costs);
+        self.heartbeat_unit.record(runnable, now, &mut self.costs);
         self.costs.charge(LOOKUP_COST_CYCLES);
         let scope = self.config.mapping().task_of(runnable);
         let table = self.config.flow_table();
-        let checker = self
-            .pfc_units
-            .entry(scope)
-            .or_insert_with(|| ProgramFlowChecker::new(table.clone()));
-        if let FlowVerdict::Violation { .. } = checker.observe(runnable) {
+        let obs = &self.obs;
+        let checker = self.pfc_units.entry(scope).or_insert_with(|| {
+            let mut checker = ProgramFlowChecker::new(table.clone());
+            checker.attach_obs(obs.clone());
+            checker
+        });
+        if let FlowVerdict::Violation { .. } = checker.observe_at(runnable, now) {
             *self.pfc_errors_by_runnable.entry(runnable).or_insert(0) += 1;
             let fault = DetectedFault {
                 at: now,
@@ -146,6 +171,13 @@ impl SoftwareWatchdog {
     /// performs the end-of-period checks, and updates the TSI unit.
     pub fn run_cycle(&mut self, now: Instant) -> CycleReport {
         self.cycles_run += 1;
+        self.obs.record(
+            now,
+            ObsEvent::CycleCheckStart {
+                cycle: self.cycles_run,
+            },
+        );
+        let cycles_before = self.costs.total_cycles();
         let faults = self.heartbeat_unit.end_of_cycle(now, &mut self.costs);
         let mut state_changes = Vec::new();
         for &fault in &faults {
@@ -153,6 +185,20 @@ impl SoftwareWatchdog {
             self.apply_state_changes(&changes);
             state_changes.extend(changes);
         }
+        if self.obs.is_enabled() {
+            let spent = self.costs.total_cycles() - cycles_before;
+            self.obs.observe_latency(
+                "watchdog.cycle_check",
+                CpuModel::default().cycles_to_time(spent),
+            );
+        }
+        self.obs.record(
+            now,
+            ObsEvent::CycleCheckEnd {
+                cycle: self.cycles_run,
+                faults: faults.len() as u32,
+            },
+        );
         self.outbox.extend(faults.iter().copied());
         self.state_outbox.extend(state_changes.iter().copied());
         CycleReport {

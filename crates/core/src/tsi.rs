@@ -8,6 +8,7 @@
 //! the Fault Management Framework translates into treatments.
 
 use crate::report::{DetectedFault, FaultKind, HealthState, StateChange};
+use easis_obs::{ObsEvent, ObsSink, StateScope};
 use easis_osek::task::TaskId;
 use easis_rte::mapping::{ApplicationId, SystemMapping};
 use easis_rte::runnable::RunnableId;
@@ -36,6 +37,7 @@ pub struct TaskStateIndication {
     task_states: BTreeMap<TaskId, HealthState>,
     app_states: BTreeMap<ApplicationId, HealthState>,
     ecu_state: HealthState,
+    obs: ObsSink,
 }
 
 impl TaskStateIndication {
@@ -58,7 +60,14 @@ impl TaskStateIndication {
             task_states: BTreeMap::new(),
             app_states: BTreeMap::new(),
             ecu_state: HealthState::Ok,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink; a disabled sink (the default)
+    /// makes every recording call a no-op.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Records a detected runnable fault, updating the error indication
@@ -72,6 +81,15 @@ impl TaskStateIndication {
         let vector = self.vectors.entry(task).or_default();
         let count = vector.entry((fault.runnable, fault.kind)).or_insert(0);
         *count += 1;
+        self.obs.record(
+            fault.at,
+            ObsEvent::ErrorVectorIncrement {
+                task,
+                runnable: fault.runnable,
+                kind: fault.kind.into(),
+                count: *count,
+            },
+        );
         if *count < self.threshold {
             return Vec::new();
         }
@@ -88,11 +106,25 @@ impl TaskStateIndication {
         }
         *state = HealthState::Faulty;
         changes.push(StateChange::TaskFaulty { task, at });
+        self.obs.record(
+            at,
+            ObsEvent::StateTransition {
+                scope: StateScope::Task(task),
+                faulty: true,
+            },
+        );
         if let Some(app) = self.mapping.app_of(task) {
             let app_state = self.app_states.entry(app).or_default();
             if !app_state.is_faulty() {
                 *app_state = HealthState::Faulty;
                 changes.push(StateChange::ApplicationFaulty { app, at });
+                self.obs.record(
+                    at,
+                    ObsEvent::StateTransition {
+                        scope: StateScope::Application(app),
+                        faulty: true,
+                    },
+                );
             }
         }
         let faulty_apps = self
@@ -108,6 +140,13 @@ impl TaskStateIndication {
         if !self.ecu_state.is_faulty() && faulty_apps >= needed {
             self.ecu_state = HealthState::Faulty;
             changes.push(StateChange::EcuFaulty { at });
+            self.obs.record(
+                at,
+                ObsEvent::StateTransition {
+                    scope: StateScope::Ecu,
+                    faulty: true,
+                },
+            );
         }
         changes
     }

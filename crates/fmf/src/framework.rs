@@ -9,6 +9,7 @@
 use crate::dtc::{DtcStore, FreezeFrame};
 use crate::policy::{Treatment, TreatmentAction, TreatmentPolicy};
 use crate::record::{FaultRecord, Severity, SeverityMap};
+use easis_obs::{ObsEvent, ObsSink};
 use easis_rte::mapping::ApplicationId;
 use easis_sim::time::Instant;
 use easis_watchdog::report::{DetectedFault, FaultKind, StateChange};
@@ -25,6 +26,7 @@ pub struct FaultManagementFramework {
     app_restarts: BTreeMap<ApplicationId, u32>,
     terminated_apps: Vec<ApplicationId>,
     ecu_resets: u32,
+    obs: ObsSink,
 }
 
 impl FaultManagementFramework {
@@ -39,7 +41,14 @@ impl FaultManagementFramework {
             app_restarts: BTreeMap::new(),
             terminated_apps: Vec::new(),
             ecu_resets: 0,
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink; a disabled sink (the default)
+    /// makes every recording call a no-op.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// Records a detected fault in the log and the DTC memory.
@@ -132,6 +141,12 @@ impl FaultManagementFramework {
     }
 
     fn push_action(&mut self, at: Instant, treatment: Treatment, reason: String) {
+        self.obs.record(
+            at,
+            ObsEvent::FmfReaction {
+                treatment: treatment.label(),
+            },
+        );
         self.actions.push(TreatmentAction {
             at,
             treatment,
@@ -291,6 +306,23 @@ mod tests {
         assert_eq!(fmf.log().len(), 1);
         assert_eq!(fmf.take_actions().len(), 1);
         assert!(fmf.take_actions().is_empty());
+    }
+
+    #[test]
+    fn treatments_record_fmf_reaction_events() {
+        let mut fmf = FaultManagementFramework::default();
+        let sink = ObsSink::enabled(8);
+        fmf.attach_obs(sink.clone());
+        fmf.ingest_state_change(app_faulty(10));
+        assert_eq!(sink.counter("fmf_reaction"), 1);
+        let events = sink.events();
+        assert_eq!(
+            events[0].event,
+            ObsEvent::FmfReaction {
+                treatment: "restart_application"
+            }
+        );
+        assert_eq!(events[0].at, Instant::from_millis(10));
     }
 
     #[test]

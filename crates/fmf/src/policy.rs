@@ -32,6 +32,19 @@ pub enum Treatment {
     EcuReset,
 }
 
+impl Treatment {
+    /// Stable machine-readable tag of the treatment class (used by the
+    /// observability layer and experiment reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Treatment::RestartTask(_) => "restart_task",
+            Treatment::RestartApplication(_) => "restart_application",
+            Treatment::TerminateApplication(_) => "terminate_application",
+            Treatment::EcuReset => "ecu_reset",
+        }
+    }
+}
+
 impl fmt::Display for Treatment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,6 +134,20 @@ mod tests {
         assert_eq!(p.for_faulty_ecu(), Some(Treatment::EcuReset));
         p.reset_on_ecu_faulty = false;
         assert_eq!(p.for_faulty_ecu(), None);
+    }
+
+    #[test]
+    fn labels_are_stable_tags() {
+        assert_eq!(Treatment::RestartTask(TaskId(0)).label(), "restart_task");
+        assert_eq!(
+            Treatment::RestartApplication(ApplicationId(0)).label(),
+            "restart_application"
+        );
+        assert_eq!(
+            Treatment::TerminateApplication(ApplicationId(0)).label(),
+            "terminate_application"
+        );
+        assert_eq!(Treatment::EcuReset.label(), "ecu_reset");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! a time window by writing the runnable layer's control store — the same
 //! surface ControlDesk wrote on the real rig.
 
+use easis_obs::{ObsEvent, ObsSink};
 use easis_osek::alarm::AlarmId;
 use easis_osek::kernel::Os;
 use easis_rte::control::RunnableControls;
@@ -139,6 +140,7 @@ enum Phase {
 #[derive(Debug)]
 pub struct Injector {
     injections: Vec<(Injection, Phase)>,
+    obs: ObsSink,
 }
 
 impl Injector {
@@ -146,7 +148,15 @@ impl Injector {
     pub fn new(injections: impl IntoIterator<Item = Injection>) -> Self {
         Injector {
             injections: injections.into_iter().map(|i| (i, Phase::Pending)).collect(),
+            obs: ObsSink::disabled(),
         }
+    }
+
+    /// Attaches an observability sink; arming and disarming then leave
+    /// [`ObsEvent::InjectionActivated`] / [`ObsEvent::InjectionDeactivated`]
+    /// markers on the trace.
+    pub fn attach_obs(&mut self, obs: ObsSink) {
+        self.obs = obs;
     }
 
     /// An injector with nothing armed (golden runs).
@@ -160,12 +170,24 @@ impl Injector {
             match *phase {
                 Phase::Pending if now >= inj.from => {
                     Self::apply(&inj.class, controls, os, true);
+                    self.obs.record(
+                        now,
+                        ObsEvent::InjectionActivated {
+                            class: inj.class.tag(),
+                        },
+                    );
                     *phase = Phase::Armed;
                     // Fall through check: a zero-length residual window is
                     // prevented by the constructor.
                 }
                 Phase::Armed if now >= inj.to => {
                     Self::apply(&inj.class, controls, os, false);
+                    self.obs.record(
+                        now,
+                        ObsEvent::InjectionDeactivated {
+                            class: inj.class.tag(),
+                        },
+                    );
                     *phase = Phase::Done;
                 }
                 _ => {}
@@ -296,6 +318,36 @@ mod tests {
         assert_eq!(c.target_runnable(), Some(r(7)));
         let b = ErrorClass::BranchOverride { task_name: "x".into(), branch: 0 };
         assert_eq!(b.target_runnable(), None);
+    }
+
+    #[test]
+    fn arming_and_disarming_leave_trace_markers() {
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::SkipRunnable { runnable: r(3) },
+            t(100),
+            t(200),
+        )]);
+        let sink = ObsSink::enabled(8);
+        injector.attach_obs(sink.clone());
+        let mut controls = RunnableControls::new();
+        let mut os: Os<BasicEcuWorld> = Os::new();
+        injector.tick(t(50), &mut controls, &mut os);
+        assert!(sink.events().is_empty());
+        injector.tick(t(100), &mut controls, &mut os);
+        injector.tick(t(150), &mut controls, &mut os);
+        injector.tick(t(200), &mut controls, &mut os);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].event,
+            ObsEvent::InjectionActivated { class: "skip_runnable" }
+        );
+        assert_eq!(events[0].at, t(100));
+        assert_eq!(
+            events[1].event,
+            ObsEvent::InjectionDeactivated { class: "skip_runnable" }
+        );
+        assert_eq!(events[1].at, t(200));
     }
 
     #[test]

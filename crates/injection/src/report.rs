@@ -12,7 +12,6 @@
 //! across runs and worker counts.
 
 use crate::stats::{CampaignStats, DetectorId};
-use easis_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -68,36 +67,12 @@ impl WilsonInterval {
 }
 
 /// Detection-latency distribution summary, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencySummary {
-    /// Number of detections the percentiles are computed over.
-    pub samples: usize,
-    /// Minimum latency.
-    pub min_us: u64,
-    /// Median (p50) latency.
-    pub p50_us: u64,
-    /// 95th-percentile latency.
-    pub p95_us: u64,
-    /// 99th-percentile latency.
-    pub p99_us: u64,
-    /// Maximum latency.
-    pub max_us: u64,
-}
-
-impl LatencySummary {
-    /// Summarises a latency list sorted ascending; `None` when empty.
-    pub fn from_sorted(sorted: &[Duration]) -> Option<LatencySummary> {
-        let percentile = |p| CampaignStats::percentile(sorted, p).map(|d| d.as_micros());
-        Some(LatencySummary {
-            samples: sorted.len(),
-            min_us: sorted.first()?.as_micros(),
-            p50_us: percentile(0.50)?,
-            p95_us: percentile(0.95)?,
-            p99_us: percentile(0.99)?,
-            max_us: sorted.last()?.as_micros(),
-        })
-    }
-}
+///
+/// The type (and its percentile machinery) lives in `easis-obs` so the
+/// live metrics registry and the campaign reports share one
+/// implementation; it is re-exported here unchanged, keeping the JSON
+/// report shape byte-identical.
+pub use easis_obs::metrics::LatencySummary;
 
 /// One detector's performance on one error class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -261,6 +236,7 @@ fn ratio(hits: usize, n: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::stats::TrialOutcome;
+    use easis_sim::time::Duration;
 
     fn ms(n: u64) -> Duration {
         Duration::from_millis(n)

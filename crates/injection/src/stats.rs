@@ -173,13 +173,10 @@ impl CampaignStats {
         l
     }
 
-    /// Percentile (0.0–1.0) of a sorted latency list.
+    /// Percentile (0.0–1.0) of a sorted latency list. Thin wrapper over
+    /// [`easis_obs::metrics::percentile`], the shared implementation.
     pub fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
-        if sorted.is_empty() {
-            return None;
-        }
-        let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
-        Some(sorted[idx])
+        easis_obs::metrics::percentile(sorted, p)
     }
 
     /// Renders the coverage table (rows: classes, columns: detectors).

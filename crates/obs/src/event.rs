@@ -1,0 +1,210 @@
+//! Structured observability events.
+//!
+//! [`ObsEvent`] is the closed vocabulary of things the watchdog stack can
+//! report to the flight recorder: heartbeats arriving at the monitoring
+//! unit, cycle-check boundaries, detected faults, error-vector increments,
+//! task/application/ECU state transitions, Fault Management Framework
+//! reactions and injection window edges. Every variant is `Copy` and holds
+//! only plain ids and `&'static str` tags, so recording one never
+//! allocates — the zero-allocation-on-hot-path property the recorder
+//! promises.
+
+use easis_osek::task::TaskId;
+use easis_rte::mapping::ApplicationId;
+use easis_rte::runnable::RunnableId;
+use easis_sim::time::Instant;
+use serde::{Deserialize, Serialize};
+
+/// Fault classification mirrored from the watchdog's `FaultKind`.
+///
+/// The observability crate sits *below* `easis-watchdog` in the dependency
+/// graph, so it carries its own copy of the three error classes; the
+/// watchdog crate provides the `From<FaultKind>` conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Too few aliveness indications within a monitoring period.
+    Aliveness,
+    /// Too many aliveness indications within a monitoring period.
+    ArrivalRate,
+    /// The observed successor violated the program-flow table.
+    ProgramFlow,
+}
+
+impl FaultClass {
+    /// Stable machine-readable tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultClass::Aliveness => "aliveness",
+            FaultClass::ArrivalRate => "arrival_rate",
+            FaultClass::ProgramFlow => "program_flow",
+        }
+    }
+}
+
+/// The entity a state transition applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateScope {
+    /// An OSEK task.
+    Task(TaskId),
+    /// An application (group of tasks).
+    Application(ApplicationId),
+    /// The global ECU state.
+    Ecu,
+}
+
+/// One observability event, as recorded by the instrumented services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// The heartbeat monitoring unit counted an aliveness indication.
+    HeartbeatRecorded {
+        /// The indicating runnable.
+        runnable: RunnableId,
+    },
+    /// The active-probe unit received a challenge response.
+    ProbeResponse {
+        /// The responding runnable.
+        runnable: RunnableId,
+    },
+    /// A periodic watchdog cycle check began.
+    CycleCheckStart {
+        /// Monotonic cycle number (1-based).
+        cycle: u64,
+    },
+    /// A periodic watchdog cycle check finished.
+    CycleCheckEnd {
+        /// Monotonic cycle number (1-based).
+        cycle: u64,
+        /// Faults this cycle check detected.
+        faults: u32,
+    },
+    /// A monitoring unit detected a fault.
+    FaultDetected {
+        /// The offending runnable.
+        runnable: RunnableId,
+        /// The error class.
+        kind: FaultClass,
+    },
+    /// The task state indication unit incremented an error-vector element.
+    ErrorVectorIncrement {
+        /// The hosting task whose vector grew.
+        task: TaskId,
+        /// The runnable the error is attributed to.
+        runnable: RunnableId,
+        /// The error class of the element.
+        kind: FaultClass,
+        /// The element's count after the increment.
+        count: u32,
+    },
+    /// A task, application or ECU health state changed.
+    StateTransition {
+        /// What changed state.
+        scope: StateScope,
+        /// `true` if the new state is faulty, `false` for a recovery.
+        faulty: bool,
+    },
+    /// The Fault Management Framework queued a treatment.
+    FmfReaction {
+        /// Stable treatment tag (e.g. `restart_application`).
+        treatment: &'static str,
+    },
+    /// An error injection was armed.
+    InjectionActivated {
+        /// Stable error-class tag (e.g. `heartbeat_loss`).
+        class: &'static str,
+    },
+    /// An error injection was disarmed.
+    InjectionDeactivated {
+        /// Stable error-class tag.
+        class: &'static str,
+    },
+}
+
+impl ObsEvent {
+    /// Stable per-variant tag; the metrics registry keeps one monotonic
+    /// counter per tag, so every recorded event is also counted.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ObsEvent::HeartbeatRecorded { .. } => "heartbeat_recorded",
+            ObsEvent::ProbeResponse { .. } => "probe_response",
+            ObsEvent::CycleCheckStart { .. } => "cycle_check_start",
+            ObsEvent::CycleCheckEnd { .. } => "cycle_check_end",
+            ObsEvent::FaultDetected { .. } => "fault_detected",
+            ObsEvent::ErrorVectorIncrement { .. } => "error_vector_increment",
+            ObsEvent::StateTransition { .. } => "state_transition",
+            ObsEvent::FmfReaction { .. } => "fmf_reaction",
+            ObsEvent::InjectionActivated { .. } => "injection_activated",
+            ObsEvent::InjectionDeactivated { .. } => "injection_deactivated",
+        }
+    }
+}
+
+/// An [`ObsEvent`] with its sim-time stamp and a monotone sequence number.
+///
+/// The sequence number totals-orders events recorded at the same instant
+/// (several units fire within one watchdog cycle check), so a dumped trace
+/// replays in exactly the order the services emitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Monotone sequence number, starting at 0.
+    pub seq: u64,
+    /// Simulated time the event was recorded at.
+    pub at: Instant,
+    /// The event.
+    pub event: ObsEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_unique() {
+        let events = [
+            ObsEvent::HeartbeatRecorded { runnable: RunnableId(0) },
+            ObsEvent::ProbeResponse { runnable: RunnableId(0) },
+            ObsEvent::CycleCheckStart { cycle: 1 },
+            ObsEvent::CycleCheckEnd { cycle: 1, faults: 0 },
+            ObsEvent::FaultDetected {
+                runnable: RunnableId(0),
+                kind: FaultClass::Aliveness,
+            },
+            ObsEvent::ErrorVectorIncrement {
+                task: TaskId(0),
+                runnable: RunnableId(0),
+                kind: FaultClass::ProgramFlow,
+                count: 1,
+            },
+            ObsEvent::StateTransition { scope: StateScope::Ecu, faulty: true },
+            ObsEvent::FmfReaction { treatment: "restart_application" },
+            ObsEvent::InjectionActivated { class: "heartbeat_loss" },
+            ObsEvent::InjectionDeactivated { class: "heartbeat_loss" },
+        ];
+        let mut tags: Vec<_> = events.iter().map(ObsEvent::tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), events.len());
+    }
+
+    #[test]
+    fn timed_event_round_trips_through_json() {
+        let te = TimedEvent {
+            seq: 7,
+            at: Instant::from_millis(420),
+            event: ObsEvent::FaultDetected {
+                runnable: RunnableId(4),
+                kind: FaultClass::ProgramFlow,
+            },
+        };
+        let json = serde_json::to_string(&te).unwrap();
+        assert!(json.contains("FaultDetected"), "{json}");
+        let back: TimedEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(te, back);
+    }
+
+    #[test]
+    fn fault_class_tags_match_the_watchdog_vocabulary() {
+        assert_eq!(FaultClass::Aliveness.tag(), "aliveness");
+        assert_eq!(FaultClass::ArrivalRate.tag(), "arrival_rate");
+        assert_eq!(FaultClass::ProgramFlow.tag(), "program_flow");
+    }
+}

@@ -1,0 +1,54 @@
+//! Flight-recorder observability layer for the EASIS watchdog stack.
+//!
+//! The paper's Software Watchdog is itself an observability service — it
+//! derives task/application/ECU state from per-runnable supervision
+//! reports — but a reproduction that only reports *final* campaign
+//! verdicts is a black box: when a trial misses a fault there is no way
+//! to see which heartbeat, cycle check, or TSI transition went wrong.
+//! This crate provides the missing introspection:
+//!
+//! - [`event::ObsEvent`] — the closed, `Copy`, allocation-free vocabulary
+//!   of things the stack can report (heartbeats, cycle-check boundaries,
+//!   detected faults, error-vector increments, state transitions, FMF
+//!   reactions, injection window edges);
+//! - [`recorder::FlightRecorder`] — a fixed-capacity ring buffer of
+//!   [`event::TimedEvent`]s that keeps the most recent window of activity
+//!   without ever allocating on the record path;
+//! - [`metrics::MetricsRegistry`] — monotonic counters plus per-site
+//!   latency histograms sharing one percentile implementation
+//!   ([`metrics::LatencySummary`]) with the campaign reports in
+//!   `easis-injection`;
+//! - [`sink::ObsSink`] — the cloneable handle the instrumented services
+//!   record through. Disabled by default (every call a no-op), enabled
+//!   with a capacity; never charges the simulated cost model, so golden
+//!   campaign output is byte-identical whether or not a sink is attached.
+//!
+//! # Example
+//!
+//! ```
+//! use easis_obs::{ObsEvent, ObsSink};
+//! use easis_rte::runnable::RunnableId;
+//! use easis_sim::time::Instant;
+//!
+//! let sink = ObsSink::enabled(1024);
+//! sink.record(
+//!     Instant::from_millis(5),
+//!     ObsEvent::HeartbeatRecorded { runnable: RunnableId(0) },
+//! );
+//! assert_eq!(sink.counter("heartbeat_recorded"), 1);
+//! let jsonl = sink.to_jsonl();
+//! assert!(jsonl.contains("HeartbeatRecorded"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{FaultClass, ObsEvent, StateScope, TimedEvent};
+pub use metrics::{LatencySummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::FlightRecorder;
+pub use sink::ObsSink;

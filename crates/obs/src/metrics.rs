@@ -1,0 +1,290 @@
+//! Monotonic counters and per-site latency histograms.
+//!
+//! [`MetricsRegistry`] is the aggregate half of the observability layer:
+//! counters keyed by static names and bounded latency histograms per
+//! instrumentation site. The percentile machinery ([`percentile`],
+//! [`LatencySummary`]) lives here so both the campaign reports in
+//! `easis-injection` and the live metrics share one implementation — the
+//! campaign crate re-exports these types unchanged, keeping its JSON
+//! report shape byte-identical.
+
+use easis_sim::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Samples retained per histogram site; later samples still update the
+/// count/min/max but are not kept for percentiles.
+pub const MAX_SAMPLES_PER_SITE: usize = 4096;
+
+/// Percentile (0.0–1.0) of a sorted duration list, nearest-rank on the
+/// `(len - 1) * p` index. `None` on an empty list.
+pub fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
+/// Latency distribution summary, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples the percentiles are computed over.
+    pub samples: usize,
+    /// Minimum latency.
+    pub min_us: u64,
+    /// Median (p50) latency.
+    pub p50_us: u64,
+    /// 95th-percentile latency.
+    pub p95_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+    /// Maximum latency.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a latency list sorted ascending; `None` when empty.
+    pub fn from_sorted(sorted: &[Duration]) -> Option<LatencySummary> {
+        let pct = |p| percentile(sorted, p).map(|d| d.as_micros());
+        Some(LatencySummary {
+            samples: sorted.len(),
+            min_us: sorted.first()?.as_micros(),
+            p50_us: pct(0.50)?,
+            p95_us: pct(0.95)?,
+            p99_us: pct(0.99)?,
+            max_us: sorted.last()?.as_micros(),
+        })
+    }
+}
+
+/// Bounded latency histogram of one instrumentation site.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<Duration>,
+    count: u64,
+    dropped: u64,
+    min: Option<Duration>,
+    max: Option<Duration>,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn observe(&mut self, latency: Duration) {
+        self.count += 1;
+        self.min = Some(self.min.map_or(latency, |m| m.min(latency)));
+        self.max = Some(self.max.map_or(latency, |m| m.max(latency)));
+        if self.samples.len() < MAX_SAMPLES_PER_SITE {
+            self.samples.push(latency);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Total observations (retained + dropped).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations not retained for percentiles.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Percentile summary over the retained samples; `None` when empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        LatencySummary::from_sorted(&sorted)
+    }
+}
+
+/// A named counter value, as exported in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A per-site latency summary, as exported in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSnapshot {
+    /// Instrumentation site name.
+    pub site: String,
+    /// Total observations at this site.
+    pub count: u64,
+    /// Observations beyond the retained-sample bound.
+    pub dropped: u64,
+    /// Percentile summary; `None` when nothing was observed.
+    pub latency: Option<LatencySummary>,
+}
+
+/// Serialisable snapshot of a whole registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All latency sites, sorted by name.
+    pub sites: Vec<SiteSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Looks up a site snapshot.
+    pub fn site(&self, name: &str) -> Option<&SiteSnapshot> {
+        self.sites.iter().find(|s| s.site == name)
+    }
+}
+
+/// Registry of monotonic counters and latency histograms.
+///
+/// Names are `&'static str` so incrementing an existing counter never
+/// allocates; only the *first* observation of a new name inserts a map
+/// entry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    sites: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a latency observation at a site.
+    pub fn observe(&mut self, site: &'static str, latency: Duration) {
+        self.sites.entry(site).or_default().observe(latency);
+    }
+
+    /// The histogram of a site, if any observation arrived.
+    pub fn site(&self, site: &str) -> Option<&LatencyHistogram> {
+        self.sites.get(site)
+    }
+
+    /// Exports everything as a serialisable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| CounterSnapshot {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            sites: self
+                .sites
+                .iter()
+                .map(|(&site, h)| SiteSnapshot {
+                    site: site.to_string(),
+                    count: h.count(),
+                    dropped: h.dropped(),
+                    latency: h.summary(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn percentile_matches_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 0.0), Some(ms(1)));
+        assert_eq!(percentile(&sorted, 0.5), Some(ms(51)));
+        assert_eq!(percentile(&sorted, 1.0), Some(ms(100)));
+        assert_eq!(percentile(&[], 0.5), None);
+        // Out-of-range p clamps.
+        assert_eq!(percentile(&sorted, -1.0), Some(ms(1)));
+        assert_eq!(percentile(&sorted, 9.0), Some(ms(100)));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let sorted: Vec<Duration> = (1..=200).map(ms).collect();
+        let s = LatencySummary::from_sorted(&sorted).unwrap();
+        assert_eq!(s.samples, 200);
+        assert_eq!(s.min_us, ms(1).as_micros());
+        assert_eq!(s.p50_us, ms(101).as_micros());
+        assert_eq!(s.p95_us, ms(190).as_micros());
+        assert_eq!(s.p99_us, ms(198).as_micros());
+        assert_eq!(s.max_us, ms(200).as_micros());
+        assert_eq!(LatencySummary::from_sorted(&[]), None);
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        m.count("faults", 1);
+        m.count("faults", 2);
+        assert_eq!(m.counter("faults"), 3);
+        assert_eq!(m.counter("unknown"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_and_snapshot() {
+        let mut m = MetricsRegistry::new();
+        for i in [5u64, 1, 9, 3] {
+            m.observe("cycle", ms(i));
+        }
+        let snap = m.snapshot();
+        let site = snap.site("cycle").unwrap();
+        assert_eq!(site.count, 4);
+        assert_eq!(site.dropped, 0);
+        let lat = site.latency.unwrap();
+        assert_eq!(lat.min_us, ms(1).as_micros());
+        assert_eq!(lat.max_us, ms(9).as_micros());
+        assert_eq!(snap.counter("nothing"), 0);
+    }
+
+    #[test]
+    fn histogram_bounds_retained_samples() {
+        let mut h = LatencyHistogram::default();
+        for i in 0..(MAX_SAMPLES_PER_SITE as u64 + 10) {
+            h.observe(Duration::from_micros(i));
+        }
+        assert_eq!(h.count(), MAX_SAMPLES_PER_SITE as u64 + 10);
+        assert_eq!(h.dropped(), 10);
+        let s = h.summary().unwrap();
+        assert_eq!(s.samples, MAX_SAMPLES_PER_SITE);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut m = MetricsRegistry::new();
+        m.count("a", 7);
+        m.observe("s", ms(3));
+        let snap = m.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,147 @@
+//! The flight recorder: a fixed-capacity ring buffer of timed events.
+//!
+//! The buffer is allocated once at construction; recording into a full
+//! buffer overwrites the oldest entry instead of growing, so the hot path
+//! never allocates and a long campaign trial keeps the *most recent*
+//! window of activity — exactly what post-mortem triage of a missed
+//! detection needs.
+
+use crate::event::{ObsEvent, TimedEvent};
+use easis_sim::time::Instant;
+
+/// Fixed-capacity ring buffer of [`TimedEvent`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<TimedEvent>,
+    capacity: usize,
+    /// Index of the oldest entry once the buffer wrapped.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event at `at`. Overwrites the oldest entry when full.
+    pub fn record(&mut self, at: Instant, event: ObsEvent) {
+        let entry = TimedEvent {
+            seq: self.next_seq,
+            at,
+            event,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easis_rte::runnable::RunnableId;
+
+    fn hb(n: u32) -> ObsEvent {
+        ObsEvent::HeartbeatRecorded { runnable: RunnableId(n) }
+    }
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..3 {
+            rec.record(t(i), hb(i as u32));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.dropped(), 0);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(events[0].event, hb(0));
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_window() {
+        let mut rec = FlightRecorder::new(3);
+        for i in 0..7u64 {
+            rec.record(t(i), hb(i as u32));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 4);
+        assert_eq!(rec.recorded(), 7);
+        let events = rec.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn sequence_numbers_survive_overwrites() {
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.record(t(i), ObsEvent::CycleCheckStart { cycle: i });
+        }
+        let events = rec.events();
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(events[1].event, ObsEvent::CycleCheckStart { cycle: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

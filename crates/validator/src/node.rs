@@ -64,6 +64,11 @@ pub struct NodeConfig {
     /// this (1_000_000 = the AutoBox reference; ~9_600_000 models the
     /// outlook's 50 MHz S12XF running the same code).
     pub cpu_scale_ppm: u64,
+    /// Flight-recorder capacity of the node's observability sink.
+    /// `None` (the default) leaves the sink disabled: every recording
+    /// call is a no-op and the node's behaviour — including the campaign
+    /// goldens — is bit-identical to a build without observability.
+    pub obs_capacity: Option<usize>,
 }
 
 impl Default for NodeConfig {
@@ -81,6 +86,7 @@ impl Default for NodeConfig {
             budget_factor: 8,
             policy: TreatmentPolicy::default(),
             cpu_scale_ppm: 1_000_000,
+            obs_capacity: None,
         }
     }
 }
@@ -164,10 +170,8 @@ impl CentralNode {
         let mut app_alarm_raw: BTreeMap<ApplicationId, u32> = BTreeMap::new();
         let mut app_prefixes: BTreeMap<ApplicationId, &'static str> = BTreeMap::new();
         let mut wd_builder = WatchdogConfig::builder(config.wd_period)
-            .error_threshold(config.error_threshold);
-        if config.keep_monitoring_faulty {
-            wd_builder = wd_builder.keep_monitoring_faulty_tasks();
-        }
+            .error_threshold(config.error_threshold)
+            .deactivate_on_faulty_task(!config.keep_monitoring_faulty);
 
         for bundle in bundles {
             let app = mapping.add_application(bundle.app_name);
@@ -223,10 +227,17 @@ impl CentralNode {
             }
         }
 
+        let obs = match config.obs_capacity {
+            Some(capacity) => easis_obs::ObsSink::enabled(capacity),
+            None => easis_obs::ObsSink::disabled(),
+        };
         let wd_config = wd_builder.mapping(mapping.clone()).build();
-        let watchdog = SoftwareWatchdog::new(wd_config);
-        let fmf = FaultManagementFramework::new(SeverityMap::default(), config.policy);
+        let mut watchdog = SoftwareWatchdog::new(wd_config);
+        watchdog.attach_obs(obs.clone());
+        let mut fmf = FaultManagementFramework::new(SeverityMap::default(), config.policy);
+        fmf.attach_obs(obs.clone());
         let mut world = CentralWorld::new(signals, watchdog, fmf, config.hw_timeout);
+        world.obs = obs;
         world
             .controls
             .set_global_exec_scale_ppm(config.cpu_scale_ppm);
@@ -415,9 +426,12 @@ impl CentralNode {
     }
 
     /// Runs the node until `end`, ticking the injector once per
-    /// millisecond (the injection granularity of the experiments).
+    /// millisecond (the injection granularity of the experiments). The
+    /// injector inherits the node's observability sink, so arm/disarm
+    /// markers land on the same trace as the detections they provoke.
     pub fn run_until(&mut self, end: Instant, injector: &mut Injector) {
         assert!(self.started, "call start() first");
+        injector.attach_obs(self.world.obs.clone());
         let step = Duration::from_millis(1);
         while self.os.now() < end {
             let slice_end = (self.os.now() + step).min(end);

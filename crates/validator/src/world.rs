@@ -10,6 +10,7 @@
 use easis_baselines::hw_watchdog::HardwareWatchdog;
 use easis_fmf::framework::FaultManagementFramework;
 use easis_fmf::policy::TreatmentAction;
+use easis_obs::ObsSink;
 use easis_rte::control::RunnableControls;
 use easis_rte::mapping::ApplicationId;
 use easis_rte::runnable::RunnableId;
@@ -51,6 +52,10 @@ pub struct CentralWorld {
     /// integration pushes `(raw frame id, payload)` here and raises the RX
     /// interrupt; the ISR handler drains it into the signal database.
     pub rx_mailbox: Vec<(u16, Vec<u8>)>,
+    /// The node's observability sink: one handle shared by the watchdog,
+    /// the FMF and (via [`crate::node::CentralNode::run_until`]) the
+    /// injector. Disabled by default — recording is then a no-op.
+    pub obs: ObsSink,
 }
 
 impl CentralWorld {
@@ -91,6 +96,7 @@ impl CentralWorld {
             ecu_resets: 0,
             fault_log: Vec::new(),
             rx_mailbox: Vec::new(),
+            obs: ObsSink::disabled(),
         }
     }
 }

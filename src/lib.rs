@@ -10,6 +10,7 @@
 //! | [`sim`] | `easis-sim` | deterministic simulation substrate |
 //! | [`osek`] | `easis-osek` | OSEK/VDX operating-system model |
 //! | [`rte`] | `easis-rte` | runnable layer + heartbeat glue |
+//! | [`obs`] | `easis-obs` | flight recorder + metrics registry |
 //! | [`watchdog`] | `easis-watchdog` | **the Software Watchdog service** |
 //! | [`fmf`] | `easis-fmf` | Fault Management Framework |
 //! | [`baselines`] | `easis-baselines` | HW watchdog, deadline/budget monitors, CFCSS |
@@ -41,6 +42,7 @@ pub use easis_baselines as baselines;
 pub use easis_bus as bus;
 pub use easis_fmf as fmf;
 pub use easis_injection as injection;
+pub use easis_obs as obs;
 pub use easis_osek as osek;
 pub use easis_rte as rte;
 pub use easis_sim as sim;

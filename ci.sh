@@ -21,4 +21,22 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 echo "==> trace_dump smoke test (fixed-seed flight-recorder trial)"
 cargo run --release -q -p easis-bench --bin trace_dump > /dev/null
 
+echo "==> hotpath_bench smoke run (schema check, alloc gate)"
+# Run from a scratch dir so the smoke run's JSON does not clobber the
+# committed full-iteration BENCH_hotpath.json; speedup assertions are
+# skipped below 1M iterations, the zero-alloc gate always applies.
+hotpath_scratch="$(mktemp -d)"
+(cd "$hotpath_scratch" && "$OLDPWD/target/release/hotpath_bench" 20000 > /dev/null)
+for key in schema_version iterations monitored_runnables ns_per_heartbeat \
+           ns_per_pfc_check ns_per_cycle_check steady_state_cycle_allocs; do
+  grep -q "\"$key\"" "$hotpath_scratch/BENCH_hotpath.json" \
+    || { echo "BENCH_hotpath.json missing key: $key"; exit 1; }
+done
+rm -rf "$hotpath_scratch"
+
+echo "==> campaign golden across worker/chunk configurations"
+for w in 1 2 4; do
+  EASIS_WORKERS=$w EASIS_CHUNK=5 cargo test -q --test campaign_regression
+done
+
 echo "CI green."

@@ -9,7 +9,7 @@
 //! in the last cycle". An Activation Status (AS) per runnable gates the
 //! whole mechanism.
 
-use crate::config::RunnableHypothesis;
+use crate::config::{IdIndex, RunnableHypothesis};
 use crate::report::{DetectedFault, FaultKind, RunnableCounters};
 use easis_obs::{ObsEvent, ObsSink};
 use easis_rte::runnable::RunnableId;
@@ -25,50 +25,55 @@ pub const HEARTBEAT_COST_CYCLES: u64 = 9;
 /// Abstract CPU cost (cycles) of the per-runnable end-of-cycle check.
 pub const CHECK_COST_CYCLES: u64 = 23;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct MonitorState {
-    hypothesis: RunnableHypothesis,
-    ac: u32,
-    arc: u32,
-    cca: u32,
-    ccar: u32,
-    active: bool,
-    aliveness_errors: u32,
-    arrival_rate_errors: u32,
-}
-
-impl MonitorState {
-    fn new(hypothesis: RunnableHypothesis) -> Self {
-        MonitorState {
-            active: hypothesis.initially_active,
-            hypothesis,
-            ac: 0,
-            arc: 0,
-            cca: 0,
-            ccar: 0,
-            aliveness_errors: 0,
-            arrival_rate_errors: 0,
-        }
-    }
-}
-
 /// The heartbeat monitoring unit: one counter set per monitored runnable.
+///
+/// Runnables are interned into dense slots ([`IdIndex`], ascending id
+/// order), and the AC/ARC/CCA/CCAR counters plus Activation Status live in
+/// packed parallel arrays indexed by slot — one heartbeat indication is a
+/// slot lookup and two array increments (branch-light O(1)), and the
+/// end-of-cycle check is a linear sweep over contiguous slices. Sweeping
+/// slots in ascending order reproduces the previous `BTreeMap` iteration
+/// order exactly, so fault ordering, cost charges, and observability
+/// events are unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HeartbeatMonitor {
-    states: BTreeMap<RunnableId, MonitorState>,
+    index: IdIndex,
+    hypotheses: Vec<RunnableHypothesis>,
+    ac: Vec<u32>,
+    arc: Vec<u32>,
+    cca: Vec<u32>,
+    ccar: Vec<u32>,
+    active: Vec<bool>,
+    aliveness_errors: Vec<u32>,
+    arrival_rate_errors: Vec<u32>,
     obs: ObsSink,
 }
 
 impl HeartbeatMonitor {
-    /// Creates the unit from the per-runnable fault hypotheses.
+    /// Creates the unit from the per-runnable fault hypotheses. A later
+    /// hypothesis for the same runnable replaces an earlier one.
     pub fn new(hypotheses: impl IntoIterator<Item = RunnableHypothesis>) -> Self {
-        HeartbeatMonitor {
-            states: hypotheses
-                .into_iter()
-                .map(|h| (h.runnable, MonitorState::new(h)))
-                .collect(),
+        let by_id: BTreeMap<RunnableId, RunnableHypothesis> = hypotheses
+            .into_iter()
+            .map(|h| (h.runnable, h))
+            .collect();
+        let mut monitor = HeartbeatMonitor {
+            index: IdIndex::from_ids(by_id.keys().map(|r| r.0)),
+            hypotheses: Vec::with_capacity(by_id.len()),
+            ac: vec![0; by_id.len()],
+            arc: vec![0; by_id.len()],
+            cca: vec![0; by_id.len()],
+            ccar: vec![0; by_id.len()],
+            active: Vec::with_capacity(by_id.len()),
+            aliveness_errors: vec![0; by_id.len()],
+            arrival_rate_errors: vec![0; by_id.len()],
             obs: ObsSink::disabled(),
+        };
+        for (_, h) in by_id {
+            monitor.active.push(h.initially_active);
+            monitor.hypotheses.push(h);
         }
+        monitor
     }
 
     /// Attaches an observability sink; a disabled sink (the default)
@@ -81,12 +86,14 @@ impl HeartbeatMonitor {
     /// and runnables with a cleared activation status are ignored (the
     /// glue call is still charged to `costs`, as the AS test itself costs
     /// cycles).
+    #[inline]
     pub fn record(&mut self, runnable: RunnableId, now: Instant, costs: &mut CostMeter) {
         costs.charge(HEARTBEAT_COST_CYCLES);
-        if let Some(st) = self.states.get_mut(&runnable) {
-            if st.active {
-                st.ac = st.ac.saturating_add(1);
-                st.arc = st.arc.saturating_add(1);
+        if let Some(slot) = self.index.slot_of_runnable(runnable) {
+            let slot = slot as usize;
+            if self.active[slot] {
+                self.ac[slot] = self.ac[slot].saturating_add(1);
+                self.arc[slot] = self.arc[slot].saturating_add(1);
                 self.obs.record(now, ObsEvent::HeartbeatRecorded { runnable });
             }
         }
@@ -96,16 +103,30 @@ impl HeartbeatMonitor {
     /// end-of-period checks. Returns the faults detected in this cycle.
     pub fn end_of_cycle(&mut self, now: Instant, costs: &mut CostMeter) -> Vec<DetectedFault> {
         let mut faults = Vec::new();
-        for (&runnable, st) in &mut self.states {
-            if !st.active {
+        self.end_of_cycle_into(now, costs, &mut faults);
+        faults
+    }
+
+    /// Like [`HeartbeatMonitor::end_of_cycle`], but appends the detected
+    /// faults to a caller-supplied buffer so a steady state (no faults)
+    /// performs no allocation.
+    pub fn end_of_cycle_into(
+        &mut self,
+        now: Instant,
+        costs: &mut CostMeter,
+        faults: &mut Vec<DetectedFault>,
+    ) {
+        for slot in 0..self.index.len() {
+            if !self.active[slot] {
                 continue;
             }
+            let runnable = RunnableId(self.index.id_at(slot as u32));
             costs.charge(CHECK_COST_CYCLES);
-            if let Some(spec) = st.hypothesis.aliveness {
-                st.cca += 1;
-                if st.cca >= spec.cycles {
-                    if st.ac < spec.min_indications {
-                        st.aliveness_errors += 1;
+            if let Some(spec) = self.hypotheses[slot].aliveness {
+                self.cca[slot] += 1;
+                if self.cca[slot] >= spec.cycles {
+                    if self.ac[slot] < spec.min_indications {
+                        self.aliveness_errors[slot] += 1;
                         self.obs.record(
                             now,
                             ObsEvent::FaultDetected {
@@ -119,15 +140,15 @@ impl HeartbeatMonitor {
                             kind: FaultKind::Aliveness,
                         });
                     }
-                    st.ac = 0;
-                    st.cca = 0;
+                    self.ac[slot] = 0;
+                    self.cca[slot] = 0;
                 }
             }
-            if let Some(spec) = st.hypothesis.arrival_rate {
-                st.ccar += 1;
-                if st.ccar >= spec.cycles {
-                    if st.arc > spec.max_indications {
-                        st.arrival_rate_errors += 1;
+            if let Some(spec) = self.hypotheses[slot].arrival_rate {
+                self.ccar[slot] += 1;
+                if self.ccar[slot] >= spec.cycles {
+                    if self.arc[slot] > spec.max_indications {
+                        self.arrival_rate_errors[slot] += 1;
                         self.obs.record(
                             now,
                             ObsEvent::FaultDetected {
@@ -141,12 +162,11 @@ impl HeartbeatMonitor {
                             kind: FaultKind::ArrivalRate,
                         });
                     }
-                    st.arc = 0;
-                    st.ccar = 0;
+                    self.arc[slot] = 0;
+                    self.ccar[slot] = 0;
                 }
             }
         }
-        faults
     }
 
     /// Replaces the fault hypothesis of a runnable at runtime (dynamic
@@ -155,16 +175,25 @@ impl HeartbeatMonitor {
     /// is preserved. Unknown runnables become newly monitored.
     pub fn reconfigure(&mut self, hypothesis: RunnableHypothesis) {
         let runnable = hypothesis.runnable;
-        match self.states.get_mut(&runnable) {
-            Some(st) => {
-                st.hypothesis = hypothesis;
-                st.ac = 0;
-                st.arc = 0;
-                st.cca = 0;
-                st.ccar = 0;
+        match self.index.slot_of_runnable(runnable) {
+            Some(slot) => {
+                let slot = slot as usize;
+                self.hypotheses[slot] = hypothesis;
+                self.ac[slot] = 0;
+                self.arc[slot] = 0;
+                self.cca[slot] = 0;
+                self.ccar[slot] = 0;
             }
             None => {
-                self.states.insert(runnable, MonitorState::new(hypothesis));
+                let slot = self.index.insert(runnable.0) as usize;
+                self.active.insert(slot, hypothesis.initially_active);
+                self.hypotheses.insert(slot, hypothesis);
+                self.ac.insert(slot, 0);
+                self.arc.insert(slot, 0);
+                self.cca.insert(slot, 0);
+                self.ccar.insert(slot, 0);
+                self.aliveness_errors.insert(slot, 0);
+                self.arrival_rate_errors.insert(slot, 0);
             }
         }
     }
@@ -173,14 +202,15 @@ impl HeartbeatMonitor {
     /// the counters so monitoring restarts cleanly when re-armed.
     /// Returns `false` for unmonitored runnables.
     pub fn set_active(&mut self, runnable: RunnableId, active: bool) -> bool {
-        match self.states.get_mut(&runnable) {
-            Some(st) => {
-                st.active = active;
+        match self.index.slot_of_runnable(runnable) {
+            Some(slot) => {
+                let slot = slot as usize;
+                self.active[slot] = active;
                 if !active {
-                    st.ac = 0;
-                    st.arc = 0;
-                    st.cca = 0;
-                    st.ccar = 0;
+                    self.ac[slot] = 0;
+                    self.arc[slot] = 0;
+                    self.cca[slot] = 0;
+                    self.ccar[slot] = 0;
                 }
                 true
             }
@@ -190,27 +220,37 @@ impl HeartbeatMonitor {
 
     /// `true` if the runnable is monitored and its AS is set.
     pub fn is_active(&self, runnable: RunnableId) -> bool {
-        self.states.get(&runnable).is_some_and(|s| s.active)
+        self.index
+            .slot_of_runnable(runnable)
+            .is_some_and(|slot| self.active[slot as usize])
     }
 
     /// Live counter values (aliveness/arrival parts; PFC attribution is
     /// merged in by the service facade).
     pub fn counters(&self, runnable: RunnableId) -> Option<RunnableCounters> {
-        self.states.get(&runnable).map(|st| RunnableCounters {
-            ac: st.ac,
-            arc: st.arc,
-            cca: st.cca,
-            ccar: st.ccar,
-            activation: st.active,
-            aliveness_errors: st.aliveness_errors,
-            arrival_rate_errors: st.arrival_rate_errors,
-            program_flow_errors: 0,
+        self.index.slot_of_runnable(runnable).map(|slot| {
+            let slot = slot as usize;
+            RunnableCounters {
+                ac: self.ac[slot],
+                arc: self.arc[slot],
+                cca: self.cca[slot],
+                ccar: self.ccar[slot],
+                activation: self.active[slot],
+                aliveness_errors: self.aliveness_errors[slot],
+                arrival_rate_errors: self.arrival_rate_errors[slot],
+                program_flow_errors: 0,
+            }
         })
     }
 
-    /// Monitored runnables.
+    /// The runnable interner (slot per monitored runnable).
+    pub fn index(&self) -> &IdIndex {
+        &self.index
+    }
+
+    /// Monitored runnables, in ascending id order.
     pub fn monitored(&self) -> impl Iterator<Item = RunnableId> + '_ {
-        self.states.keys().copied()
+        self.index.iter().map(RunnableId)
     }
 }
 

@@ -68,9 +68,9 @@ pub mod tsi;
 pub mod unit;
 pub mod validate;
 
-pub use config::{AlivenessSpec, ArrivalRateSpec, RunnableHypothesis, WatchdogConfig};
+pub use config::{AlivenessSpec, ArrivalRateSpec, IdIndex, RunnableHypothesis, WatchdogConfig};
 pub use heartbeat::HeartbeatMonitor;
-pub use pfc::{FlowTable, FlowVerdict, ProgramFlowChecker};
+pub use pfc::{CompiledFlowTable, FlowTable, FlowVerdict, ProgramFlowChecker};
 pub use probe::ActiveProbeMonitor;
 pub use report::{DetectedFault, FaultKind, HealthState, RunnableCounters, StateChange};
 pub use service::{CycleReport, SoftwareWatchdog};

@@ -9,6 +9,7 @@
 //! the paper restricts checking to safety-critical runnables to bound
 //! overhead.
 
+use crate::config::IdIndex;
 use easis_obs::{FaultClass, ObsEvent, ObsSink};
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::Instant;
@@ -37,6 +38,10 @@ pub const LOOKUP_COST_CYCLES: u64 = 18;
 pub struct FlowTable {
     successors: BTreeMap<RunnableId, BTreeSet<RunnableId>>,
     entries: BTreeSet<RunnableId>,
+    /// Every runnable the table mentions (entry, predecessor or
+    /// successor), maintained incrementally so [`FlowTable::is_monitored`]
+    /// never has to scan the successor sets.
+    observed: BTreeSet<RunnableId>,
 }
 
 impl FlowTable {
@@ -51,11 +56,14 @@ impl FlowTable {
             .entry(predecessor)
             .or_default()
             .insert(successor);
+        self.observed.insert(predecessor);
+        self.observed.insert(successor);
     }
 
     /// Marks `entry` as a valid first runnable of a monitored sequence.
     pub fn allow_entry(&mut self, entry: RunnableId) {
         self.entries.insert(entry);
+        self.observed.insert(entry);
     }
 
     /// `true` if the pair is in the table.
@@ -72,11 +80,16 @@ impl FlowTable {
     }
 
     /// `true` if `runnable` appears in the table (as predecessor, successor
-    /// or entry) — i.e. its flow is monitored.
+    /// or entry) — i.e. its flow is monitored. Answered from the
+    /// incrementally maintained observed set, so runnables appearing only
+    /// as successors are found without scanning every successor set.
     pub fn is_monitored(&self, runnable: RunnableId) -> bool {
-        self.entries.contains(&runnable)
-            || self.successors.contains_key(&runnable)
-            || self.successors.values().any(|s| s.contains(&runnable))
+        self.observed.contains(&runnable)
+    }
+
+    /// Iterates every runnable the table mentions, in ascending id order.
+    pub fn monitored_ids(&self) -> impl Iterator<Item = RunnableId> + '_ {
+        self.observed.iter().copied()
     }
 
     /// Number of allowed pairs.
@@ -90,13 +103,130 @@ impl FlowTable {
             .iter()
             .flat_map(|(&p, set)| set.iter().map(move |&s| (p, s)))
     }
+
+    /// Compiles the table into its dense bitset form (see
+    /// [`CompiledFlowTable`]).
+    pub fn compile(&self) -> CompiledFlowTable {
+        CompiledFlowTable::compile(self)
+    }
 }
 
-/// The PFC unit: table + last-observed monitored runnable.
+/// The look-up table compiled to a flat row-major bitset adjacency matrix.
+///
+/// Monitored runnables are interned into dense slots ([`IdIndex`]); row
+/// `p` of the matrix holds one bit per possible successor slot, packed
+/// into `u64` words, plus one packed row for the entry set. Both
+/// [`CompiledFlowTable::allows`] and [`CompiledFlowTable::is_entry`] are a
+/// single word index + bit test — O(1) regardless of table size, versus
+/// the builder [`FlowTable`]'s two-level map probe.
+///
+/// # Examples
+///
+/// ```
+/// use easis_rte::runnable::RunnableId;
+/// use easis_watchdog::pfc::FlowTable;
+///
+/// let mut table = FlowTable::new();
+/// table.allow_entry(RunnableId(0));
+/// table.allow(RunnableId(0), RunnableId(2));
+/// let compiled = table.compile();
+/// let s0 = compiled.slot_of(RunnableId(0)).unwrap();
+/// let s2 = compiled.slot_of(RunnableId(2)).unwrap();
+/// assert!(compiled.allows(s0, s2));
+/// assert!(!compiled.allows(s2, s0));
+/// assert!(compiled.is_entry(s0) && !compiled.is_entry(s2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledFlowTable {
+    index: IdIndex,
+    /// `u64` words per adjacency row (= per entry row).
+    words_per_row: u32,
+    /// Row-major adjacency bits: `adjacency[p * words_per_row + s / 64]`
+    /// bit `s % 64` set ⇔ slot `s` may follow slot `p`.
+    adjacency: Vec<u64>,
+    /// Packed entry set (one row).
+    entry_bits: Vec<u64>,
+    /// `true` when the builder's entry set was empty: any monitored
+    /// runnable may start a sequence.
+    any_entry: bool,
+}
+
+impl CompiledFlowTable {
+    /// Compiles a builder table.
+    pub fn compile(table: &FlowTable) -> Self {
+        let index = IdIndex::from_ids(table.monitored_ids().map(|r| r.0));
+        let n = index.len();
+        let words_per_row = n.div_ceil(64);
+        let mut compiled = CompiledFlowTable {
+            index,
+            words_per_row: words_per_row as u32,
+            adjacency: vec![0; n * words_per_row],
+            entry_bits: vec![0; words_per_row],
+            any_entry: table.entries.is_empty(),
+        };
+        for (pred, succ) in table.pairs() {
+            let p = compiled.index.slot_of(pred.0).expect("pred interned") as usize;
+            let s = compiled.index.slot_of(succ.0).expect("succ interned") as usize;
+            compiled.adjacency[p * words_per_row + s / 64] |= 1u64 << (s % 64);
+        }
+        for &entry in &table.entries {
+            let s = compiled.index.slot_of(entry.0).expect("entry interned") as usize;
+            compiled.entry_bits[s / 64] |= 1u64 << (s % 64);
+        }
+        compiled
+    }
+
+    /// The monitored-runnable interner (slot per runnable in the table).
+    pub fn index(&self) -> &IdIndex {
+        &self.index
+    }
+
+    /// Slot of a runnable, or `None` if its flow is unmonitored.
+    #[inline]
+    pub fn slot_of(&self, runnable: RunnableId) -> Option<u32> {
+        self.index.slot_of(runnable.0)
+    }
+
+    /// The runnable interned at `slot`.
+    #[inline]
+    pub fn runnable_at(&self, slot: u32) -> RunnableId {
+        RunnableId(self.index.id_at(slot))
+    }
+
+    /// `true` if slot `successor` may follow slot `predecessor` — one word
+    /// load and bit test.
+    #[inline]
+    pub fn allows(&self, predecessor: u32, successor: u32) -> bool {
+        let row = predecessor as usize * self.words_per_row as usize;
+        let word = self.adjacency[row + successor as usize / 64];
+        word >> (successor % 64) & 1 != 0
+    }
+
+    /// `true` if slot `runnable` may start a sequence.
+    #[inline]
+    pub fn is_entry(&self, runnable: u32) -> bool {
+        self.any_entry || self.entry_bits[runnable as usize / 64] >> (runnable % 64) & 1 != 0
+    }
+
+    /// Number of monitored runnables (= adjacency matrix dimension).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if the table monitors nothing.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// The PFC unit: compiled table + last-observed monitored runnable slot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProgramFlowChecker {
     table: FlowTable,
-    last: Option<RunnableId>,
+    compiled: CompiledFlowTable,
+    /// Slot of the last observed monitored runnable;
+    /// [`IdIndex::NO_SLOT`] at a sequence start.
+    last_slot: u32,
     errors_detected: u64,
     obs: ObsSink,
     /// Violations observed through the [`crate::unit::MonitoringUnit`]
@@ -119,11 +249,13 @@ pub enum FlowVerdict {
 }
 
 impl ProgramFlowChecker {
-    /// Creates a checker over a table.
+    /// Creates a checker over a table, compiling it to the bitset form.
     pub fn new(table: FlowTable) -> Self {
+        let compiled = table.compile();
         ProgramFlowChecker {
             table,
-            last: None,
+            compiled,
+            last_slot: IdIndex::NO_SLOT,
             errors_detected: 0,
             obs: ObsSink::disabled(),
             pending: Vec::new(),
@@ -139,32 +271,28 @@ impl ProgramFlowChecker {
     /// Observes one heartbeat in program order and returns the verdict.
     /// Unmonitored runnables are ignored entirely (always `Ok`, do not
     /// update the predecessor).
+    #[inline]
     pub fn observe(&mut self, runnable: RunnableId) -> FlowVerdict {
-        if !self.table.is_monitored(runnable) {
+        let Some(slot) = self.compiled.slot_of(runnable) else {
             return FlowVerdict::Ok;
-        }
-        let verdict = match self.last {
-            None => {
-                if self.table.is_entry(runnable) {
-                    FlowVerdict::Ok
-                } else {
-                    FlowVerdict::Violation { predecessor: None }
-                }
+        };
+        let verdict = if self.last_slot == IdIndex::NO_SLOT {
+            if self.compiled.is_entry(slot) {
+                FlowVerdict::Ok
+            } else {
+                FlowVerdict::Violation { predecessor: None }
             }
-            Some(prev) => {
-                if self.table.is_allowed(prev, runnable) {
-                    FlowVerdict::Ok
-                } else {
-                    FlowVerdict::Violation {
-                        predecessor: Some(prev),
-                    }
-                }
+        } else if self.compiled.allows(self.last_slot, slot) {
+            FlowVerdict::Ok
+        } else {
+            FlowVerdict::Violation {
+                predecessor: Some(self.compiled.runnable_at(self.last_slot)),
             }
         };
         if let FlowVerdict::Violation { .. } = verdict {
             self.errors_detected += 1;
         }
-        self.last = Some(runnable);
+        self.last_slot = slot;
         verdict
     }
 
@@ -198,7 +326,7 @@ impl ProgramFlowChecker {
     /// Resets the sequence position (e.g. after fault treatment), keeping
     /// the cumulative error count.
     pub fn reset_position(&mut self) {
-        self.last = None;
+        self.last_slot = IdIndex::NO_SLOT;
     }
 
     /// Cumulative violations detected.
@@ -206,14 +334,20 @@ impl ProgramFlowChecker {
         self.errors_detected
     }
 
-    /// The table in use.
+    /// The table in use (builder form; the checker runs on its compiled
+    /// bitset, see [`ProgramFlowChecker::compiled`]).
     pub fn table(&self) -> &FlowTable {
         &self.table
     }
 
+    /// The compiled bitset table the checker runs on.
+    pub fn compiled(&self) -> &CompiledFlowTable {
+        &self.compiled
+    }
+
     /// Last observed monitored runnable.
     pub fn last_observed(&self) -> Option<RunnableId> {
-        self.last
+        (self.last_slot != IdIndex::NO_SLOT).then(|| self.compiled.runnable_at(self.last_slot))
     }
 }
 
@@ -320,6 +454,66 @@ mod tests {
             events[0].event,
             ObsEvent::FaultDetected { runnable: r(2), kind: FaultClass::ProgramFlow }
         );
+    }
+
+    #[test]
+    fn successor_only_runnables_are_monitored() {
+        // Pins the semantics the old quadratic `values().any(...)` fallback
+        // implemented: a runnable appearing *only* as a successor (never as
+        // predecessor or entry) is still monitored.
+        let mut t = FlowTable::new();
+        t.allow_entry(r(0));
+        t.allow(r(0), r(7)); // 7 appears only on the successor side
+        assert!(t.is_monitored(r(7)));
+        assert!(t.is_monitored(r(0)));
+        assert!(!t.is_monitored(r(3)));
+        // And the compiled bitset agrees.
+        let c = t.compile();
+        assert!(c.slot_of(r(7)).is_some());
+        assert!(c.slot_of(r(3)).is_none());
+        // Observing the successor-only runnable out of order is a violation,
+        // not transparency.
+        let mut pfc = ProgramFlowChecker::new(t);
+        assert_eq!(pfc.observe(r(7)), FlowVerdict::Violation { predecessor: None });
+    }
+
+    #[test]
+    fn compiled_table_matches_builder_semantics() {
+        let t = chain_table();
+        let c = t.compile();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        for pred in [0u32, 1, 2] {
+            for succ in [0u32, 1, 2] {
+                let (p, s) = (c.slot_of(r(pred)).unwrap(), c.slot_of(r(succ)).unwrap());
+                assert_eq!(c.allows(p, s), t.is_allowed(r(pred), r(succ)), "{pred}->{succ}");
+            }
+        }
+        let entry_slot = c.slot_of(r(0)).unwrap();
+        assert!(c.is_entry(entry_slot));
+        assert!(!c.is_entry(c.slot_of(r(1)).unwrap()));
+        assert_eq!(c.runnable_at(entry_slot), r(0));
+        // Empty entry set ⇒ any monitored runnable may start.
+        let mut open = FlowTable::new();
+        open.allow(r(4), r(5));
+        let oc = open.compile();
+        assert!(oc.is_entry(oc.slot_of(r(5)).unwrap()));
+    }
+
+    #[test]
+    fn compiled_table_spans_word_boundaries() {
+        // >64 monitored runnables forces multi-word rows.
+        let mut t = FlowTable::new();
+        for i in 0..100u32 {
+            t.allow(r(i), r((i + 1) % 100));
+        }
+        let c = t.compile();
+        assert_eq!(c.len(), 100);
+        let mut pfc = ProgramFlowChecker::new(t);
+        for i in 0..200u32 {
+            assert_eq!(pfc.observe(r(i % 100)), FlowVerdict::Ok, "step {i}");
+        }
+        assert!(matches!(pfc.observe(r(50)), FlowVerdict::Violation { .. }));
     }
 
     #[test]

@@ -29,7 +29,6 @@ use easis_rte::mapping::ApplicationId;
 use easis_rte::runnable::{HeartbeatSink, RunnableId};
 use easis_sim::cpu::{CostMeter, CpuModel};
 use easis_sim::time::Instant;
-use std::collections::BTreeMap;
 
 /// Report of one watchdog cycle.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -63,15 +62,30 @@ pub struct CycleReport {
 pub struct SoftwareWatchdog {
     config: WatchdogConfig,
     heartbeat_unit: HeartbeatMonitor,
-    /// One flow checker per hosting task (runnables of different tasks
-    /// interleave freely under preemption; only the sequence *within* a
-    /// task's chart is constrained). Runnables not mapped to any task
-    /// share the `None` checker.
-    pfc_units: BTreeMap<Option<TaskId>, ProgramFlowChecker>,
+    /// One flow checker per hosting-task slot (runnables of different
+    /// tasks interleave freely under preemption; only the sequence
+    /// *within* a task's chart is constrained), plus one trailing checker
+    /// shared by all runnables not mapped to any task. Indexed by the
+    /// values of [`SoftwareWatchdog::slot_scope`].
+    pfc_units: Vec<ProgramFlowChecker>,
     tsi_unit: TaskStateIndication,
-    pfc_errors_by_runnable: BTreeMap<RunnableId, u32>,
+    /// Runnable slot → index into [`SoftwareWatchdog::pfc_units`]
+    /// (`task_index` slot of the hosting task, or `pfc_units.len() - 1`
+    /// for unmapped runnables). Frozen at construction.
+    slot_scope: Vec<u32>,
+    /// Task slot → cached `tsi_unit.task_state(..).is_faulty()`, kept in
+    /// sync by [`SoftwareWatchdog::apply_state_changes`] and
+    /// [`SoftwareWatchdog::acknowledge_task_recovered`] so the per-
+    /// heartbeat faulty-task gate is an array load instead of a map probe.
+    task_faulty: Vec<bool>,
+    /// PFC violations attributed per runnable slot.
+    pfc_errors: Vec<u32>,
     outbox: Vec<DetectedFault>,
     state_outbox: Vec<StateChange>,
+    /// Capacity-retained scratch for `run_cycle`'s fault list.
+    fault_scratch: Vec<DetectedFault>,
+    /// Capacity-retained scratch for TSI state changes.
+    change_scratch: Vec<StateChange>,
     costs: CostMeter,
     cycles_run: u64,
     last_heartbeat_now: Instant,
@@ -91,14 +105,35 @@ impl SoftwareWatchdog {
             config.error_threshold(),
             config.ecu_faulty_app_threshold(),
         );
+        let task_count = config.task_index().len();
+        let slot_scope: Vec<u32> = config
+            .runnable_index()
+            .iter()
+            .map(|id| match config.mapping().task_of(RunnableId(id)) {
+                Some(task) => config
+                    .task_index()
+                    .slot_of_task(task)
+                    .expect("mapped tasks are interned at build time"),
+                None => task_count as u32,
+            })
+            .collect();
+        // One checker per task scope plus the shared unmapped scope; all
+        // clones of one prototype so the table is compiled once.
+        let prototype = ProgramFlowChecker::new(config.flow_table().clone());
+        let pfc_units = vec![prototype; task_count + 1];
+        let pfc_errors = vec![0; config.runnable_index().len()];
         SoftwareWatchdog {
             config,
             heartbeat_unit,
-            pfc_units: BTreeMap::new(),
+            pfc_units,
             tsi_unit,
-            pfc_errors_by_runnable: BTreeMap::new(),
+            slot_scope,
+            task_faulty: vec![false; task_count],
+            pfc_errors,
             outbox: Vec::new(),
             state_outbox: Vec::new(),
+            fault_scratch: Vec::new(),
+            change_scratch: Vec::new(),
             costs: CostMeter::new(),
             cycles_run: 0,
             last_heartbeat_now: Instant::ZERO,
@@ -107,14 +142,14 @@ impl SoftwareWatchdog {
     }
 
     /// Attaches an observability sink to the service and all three
-    /// monitoring units (including flow checkers created later). A
-    /// disabled sink — the default — makes every recording call a no-op,
-    /// and recording never charges the [`CostMeter`], so attaching a sink
-    /// does not perturb the simulated cost model.
+    /// monitoring units. A disabled sink — the default — makes every
+    /// recording call a no-op, and recording never charges the
+    /// [`CostMeter`], so attaching a sink does not perturb the simulated
+    /// cost model.
     pub fn attach_obs(&mut self, obs: ObsSink) {
         self.heartbeat_unit.attach_obs(obs.clone());
         self.tsi_unit.attach_obs(obs.clone());
-        for checker in self.pfc_units.values_mut() {
+        for checker in &mut self.pfc_units {
             checker.attach_obs(obs.clone());
         }
         self.obs = obs;
@@ -128,16 +163,22 @@ impl SoftwareWatchdog {
 
     /// The aliveness-indication service routine: called by the glue code of
     /// every monitored runnable. Feeds the heartbeat monitoring unit and
-    /// the PFC unit; a flow violation is a fault immediately.
+    /// the PFC unit; a flow violation is a fault immediately. The whole
+    /// nominal path is slot-indexed array work — no map probes, no
+    /// allocations.
     pub fn heartbeat(&mut self, runnable: RunnableId, now: Instant) {
         self.last_heartbeat_now = now;
+        let runnable_slot = self.config.runnable_index().slot_of_runnable(runnable);
         // A runnable whose hosting task is already marked faulty is no
         // longer supervised (its AS is cleared and its flow is ignored)
         // until fault treatment acknowledges recovery — this is why the
         // paper's Figure 6 plots freeze once the task state flips.
+        // Runnables outside the frozen index are never mapped to a task,
+        // so they cannot be gated here.
         if self.config.deactivate_on_faulty_task() {
-            if let Some(task) = self.config.mapping().task_of(runnable) {
-                if self.tsi_unit.task_state(task).is_faulty() {
+            if let Some(slot) = runnable_slot {
+                let scope = self.slot_scope[slot as usize] as usize;
+                if scope < self.task_faulty.len() && self.task_faulty[scope] {
                     self.costs.charge(crate::heartbeat::HEARTBEAT_COST_CYCLES);
                     return;
                 }
@@ -145,30 +186,34 @@ impl SoftwareWatchdog {
         }
         self.heartbeat_unit.record(runnable, now, &mut self.costs);
         self.costs.charge(LOOKUP_COST_CYCLES);
-        let scope = self.config.mapping().task_of(runnable);
-        let table = self.config.flow_table();
-        let obs = &self.obs;
-        let checker = self.pfc_units.entry(scope).or_insert_with(|| {
-            let mut checker = ProgramFlowChecker::new(table.clone());
-            checker.attach_obs(obs.clone());
-            checker
-        });
-        if let FlowVerdict::Violation { .. } = checker.observe_at(runnable, now) {
-            *self.pfc_errors_by_runnable.entry(runnable).or_insert(0) += 1;
+        let scope = match runnable_slot {
+            Some(slot) => self.slot_scope[slot as usize] as usize,
+            None => self.pfc_units.len() - 1,
+        };
+        if let FlowVerdict::Violation { .. } = self.pfc_units[scope].observe_at(runnable, now) {
+            // Only flow-monitored runnables can violate, and the flow
+            // table's ids are interned at build time.
+            let slot = runnable_slot.expect("flow-monitored runnables are interned") as usize;
+            self.pfc_errors[slot] += 1;
             let fault = DetectedFault {
                 at: now,
                 runnable,
                 kind: FaultKind::ProgramFlow,
             };
             self.outbox.push(fault);
-            let changes = self.tsi_unit.record(fault);
+            let mut changes = std::mem::take(&mut self.change_scratch);
+            changes.clear();
+            self.tsi_unit.record_into(fault, &mut changes);
             self.apply_state_changes(&changes);
-            self.state_outbox.extend(changes);
+            self.state_outbox.extend_from_slice(&changes);
+            self.change_scratch = changes;
         }
     }
 
     /// The periodic watchdog task body: advances all cycle counters,
-    /// performs the end-of-period checks, and updates the TSI unit.
+    /// performs the end-of-period checks, and updates the TSI unit. Runs
+    /// on capacity-retained scratch buffers: a steady-state cycle (no
+    /// faults detected) performs zero heap allocations.
     pub fn run_cycle(&mut self, now: Instant) -> CycleReport {
         self.cycles_run += 1;
         self.obs.record(
@@ -178,12 +223,16 @@ impl SoftwareWatchdog {
             },
         );
         let cycles_before = self.costs.total_cycles();
-        let faults = self.heartbeat_unit.end_of_cycle(now, &mut self.costs);
-        let mut state_changes = Vec::new();
+        let mut faults = std::mem::take(&mut self.fault_scratch);
+        let mut state_changes = std::mem::take(&mut self.change_scratch);
+        faults.clear();
+        state_changes.clear();
+        self.heartbeat_unit
+            .end_of_cycle_into(now, &mut self.costs, &mut faults);
         for &fault in &faults {
-            let changes = self.tsi_unit.record(fault);
-            self.apply_state_changes(&changes);
-            state_changes.extend(changes);
+            let start = state_changes.len();
+            self.tsi_unit.record_into(fault, &mut state_changes);
+            self.apply_state_changes(&state_changes[start..]);
         }
         if self.obs.is_enabled() {
             let spent = self.costs.total_cycles() - cycles_before;
@@ -199,27 +248,39 @@ impl SoftwareWatchdog {
                 faults: faults.len() as u32,
             },
         );
-        self.outbox.extend(faults.iter().copied());
-        self.state_outbox.extend(state_changes.iter().copied());
-        CycleReport {
-            faults,
-            state_changes,
+        self.outbox.extend_from_slice(&faults);
+        self.state_outbox.extend_from_slice(&state_changes);
+        // Cloning empty vectors does not allocate, so the steady state
+        // stays allocation-free while fault cycles pay one clone each.
+        let report = CycleReport {
+            faults: faults.clone(),
+            state_changes: state_changes.clone(),
+        };
+        self.fault_scratch = faults;
+        self.change_scratch = state_changes;
+        report
+    }
+
+    /// Honour `deactivate_on_faulty_task` (clear the AS of every runnable
+    /// of a newly faulty task so errors are not re-reported while fault
+    /// treatment is pending — this is what keeps the accumulated aliveness
+    /// error count at one in the paper's Figure 6) and keep the
+    /// `task_faulty` slot cache in sync with the TSI verdicts.
+    fn apply_state_changes(&mut self, changes: &[StateChange]) {
+        for change in changes {
+            if let StateChange::TaskFaulty { task, .. } = change {
+                self.on_task_faulty(*task);
+            }
         }
     }
 
-    /// Honour `deactivate_on_faulty_task`: clear the AS of every runnable
-    /// of a newly faulty task so errors are not re-reported while fault
-    /// treatment is pending (this is what keeps the accumulated aliveness
-    /// error count at one in the paper's Figure 6).
-    fn apply_state_changes(&mut self, changes: &[StateChange]) {
-        if !self.config.deactivate_on_faulty_task() {
-            return;
+    fn on_task_faulty(&mut self, task: TaskId) {
+        if let Some(slot) = self.config.task_index().slot_of_task(task) {
+            self.task_faulty[slot as usize] = true;
         }
-        for change in changes {
-            if let StateChange::TaskFaulty { task, .. } = change {
-                for runnable in self.config.mapping().runnables_of_task(*task) {
-                    self.heartbeat_unit.set_active(runnable, false);
-                }
+        if self.config.deactivate_on_faulty_task() {
+            for runnable in self.config.mapping().runnables_of_task(task) {
+                self.heartbeat_unit.set_active(runnable, false);
             }
         }
     }
@@ -246,8 +307,9 @@ impl SoftwareWatchdog {
         for runnable in self.config.mapping().runnables_of_task(task) {
             self.heartbeat_unit.set_active(runnable, true);
         }
-        if let Some(checker) = self.pfc_units.get_mut(&Some(task)) {
-            checker.reset_position();
+        if let Some(slot) = self.config.task_index().slot_of_task(task) {
+            self.task_faulty[slot as usize] = false;
+            self.pfc_units[slot as usize].reset_position();
         }
     }
 
@@ -255,10 +317,10 @@ impl SoftwareWatchdog {
     pub fn counters(&self, runnable: RunnableId) -> Option<RunnableCounters> {
         self.heartbeat_unit.counters(runnable).map(|mut c| {
             c.program_flow_errors = self
-                .pfc_errors_by_runnable
-                .get(&runnable)
-                .copied()
-                .unwrap_or(0);
+                .config
+                .runnable_index()
+                .slot_of_runnable(runnable)
+                .map_or(0, |slot| self.pfc_errors[slot as usize]);
             c
         })
     }
@@ -266,7 +328,7 @@ impl SoftwareWatchdog {
     /// Total program-flow errors detected so far (the "PFC Result" series
     /// summed over runnables).
     pub fn pfc_errors_total(&self) -> u64 {
-        self.pfc_units.values().map(|u| u.errors_detected()).sum()
+        self.pfc_units.iter().map(|u| u.errors_detected()).sum()
     }
 
     /// Current verdict of a task.

@@ -75,8 +75,17 @@ impl TaskStateIndication {
     /// changes this fault caused (possibly empty). Faults on unmapped
     /// runnables are counted under no task and change nothing.
     pub fn record(&mut self, fault: DetectedFault) -> Vec<StateChange> {
+        let mut changes = Vec::new();
+        self.record_into(fault, &mut changes);
+        changes
+    }
+
+    /// Like [`TaskStateIndication::record`], but appends the state changes
+    /// to a caller-supplied buffer so a below-threshold fault performs no
+    /// allocation.
+    pub fn record_into(&mut self, fault: DetectedFault, changes: &mut Vec<StateChange>) {
         let Some(task) = self.mapping.task_of(fault.runnable) else {
-            return Vec::new();
+            return;
         };
         let vector = self.vectors.entry(task).or_default();
         let count = vector.entry((fault.runnable, fault.kind)).or_insert(0);
@@ -91,18 +100,30 @@ impl TaskStateIndication {
             },
         );
         if *count < self.threshold {
-            return Vec::new();
+            return;
         }
-        self.mark_task_faulty(task, fault.at)
+        self.mark_task_faulty_into(task, fault.at, changes);
     }
 
     /// Marks a task faulty directly (e.g. commanded by the FMF) and returns
     /// the resulting state changes.
     pub fn mark_task_faulty(&mut self, task: TaskId, at: Instant) -> Vec<StateChange> {
         let mut changes = Vec::new();
+        self.mark_task_faulty_into(task, at, &mut changes);
+        changes
+    }
+
+    /// Like [`TaskStateIndication::mark_task_faulty`], but appends to a
+    /// caller-supplied buffer.
+    pub fn mark_task_faulty_into(
+        &mut self,
+        task: TaskId,
+        at: Instant,
+        changes: &mut Vec<StateChange>,
+    ) {
         let state = self.task_states.entry(task).or_default();
         if state.is_faulty() {
-            return changes;
+            return;
         }
         *state = HealthState::Faulty;
         changes.push(StateChange::TaskFaulty { task, at });
@@ -148,7 +169,6 @@ impl TaskStateIndication {
                 },
             );
         }
-        changes
     }
 
     /// Clears a task's error vector and verdict after fault treatment

@@ -8,8 +8,14 @@
 //! parallelise embarrassingly. [`CampaignExecutor`] fans a plan across a
 //! pool of worker threads over a shared work queue and merges the
 //! outcomes **by trial index**, so the resulting [`CampaignStats`] is
-//! bit-identical to a serial run regardless of worker count or thread
-//! scheduling.
+//! bit-identical to a serial run regardless of worker count, chunk size
+//! or thread scheduling.
+//!
+//! The work queue is **batched**: workers pull contiguous chunks of trial
+//! indices (one channel receive per chunk instead of per trial), which
+//! keeps channel traffic negligible when trials are cheap while still
+//! load-balancing dynamically — an expensive trial only pins the rest of
+//! its own chunk, not a statically assigned shard.
 //!
 //! ```
 //! use easis_injection::campaign::CampaignBuilder;
@@ -22,52 +28,113 @@
 //!     TrialOutcome::new(spec.injection.class.tag())
 //! };
 //! let serial = CampaignExecutor::serial().run(&plan, runner);
-//! let parallel = CampaignExecutor::new(4).run(&plan, runner);
+//! let parallel = CampaignExecutor::new(4).with_chunk_size(3).run(&plan, runner);
 //! assert_eq!(serial, parallel);
 //! ```
 
 use crate::campaign::{CampaignPlan, TrialSpec};
 use crate::stats::{CampaignStats, TrialOutcome};
 use crossbeam::channel;
+use std::ops::Range;
 
 /// Executes campaign plans across a fixed pool of worker threads with
 /// deterministic (order-independent) result aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignExecutor {
     workers: usize,
+    /// Trials per work-queue chunk; 0 = auto-size from the plan.
+    chunk: usize,
 }
 
 impl CampaignExecutor {
     /// A single-threaded executor; behaves exactly like
     /// [`CampaignPlan::run`].
     pub fn serial() -> Self {
-        CampaignExecutor { workers: 1 }
+        CampaignExecutor { workers: 1, chunk: 0 }
     }
 
-    /// An executor with `workers` threads (clamped to at least 1).
+    /// An executor with `workers` threads (clamped to at least 1) and
+    /// automatic chunk sizing.
     pub fn new(workers: usize) -> Self {
         CampaignExecutor {
             workers: workers.max(1),
+            chunk: 0,
         }
     }
 
-    /// An executor sized by the `EASIS_WORKERS` environment variable,
-    /// falling back to the machine's available parallelism.
+    /// Sets the number of trial specs per work-queue chunk. `0` restores
+    /// automatic sizing (≈ 4 chunks per worker, clamped to 1..=64). The
+    /// merged stats are bit-identical for every chunk size; the knob only
+    /// trades channel traffic against load-balancing granularity.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// An executor sized by the `EASIS_WORKERS` environment variable
+    /// (worker count), falling back to the machine's available
+    /// parallelism, and chunked by `EASIS_CHUNK` (trials per work-queue
+    /// batch, 0/unset = auto). A set-but-invalid value (unparsable, or a
+    /// worker count of 0) is rejected with a warning on stderr rather
+    /// than silently ignored, then the fallback applies.
     pub fn from_env() -> Self {
-        let workers = std::env::var("EASIS_WORKERS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        CampaignExecutor::new(workers)
+        let workers = match std::env::var("EASIS_WORKERS") {
+            Ok(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                Ok(_) => {
+                    eprintln!(
+                        "warning: EASIS_WORKERS=0 is invalid (need a positive worker count); \
+                         falling back to available parallelism"
+                    );
+                    None
+                }
+                Err(_) => {
+                    eprintln!(
+                        "warning: EASIS_WORKERS={raw:?} is not a number; \
+                         falling back to available parallelism"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
+        };
+        let workers = workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let chunk = match std::env::var("EASIS_CHUNK") {
+            Ok(raw) => match raw.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("warning: EASIS_CHUNK={raw:?} is not a number; using auto chunking");
+                    0
+                }
+            },
+            Err(_) => 0,
+        };
+        CampaignExecutor::new(workers).with_chunk_size(chunk)
     }
 
     /// Number of worker threads this executor uses.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Configured trials per work-queue chunk (0 = auto).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// The chunk size actually used for a plan of `trials` trials.
+    fn effective_chunk(&self, trials: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        // Auto: aim for ~4 chunks per worker so stragglers rebalance,
+        // bounded so tiny plans still parallelise and huge plans don't
+        // drown the channel.
+        (trials / (self.workers * 4)).clamp(1, 64)
     }
 
     /// Runs every trial of `plan` through `runner` and aggregates the
@@ -77,7 +144,7 @@ impl CampaignExecutor {
     /// order**, never completion order, so for any pure `runner` (one
     /// whose outcome depends only on the [`TrialSpec`]) the returned
     /// stats — and any report or JSON derived from them — are
-    /// bit-identical across worker counts and runs.
+    /// bit-identical across worker counts, chunk sizes and runs.
     ///
     /// # Panics
     ///
@@ -96,25 +163,30 @@ impl CampaignExecutor {
             return stats;
         }
 
-        // Work queue of trial indices; workers pull as they free up, so an
-        // expensive trial (a CPU-saturating slowdown) does not stall the
-        // neighbours a static chunking would pin behind it.
-        let (work_tx, work_rx) = channel::unbounded::<usize>();
-        for index in 0..trials.len() {
-            work_tx.send(index).expect("work queue open");
+        // Batched work queue of trial-index ranges; workers pull chunks as
+        // they free up, so an expensive trial (a CPU-saturating slowdown)
+        // stalls at most the remainder of its own chunk.
+        let chunk = self.effective_chunk(trials.len());
+        let (work_tx, work_rx) = channel::unbounded::<Range<usize>>();
+        let mut start = 0;
+        while start < trials.len() {
+            let end = (start + chunk).min(trials.len());
+            work_tx.send(start..end).expect("work queue open");
+            start = end;
         }
         drop(work_tx);
 
-        let (done_tx, done_rx) = channel::unbounded::<(usize, TrialOutcome)>();
+        let (done_tx, done_rx) = channel::unbounded::<(usize, Vec<TrialOutcome>)>();
         let runner = &runner;
         crossbeam::thread::scope(|scope| {
             for _ in 0..self.workers.min(trials.len()) {
                 let work_rx = work_rx.clone();
                 let done_tx = done_tx.clone();
                 scope.spawn(move || {
-                    for index in work_rx.iter() {
-                        let outcome = runner(&trials[index]);
-                        done_tx.send((index, outcome)).expect("results open");
+                    for range in work_rx.iter() {
+                        let outcomes: Vec<TrialOutcome> =
+                            trials[range.clone()].iter().map(runner).collect();
+                        done_tx.send((range.start, outcomes)).expect("results open");
                     }
                 });
             }
@@ -124,9 +196,11 @@ impl CampaignExecutor {
 
         // Merge by trial index: completion order is scheduling noise.
         let mut slots: Vec<Option<TrialOutcome>> = vec![None; trials.len()];
-        for (index, outcome) in done_rx.iter() {
-            debug_assert!(slots[index].is_none(), "trial {index} ran twice");
-            slots[index] = Some(outcome);
+        for (start, outcomes) in done_rx.iter() {
+            for (offset, outcome) in outcomes.into_iter().enumerate() {
+                debug_assert!(slots[start + offset].is_none(), "trial {} ran twice", start + offset);
+                slots[start + offset] = Some(outcome);
+            }
         }
         let mut stats = CampaignStats::new();
         for (index, slot) in slots.into_iter().enumerate() {
@@ -180,6 +254,16 @@ mod tests {
     }
 
     #[test]
+    fn every_chunk_size_matches_serial_exactly() {
+        let plan = plan();
+        let serial = CampaignExecutor::serial().run(&plan, synthetic);
+        for chunk in [1, 2, 3, 5, 7, 24, 100] {
+            let chunked = CampaignExecutor::new(4).with_chunk_size(chunk).run(&plan, synthetic);
+            assert_eq!(serial, chunked, "chunk size {chunk} diverged");
+        }
+    }
+
+    #[test]
     fn outcomes_are_in_trial_index_order() {
         let plan = plan();
         let stats = CampaignExecutor::new(4).run(&plan, synthetic);
@@ -192,6 +276,17 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(CampaignExecutor::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn auto_chunk_is_bounded() {
+        let exec = CampaignExecutor::new(4);
+        assert_eq!(exec.chunk_size(), 0);
+        assert_eq!(exec.effective_chunk(0), 1);
+        assert_eq!(exec.effective_chunk(8), 1);
+        assert_eq!(exec.effective_chunk(1000), 62);
+        assert_eq!(exec.effective_chunk(1_000_000), 64);
+        assert_eq!(CampaignExecutor::new(4).with_chunk_size(7).effective_chunk(1000), 7);
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl ObsSink {
     }
 
     /// `true` when recording actually happens.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.shared.is_some()
     }
@@ -64,6 +65,7 @@ impl ObsSink {
     ///
     /// One lock acquisition covers both; a disabled sink returns
     /// immediately without touching any shared state.
+    #[inline]
     pub fn record(&self, at: Instant, event: ObsEvent) {
         if let Some(shared) = &self.shared {
             let mut core = shared.lock().expect("obs sink poisoned");
@@ -73,6 +75,7 @@ impl ObsSink {
     }
 
     /// Adds `n` to a named counter (no event recorded).
+    #[inline]
     pub fn count(&self, name: &'static str, n: u64) {
         if let Some(shared) = &self.shared {
             let mut core = shared.lock().expect("obs sink poisoned");
@@ -81,6 +84,7 @@ impl ObsSink {
     }
 
     /// Records a latency observation at an instrumentation site.
+    #[inline]
     pub fn observe_latency(&self, site: &'static str, latency: Duration) {
         if let Some(shared) = &self.shared {
             let mut core = shared.lock().expect("obs sink poisoned");

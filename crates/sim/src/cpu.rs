@@ -100,6 +100,7 @@ impl CostMeter {
     }
 
     /// Adds one operation of `cycles` cycles.
+    #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.total_cycles += cycles;
         self.operations += 1;

@@ -72,6 +72,24 @@ fn four_workers_serialise_byte_identical_to_serial() {
 }
 
 #[test]
+fn chunked_executors_serialise_byte_identical_to_golden() {
+    if std::env::var_os("EASIS_REGEN_GOLDENS").is_some() {
+        return; // the serial test owns regeneration; don't race it
+    }
+    for workers in [2, 4] {
+        for chunk in [1, 3, 7] {
+            let json = report_json(&CampaignExecutor::new(workers).with_chunk_size(chunk));
+            assert_eq!(
+                json, GOLDEN,
+                "chunked run ({workers} workers, chunk {chunk}) drifted from the golden"
+            );
+        }
+    }
+    let json = report_json(&CampaignExecutor::from_env());
+    assert_eq!(json, GOLDEN, "from_env run drifted from the golden");
+}
+
+#[test]
 fn no_error_class_lost_software_watchdog_coverage() {
     let golden: CampaignReport = serde_json::from_str(GOLDEN).expect("golden parses");
     let (plan, horizon) = reference_plan();

@@ -10,10 +10,13 @@ use easis::sim::cpu::CostMeter;
 use easis::sim::event::EventQueue;
 use easis::sim::rng::SimRng;
 use easis::sim::time::{Duration, Instant};
-use easis::watchdog::config::{RunnableHypothesis, WatchdogConfig};
+use easis::watchdog::config::{IdIndex, RunnableHypothesis, WatchdogConfig};
+use easis::watchdog::heartbeat::HeartbeatMonitor;
 use easis::watchdog::pfc::{FlowTable, FlowVerdict, ProgramFlowChecker};
+use easis::watchdog::report::{DetectedFault, FaultKind, RunnableCounters};
 use easis::watchdog::SoftwareWatchdog;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// A cheap trial runner whose outcome is a pure function of the spec —
 /// stands in for the (expensive) full-node scenario so the executor
@@ -27,6 +30,143 @@ fn synthetic_runner(spec: &TrialSpec) -> TrialOutcome {
         }
     }
     outcome
+}
+
+/// The pre-dense heartbeat data plane, kept verbatim as the reference
+/// model: a `BTreeMap` of per-runnable counter structs. The dense
+/// `HeartbeatMonitor` must be observationally equivalent to this for
+/// every operation sequence.
+struct ReferenceHeartbeatMonitor {
+    states: BTreeMap<RunnableId, ReferenceState>,
+}
+
+struct ReferenceState {
+    hypothesis: RunnableHypothesis,
+    ac: u32,
+    arc: u32,
+    cca: u32,
+    ccar: u32,
+    active: bool,
+    aliveness_errors: u32,
+    arrival_rate_errors: u32,
+}
+
+impl ReferenceState {
+    fn new(hypothesis: RunnableHypothesis) -> Self {
+        ReferenceState {
+            active: hypothesis.initially_active,
+            hypothesis,
+            ac: 0,
+            arc: 0,
+            cca: 0,
+            ccar: 0,
+            aliveness_errors: 0,
+            arrival_rate_errors: 0,
+        }
+    }
+}
+
+impl ReferenceHeartbeatMonitor {
+    fn new(hypotheses: impl IntoIterator<Item = RunnableHypothesis>) -> Self {
+        ReferenceHeartbeatMonitor {
+            states: hypotheses
+                .into_iter()
+                .map(|h| (h.runnable, ReferenceState::new(h)))
+                .collect(),
+        }
+    }
+
+    fn record(&mut self, runnable: RunnableId, costs: &mut CostMeter) {
+        costs.charge(easis::watchdog::heartbeat::HEARTBEAT_COST_CYCLES);
+        if let Some(st) = self.states.get_mut(&runnable) {
+            if st.active {
+                st.ac = st.ac.saturating_add(1);
+                st.arc = st.arc.saturating_add(1);
+            }
+        }
+    }
+
+    fn end_of_cycle(&mut self, now: Instant, costs: &mut CostMeter) -> Vec<DetectedFault> {
+        let mut faults = Vec::new();
+        for (&runnable, st) in &mut self.states {
+            if !st.active {
+                continue;
+            }
+            costs.charge(easis::watchdog::heartbeat::CHECK_COST_CYCLES);
+            if let Some(spec) = st.hypothesis.aliveness {
+                st.cca += 1;
+                if st.cca >= spec.cycles {
+                    if st.ac < spec.min_indications {
+                        st.aliveness_errors += 1;
+                        faults.push(DetectedFault { at: now, runnable, kind: FaultKind::Aliveness });
+                    }
+                    st.ac = 0;
+                    st.cca = 0;
+                }
+            }
+            if let Some(spec) = st.hypothesis.arrival_rate {
+                st.ccar += 1;
+                if st.ccar >= spec.cycles {
+                    if st.arc > spec.max_indications {
+                        st.arrival_rate_errors += 1;
+                        faults.push(DetectedFault { at: now, runnable, kind: FaultKind::ArrivalRate });
+                    }
+                    st.arc = 0;
+                    st.ccar = 0;
+                }
+            }
+        }
+        faults
+    }
+
+    fn reconfigure(&mut self, hypothesis: RunnableHypothesis) {
+        match self.states.get_mut(&hypothesis.runnable) {
+            Some(st) => {
+                st.hypothesis = hypothesis;
+                st.ac = 0;
+                st.arc = 0;
+                st.cca = 0;
+                st.ccar = 0;
+            }
+            None => {
+                self.states
+                    .insert(hypothesis.runnable, ReferenceState::new(hypothesis));
+            }
+        }
+    }
+
+    fn set_active(&mut self, runnable: RunnableId, active: bool) -> bool {
+        match self.states.get_mut(&runnable) {
+            Some(st) => {
+                st.active = active;
+                if !active {
+                    st.ac = 0;
+                    st.arc = 0;
+                    st.cca = 0;
+                    st.ccar = 0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn is_active(&self, runnable: RunnableId) -> bool {
+        self.states.get(&runnable).is_some_and(|s| s.active)
+    }
+
+    fn counters(&self, runnable: RunnableId) -> Option<RunnableCounters> {
+        self.states.get(&runnable).map(|st| RunnableCounters {
+            ac: st.ac,
+            arc: st.arc,
+            cca: st.cca,
+            ccar: st.ccar,
+            activation: st.active,
+            aliveness_errors: st.aliveness_errors,
+            arrival_rate_errors: st.arrival_rate_errors,
+            program_flow_errors: 0,
+        })
+    }
 }
 
 proptest! {
@@ -226,5 +366,178 @@ proptest! {
                 prop_assert!(!changes.is_empty(), "did not flip at {threshold}");
             }
         }
+    }
+
+    /// The dense-index heartbeat monitor is observationally equivalent to
+    /// the `BTreeMap` reference model over arbitrary operation sequences:
+    /// identical faults (content *and* order), counters, activation
+    /// verdicts, and cost charges — including operations on unknown ids,
+    /// which both silently ignore (`set_active` returning `false`).
+    #[test]
+    fn dense_heartbeat_monitor_matches_btreemap_reference(
+        monitored in prop::collection::btree_set(0u32..12, 1..6),
+        ops in prop::collection::vec((0u8..4, 0u32..16, 1u32..4, 1u32..4), 1..100),
+    ) {
+        let hypotheses: Vec<RunnableHypothesis> = monitored
+            .iter()
+            .map(|&i| {
+                RunnableHypothesis::new(RunnableId(i))
+                    .alive_at_least(1, 2)
+                    .arrive_at_most(2, 3)
+            })
+            .collect();
+        let mut dense = HeartbeatMonitor::new(hypotheses.clone());
+        let mut reference = ReferenceHeartbeatMonitor::new(hypotheses);
+        let mut dense_costs = CostMeter::new();
+        let mut reference_costs = CostMeter::new();
+        let mut now = Instant::ZERO;
+        for &(op, id, a, b) in &ops {
+            let runnable = RunnableId(id);
+            match op {
+                0 => {
+                    dense.record(runnable, now, &mut dense_costs);
+                    reference.record(runnable, &mut reference_costs);
+                }
+                1 => {
+                    now += Duration::from_millis(10);
+                    let dense_faults = dense.end_of_cycle(now, &mut dense_costs);
+                    let reference_faults = reference.end_of_cycle(now, &mut reference_costs);
+                    prop_assert_eq!(dense_faults, reference_faults, "cycle faults diverged");
+                }
+                2 => {
+                    let active = a % 2 == 0;
+                    prop_assert_eq!(
+                        dense.set_active(runnable, active),
+                        reference.set_active(runnable, active),
+                        "set_active verdict diverged for {:?}", runnable
+                    );
+                }
+                _ => {
+                    let hypothesis = RunnableHypothesis::new(runnable)
+                        .alive_at_least(a.min(b), a.max(b))
+                        .arrive_at_most(a + b, b);
+                    dense.reconfigure(hypothesis);
+                    reference.reconfigure(hypothesis);
+                }
+            }
+        }
+        prop_assert_eq!(dense_costs, reference_costs, "cost charges diverged");
+        for id in 0..16u32 {
+            let runnable = RunnableId(id);
+            prop_assert_eq!(dense.counters(runnable), reference.counters(runnable));
+            prop_assert_eq!(dense.is_active(runnable), reference.is_active(runnable));
+        }
+        prop_assert_eq!(
+            dense.monitored().collect::<Vec<_>>(),
+            reference.states.keys().copied().collect::<Vec<_>>(),
+            "monitored sets diverged"
+        );
+    }
+
+    /// The compiled bitset flow checker accepts exactly the language of
+    /// the builder table, transition by transition, for arbitrary tables
+    /// and observation sequences — including unmonitored ids, which stay
+    /// transparent (no predecessor update, no error).
+    #[test]
+    fn dense_pfc_matches_table_reference(
+        pairs in prop::collection::vec((0u32..10, 0u32..10), 1..30),
+        entries in prop::collection::vec(0u32..10, 0..3),
+        observations in prop::collection::vec(0u32..14, 1..120),
+    ) {
+        let mut table = FlowTable::new();
+        for &entry in &entries {
+            table.allow_entry(RunnableId(entry));
+        }
+        for &(pred, succ) in &pairs {
+            table.allow(RunnableId(pred), RunnableId(succ));
+        }
+        let mut dense = ProgramFlowChecker::new(table.clone());
+        let mut last: Option<RunnableId> = None;
+        let mut errors = 0u64;
+        for &observed in &observations {
+            let runnable = RunnableId(observed);
+            let verdict = dense.observe(runnable);
+            let expected = if !table.is_monitored(runnable) {
+                FlowVerdict::Ok
+            } else {
+                let v = match last {
+                    None if table.is_entry(runnable) => FlowVerdict::Ok,
+                    None => FlowVerdict::Violation { predecessor: None },
+                    Some(prev) if table.is_allowed(prev, runnable) => FlowVerdict::Ok,
+                    Some(prev) => FlowVerdict::Violation { predecessor: Some(prev) },
+                };
+                if matches!(v, FlowVerdict::Violation { .. }) {
+                    errors += 1;
+                }
+                last = Some(runnable);
+                v
+            };
+            prop_assert_eq!(verdict, expected, "verdict diverged at {:?}", runnable);
+            prop_assert_eq!(dense.last_observed(), last, "predecessor diverged");
+        }
+        prop_assert_eq!(dense.errors_detected(), errors);
+    }
+
+    /// `IdIndex` is an order isomorphism onto `0..len`: slots are dense,
+    /// ascending with id, stable under lookup, and unknown ids probe to
+    /// `None` — for arbitrary id sets across the direct-map and
+    /// binary-search regimes.
+    #[test]
+    fn id_index_is_a_dense_order_isomorphism(
+        ids in prop::collection::btree_set(any::<u32>(), 0..64),
+        probes in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let index = IdIndex::from_ids(ids.iter().copied());
+        prop_assert_eq!(index.len(), ids.len());
+        for (slot, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(index.slot_of(id), Some(slot as u32));
+            prop_assert_eq!(index.id_at(slot as u32), id);
+        }
+        for &probe in &probes {
+            let expected = ids.iter().position(|&id| id == probe).map(|p| p as u32);
+            prop_assert_eq!(index.slot_of(probe), expected, "probe {} diverged", probe);
+        }
+        prop_assert_eq!(index.iter().collect::<Vec<_>>(), ids.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Incremental `IdIndex::insert` reaches the same frozen index as
+    /// rebuilding from scratch, and the returned slot is immediately
+    /// consistent with lookup.
+    #[test]
+    fn id_index_insert_matches_rebuild(
+        initial in prop::collection::btree_set(0u32..1_000, 0..20),
+        inserted in prop::collection::vec(0u32..1_000, 1..20),
+    ) {
+        let mut index = IdIndex::from_ids(initial.iter().copied());
+        let mut all = initial.clone();
+        for &id in &inserted {
+            let slot = index.insert(id);
+            all.insert(id);
+            prop_assert_eq!(index.slot_of(id), Some(slot));
+        }
+        prop_assert_eq!(index, IdIndex::from_ids(all));
+    }
+
+    /// Chunked parallel execution is invisible in the output: any
+    /// worker-count/chunk-size combination produces byte-identical stats.
+    #[test]
+    fn campaign_executor_chunking_is_invisible(
+        seed in any::<u64>(),
+        trials_per_class in 1usize..5,
+        workers in 2usize..=6,
+        chunk in 0usize..10,
+    ) {
+        let plan = CampaignBuilder::new(seed, vec![RunnableId(0), RunnableId(1)])
+            .trials_per_class(trials_per_class)
+            .build();
+        let serial = CampaignExecutor::serial().run(&plan, synthetic_runner);
+        let chunked = CampaignExecutor::new(workers)
+            .with_chunk_size(chunk)
+            .run(&plan, synthetic_runner);
+        prop_assert_eq!(&serial, &chunked, "chunk {} diverged", chunk);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&serial).unwrap(),
+            serde_json::to_string_pretty(&chunked).unwrap()
+        );
     }
 }

@@ -34,7 +34,22 @@ for key in schema_version iterations monitored_runnables ns_per_heartbeat \
 done
 rm -rf "$hotpath_scratch"
 
-echo "==> campaign golden across worker/chunk configurations"
+echo "==> campaign_bench smoke run (pooled vs fresh, schema check)"
+# Reduced trial count from a scratch dir: the bit-identical pooled-vs-
+# fresh stats assertion always applies, the >=2x speedup assertion is
+# skipped below the full 200 trials/class so smoke runs stay
+# timing-noise-proof, and the committed BENCH_campaign.json (full-scale
+# record) is not clobbered.
+campaign_scratch="$(mktemp -d)"
+(cd "$campaign_scratch" && EASIS_WORKERS=2 "$OLDPWD/target/release/campaign_bench" 10 > /dev/null)
+for key in schema_version trials workers simulated_ms_per_trial setup \
+           pooled fresh speedup_pooled_vs_fresh; do
+  grep -q "\"$key\"" "$campaign_scratch/BENCH_campaign.json" \
+    || { echo "BENCH_campaign.json missing key: $key"; exit 1; }
+done
+rm -rf "$campaign_scratch"
+
+echo "==> campaign golden across worker/chunk configurations (pooled path)"
 for w in 1 2 4; do
   EASIS_WORKERS=$w EASIS_CHUNK=5 cargo test -q --test campaign_regression
 done

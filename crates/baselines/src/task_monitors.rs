@@ -66,6 +66,12 @@ impl DeadlineMonitor {
     pub fn stats(&self) -> TaskMonitorStats {
         self.stats.lock().expect("stats lock").clone()
     }
+
+    /// Clears the collected statistics in every clone of this monitor
+    /// (world pooling support).
+    pub fn reset(&self) {
+        *self.stats.lock().expect("stats lock") = TaskMonitorStats::default();
+    }
 }
 
 impl<W> HookObserver<W> for DeadlineMonitor {
@@ -92,6 +98,12 @@ impl ExecutionTimeMonitor {
     /// Read access to the collected statistics.
     pub fn stats(&self) -> TaskMonitorStats {
         self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Clears the collected statistics in every clone of this monitor
+    /// (world pooling support).
+    pub fn reset(&self) {
+        *self.stats.lock().expect("stats lock") = TaskMonitorStats::default();
     }
 }
 

@@ -1,0 +1,285 @@
+//! **CAMPAIGN-THROUGHPUT** — end-to-end trial throughput of the fault
+//! campaign engine.
+//!
+//! The coverage/latency tables of the paper's outlook need thousands of
+//! injection trials, each simulating a full central node to its horizon —
+//! so campaign wall-clock is the cost that decides how dense a coverage
+//! grid is affordable. This bin measures the T-COV campaign (the same
+//! plan shape as the golden campaign report, scaled up) through the two
+//! execution paths:
+//!
+//! 1. **pooled** — [`run_plan`]: the watchdog configuration is compiled
+//!    once into a shared [`NodeBlueprint`] and every worker reuses one
+//!    pooled node, `reset()` between trials (the default path since the
+//!    throughput engine landed);
+//! 2. **fresh** — [`run_plan_fresh`]: every trial builds its own node
+//!    from scratch — config compile included — with the kernel execution
+//!    trace recording, exactly how campaigns ran before the throughput
+//!    engine (the pre-engine node had no switch to turn the trace off).
+//!
+//! Both paths must produce bit-identical [`CampaignStats`] (asserted),
+//! and at the full 1000-trial campaign on ≥4 workers the pooled path
+//! must be **≥2× the fresh trials/sec** (asserted). The setup-vs-run
+//! split (per-trial node build vs pooled reset vs one-off blueprint
+//! compile) is measured separately so the report shows *where* the
+//! speedup comes from. Results land in `BENCH_campaign.json` (stable
+//! schema, `schema_version` 1).
+//!
+//! Usage: `campaign_bench [trials_per_class]` (default 200 → 1000 trials
+//! over the 5 error classes; the ≥2× assertion is skipped below the
+//! default so CI smoke runs stay timing-noise-proof). Worker count comes
+//! from `EASIS_WORKERS` (default: available parallelism).
+//!
+//! [`run_plan`]: easis_validator::scenario::run_plan
+//! [`run_plan_fresh`]: easis_validator::scenario::run_plan_fresh
+//! [`NodeBlueprint`]: easis_validator::node::NodeBlueprint
+//! [`CampaignStats`]: easis_injection::stats::CampaignStats
+
+use easis_injection::campaign::{CampaignBuilder, CampaignPlan};
+use easis_injection::executor::CampaignExecutor;
+use easis_rte::runnable::RunnableId;
+use easis_sim::time::{Duration, Instant};
+use easis_validator::node::{CentralNode, NodeBlueprint};
+use easis_validator::scenario::{campaign_node_config, run_plan, run_plan_fresh};
+use serde::Serialize;
+use std::hint::black_box;
+
+/// trials_per_class of the full campaign (5 error classes → 1000 trials).
+const DEFAULT_TRIALS_PER_CLASS: usize = 200;
+/// Below the full campaign the ≥2× assertion is timing noise, not signal.
+const ASSERT_FLOOR_TRIALS_PER_CLASS: usize = DEFAULT_TRIALS_PER_CLASS;
+/// The ≥2× assertion also needs real parallelism to be meaningful.
+const ASSERT_FLOOR_WORKERS: usize = 4;
+/// Campaign passes per path; the fastest pass is reported (interference
+/// only ever adds time, so the best pass is the closest observation).
+const CAMPAIGN_REPS: u32 = 3;
+/// Passes for the cheap per-node setup measurements.
+const SETUP_REPS: u32 = 10;
+
+/// Simulated horizon of every trial.
+const HORIZON: Instant = Instant::from_millis(1_500);
+
+/// The T-COV campaign plan: same seed, target set and injection window as
+/// the golden campaign report (`tests/goldens/campaign_report.json`),
+/// scaled to `trials_per_class`.
+fn t_cov_plan(trials_per_class: usize) -> CampaignPlan {
+    CampaignBuilder::new(0xC0FFEE, (0..9).map(RunnableId).collect())
+        .loop_targets(vec![RunnableId(4), RunnableId(7)])
+        .trials_per_class(trials_per_class)
+        .window(Instant::from_millis(300), Duration::from_millis(400))
+        .with_horizon(HORIZON)
+        .build()
+}
+
+/// Runs `op` `reps` times and returns the fastest elapsed nanoseconds.
+fn best_of<F: FnMut()>(reps: u32, mut op: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        op();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// Report schema (schema_version 1 — keep stable, future PRs diff this).
+// ---------------------------------------------------------------------
+
+/// One campaign execution path, full-plan wall clock and derived rates.
+#[derive(Serialize)]
+struct PathTiming {
+    elapsed_ms: f64,
+    trials_per_sec: f64,
+    /// Host nanoseconds spent per simulated millisecond, aggregated over
+    /// all workers (wall clock / total simulated time).
+    ns_per_simulated_ms: f64,
+}
+
+impl PathTiming {
+    fn new(elapsed_ns: f64, trials: u64, simulated_ms_per_trial: u64) -> Self {
+        PathTiming {
+            elapsed_ms: elapsed_ns / 1e6,
+            trials_per_sec: trials as f64 / (elapsed_ns / 1e9),
+            ns_per_simulated_ms: elapsed_ns / (trials * simulated_ms_per_trial) as f64,
+        }
+    }
+}
+
+/// Where the per-trial time goes before any simulation happens.
+#[derive(Serialize)]
+struct SetupSplit {
+    /// One-off cost of compiling the watchdog config into a blueprint
+    /// (paid once per campaign on the pooled path).
+    blueprint_compile_ns: f64,
+    /// Per-trial node construction on the fresh path (config compile
+    /// included).
+    fresh_build_ns_per_trial: f64,
+    /// Per-trial `CentralNode::reset` on the pooled path.
+    pooled_reset_ns_per_trial: f64,
+    /// Fraction of the fresh path's wall clock spent building nodes.
+    fresh_setup_fraction: f64,
+    /// Fraction of the pooled path's wall clock spent resetting nodes.
+    pooled_setup_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema_version: u32,
+    trials: u64,
+    workers: u64,
+    simulated_ms_per_trial: u64,
+    setup: SetupSplit,
+    pooled: PathTiming,
+    fresh: PathTiming,
+    speedup_pooled_vs_fresh: f64,
+}
+
+/// Measures the one-off and per-trial setup costs outside the campaign.
+fn measure_setup() -> (f64, f64, f64) {
+    let compile_ns = best_of(SETUP_REPS, || {
+        black_box(NodeBlueprint::compile(campaign_node_config()));
+    });
+    let build_ns = best_of(SETUP_REPS, || {
+        black_box(CentralNode::build(campaign_node_config()));
+    });
+    // Reset a node that has actually run a trial's worth of simulation, so
+    // the measured reset covers dirty state, not a no-op on a clean world.
+    let blueprint = NodeBlueprint::compile(campaign_node_config());
+    let mut node = CentralNode::build_from_blueprint(&blueprint);
+    let mut injector = easis_injection::injector::Injector::none();
+    let mut reset_ns = f64::INFINITY;
+    for _ in 0..SETUP_REPS {
+        node.start();
+        node.run_until(Instant::from_millis(100), &mut injector);
+        let start = std::time::Instant::now();
+        node.reset();
+        reset_ns = reset_ns.min(start.elapsed().as_nanos() as f64);
+    }
+    (compile_ns, build_ns, reset_ns)
+}
+
+fn validate_emitted_json(path: &str) {
+    let text = std::fs::read_to_string(path).expect("BENCH_campaign.json written");
+    let value = serde_json::parse_value(&text).expect("BENCH_campaign.json parses");
+    let serde::Value::Map(entries) = value else {
+        panic!("BENCH_campaign.json must be a JSON object");
+    };
+    for key in [
+        "schema_version",
+        "trials",
+        "workers",
+        "simulated_ms_per_trial",
+        "setup",
+        "pooled",
+        "fresh",
+        "speedup_pooled_vs_fresh",
+    ] {
+        assert!(
+            entries.iter().any(|(k, _)| k == key),
+            "BENCH_campaign.json missing key {key:?}"
+        );
+    }
+}
+
+fn main() {
+    let trials_per_class = std::env::args()
+        .nth(1)
+        .map(|raw| raw.parse::<usize>().expect("trials_per_class must be a number"))
+        .unwrap_or(DEFAULT_TRIALS_PER_CLASS);
+
+    let plan = t_cov_plan(trials_per_class);
+    let trials = plan.len() as u64;
+    let executor = CampaignExecutor::from_env();
+    let workers = executor.workers();
+    let simulated_ms_per_trial = HORIZON.as_millis();
+
+    println!("================================================================");
+    println!("experiment CAMPAIGN-THROUGHPUT — pooled vs fresh trial execution");
+    println!("{trials} trials (T-COV plan), horizon {simulated_ms_per_trial} ms, {workers} workers");
+    println!("================================================================");
+
+    let (compile_ns, build_ns, reset_ns) = measure_setup();
+
+    // Fresh first so the pooled path cannot inherit any warmed-up state
+    // (it could not anyway — pools are per worker thread and the executor
+    // spawns fresh threads per run — but the order makes that obvious).
+    let mut fresh_stats = None;
+    let fresh_ns = best_of(CAMPAIGN_REPS, || {
+        fresh_stats = Some(run_plan_fresh(&plan, HORIZON, &executor));
+    });
+    let mut pooled_stats = None;
+    let pooled_ns = best_of(CAMPAIGN_REPS, || {
+        pooled_stats = Some(run_plan(&plan, HORIZON, &executor));
+    });
+    let fresh_stats = fresh_stats.expect("fresh campaign ran");
+    let pooled_stats = pooled_stats.expect("pooled campaign ran");
+    assert_eq!(
+        pooled_stats, fresh_stats,
+        "pooled and fresh campaigns must produce bit-identical stats"
+    );
+
+    let pooled = PathTiming::new(pooled_ns, trials, simulated_ms_per_trial);
+    let fresh = PathTiming::new(fresh_ns, trials, simulated_ms_per_trial);
+    let speedup = fresh_ns / pooled_ns;
+    let setup = SetupSplit {
+        blueprint_compile_ns: compile_ns,
+        fresh_build_ns_per_trial: build_ns,
+        pooled_reset_ns_per_trial: reset_ns,
+        // Builds/resets run on `workers` threads; compare against the
+        // aggregate CPU time, not wall clock, so the fraction stays in
+        // [0, 1] regardless of parallelism.
+        fresh_setup_fraction: (build_ns * trials as f64) / (fresh_ns * workers as f64),
+        pooled_setup_fraction: (reset_ns * trials as f64) / (pooled_ns * workers as f64),
+    };
+
+    println!(
+        "{:<28} {:>12} {:>14} {:>16}",
+        "path", "elapsed ms", "trials/sec", "ns/simulated ms"
+    );
+    for (name, t) in [("pooled (run_plan)", &pooled), ("fresh (run_plan_fresh)", &fresh)] {
+        println!(
+            "{:<28} {:>12.1} {:>14.0} {:>16.0}",
+            name, t.elapsed_ms, t.trials_per_sec, t.ns_per_simulated_ms
+        );
+    }
+    println!("pooled vs fresh speedup: {speedup:.2}x");
+    println!(
+        "setup: blueprint compile {:.0} ns (once), fresh build {:.0} ns/trial \
+         ({:.0}% of fresh cpu), pooled reset {:.0} ns/trial ({:.1}% of pooled cpu)",
+        setup.blueprint_compile_ns,
+        setup.fresh_build_ns_per_trial,
+        setup.fresh_setup_fraction * 100.0,
+        setup.pooled_reset_ns_per_trial,
+        setup.pooled_setup_fraction * 100.0,
+    );
+
+    if trials_per_class >= ASSERT_FLOOR_TRIALS_PER_CLASS && workers >= ASSERT_FLOOR_WORKERS {
+        assert!(
+            speedup >= 2.0,
+            "pooled campaign must be ≥2× fresh trials/sec at the full \
+             campaign on ≥{ASSERT_FLOOR_WORKERS} workers, got {speedup:.2}×"
+        );
+    } else {
+        println!(
+            "(speedup assertion skipped below {ASSERT_FLOOR_TRIALS_PER_CLASS} trials/class \
+             or {ASSERT_FLOOR_WORKERS} workers)"
+        );
+    }
+
+    let report = Report {
+        schema_version: 1,
+        trials,
+        workers: workers as u64,
+        simulated_ms_per_trial,
+        setup,
+        pooled,
+        fresh,
+        speedup_pooled_vs_fresh: speedup,
+    };
+    let path = "BENCH_campaign.json";
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, json).expect("BENCH_campaign.json writable");
+    validate_emitted_json(path);
+    println!("[record written to {path}]");
+}

@@ -82,6 +82,20 @@ impl HeartbeatMonitor {
         self.obs = obs;
     }
 
+    /// Resets all counters and activation statuses to their just-built
+    /// state under the current hypotheses (world pooling support).
+    pub fn reset(&mut self) {
+        self.ac.fill(0);
+        self.arc.fill(0);
+        self.cca.fill(0);
+        self.ccar.fill(0);
+        self.aliveness_errors.fill(0);
+        self.arrival_rate_errors.fill(0);
+        for slot in 0..self.hypotheses.len() {
+            self.active[slot] = self.hypotheses[slot].initially_active;
+        }
+    }
+
     /// Records one aliveness indication at `now`. Unmonitored runnables
     /// and runnables with a cleared activation status are ignored (the
     /// glue call is still charged to `costs`, as the AS test itself costs

@@ -29,6 +29,7 @@ use easis_rte::mapping::ApplicationId;
 use easis_rte::runnable::{HeartbeatSink, RunnableId};
 use easis_sim::cpu::{CostMeter, CpuModel};
 use easis_sim::time::Instant;
+use std::sync::Arc;
 
 /// Report of one watchdog cycle.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -60,7 +61,10 @@ pub struct CycleReport {
 /// ```
 #[derive(Debug)]
 pub struct SoftwareWatchdog {
-    config: WatchdogConfig,
+    /// The compiled configuration, shared: a fault-injection campaign
+    /// compiles the config (IdIndex interning, flow-table bitsets) once and
+    /// every trial's service instance points at the same frozen artifact.
+    config: Arc<WatchdogConfig>,
     heartbeat_unit: HeartbeatMonitor,
     /// One flow checker per hosting-task slot (runnables of different
     /// tasks interleave freely under preemption; only the sequence
@@ -95,6 +99,13 @@ pub struct SoftwareWatchdog {
 impl SoftwareWatchdog {
     /// Creates the service from its configuration.
     pub fn new(config: WatchdogConfig) -> Self {
+        SoftwareWatchdog::from_shared(Arc::new(config))
+    }
+
+    /// Creates the service from an already-compiled shared configuration.
+    /// Campaigns use this to build one node per worker without recompiling
+    /// the config for every trial.
+    pub fn from_shared(config: Arc<WatchdogConfig>) -> Self {
         let heartbeat_unit = HeartbeatMonitor::new(
             config
                 .monitored()
@@ -375,6 +386,34 @@ impl SoftwareWatchdog {
     /// The configuration in use.
     pub fn config(&self) -> &WatchdogConfig {
         &self.config
+    }
+
+    /// The shared compiled configuration (cheap to clone; campaigns hand
+    /// it to [`SoftwareWatchdog::from_shared`] for pooled rebuilds).
+    pub fn shared_config(&self) -> Arc<WatchdogConfig> {
+        Arc::clone(&self.config)
+    }
+
+    /// Resets every monitoring unit to its just-built state while keeping
+    /// the compiled configuration and the attached observability sink.
+    /// After `reset()` the service is indistinguishable from
+    /// `SoftwareWatchdog::from_shared(self.shared_config())` — the world-
+    /// pooling contract of the campaign engine.
+    pub fn reset(&mut self) {
+        self.heartbeat_unit.reset();
+        for checker in &mut self.pfc_units {
+            checker.reset();
+        }
+        self.tsi_unit.reset();
+        self.task_faulty.fill(false);
+        self.pfc_errors.fill(0);
+        self.outbox.clear();
+        self.state_outbox.clear();
+        self.fault_scratch.clear();
+        self.change_scratch.clear();
+        self.costs = CostMeter::new();
+        self.cycles_run = 0;
+        self.last_heartbeat_now = Instant::ZERO;
     }
 
     /// The TSI unit (read access for reports).

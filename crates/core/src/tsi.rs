@@ -70,6 +70,15 @@ impl TaskStateIndication {
         self.obs = obs;
     }
 
+    /// Resets every error vector and verdict to the just-built state,
+    /// keeping the mapping and thresholds (world pooling support).
+    pub fn reset(&mut self) {
+        self.vectors.clear();
+        self.task_states.clear();
+        self.app_states.clear();
+        self.ecu_state = HealthState::Ok;
+    }
+
     /// Records a detected runnable fault, updating the error indication
     /// vector of the hosting task and rolling states up. Returns the state
     /// changes this fault caused (possibly empty). Faults on unmapped

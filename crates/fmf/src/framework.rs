@@ -200,6 +200,18 @@ impl FaultManagementFramework {
         self.app_restarts.clear();
         self.terminated_apps.clear();
     }
+
+    /// Full reset to the just-built state — log, DTC memory, queued
+    /// actions, budgets and counters — keeping the severity map, policy
+    /// and observability sink (world pooling support).
+    pub fn reset(&mut self) {
+        self.log.clear();
+        self.dtc = DtcStore::default();
+        self.actions.clear();
+        self.app_restarts.clear();
+        self.terminated_apps.clear();
+        self.ecu_resets = 0;
+    }
 }
 
 impl Default for FaultManagementFramework {

@@ -24,6 +24,7 @@ use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
 use easis_sim::event::EventQueue;
 use easis_sim::time::{Duration, Instant};
 use easis_sim::trace::TraceRecorder;
+use std::collections::VecDeque;
 
 /// Trace source tag used by the kernel.
 pub const TRACE_SOURCE: &str = "osek";
@@ -58,6 +59,80 @@ struct Tcb<W> {
 impl<W> Tcb<W> {
     fn queued(&self) -> u64 {
         self.issued - self.completed
+    }
+}
+
+/// Ready queue with O(1) highest-priority dispatch: a 256-bit occupancy
+/// bitmap (one bit per [`Priority`] level, found via a leading-zero count)
+/// over per-priority FIFO rings of `(ready_key, TaskId)`.
+///
+/// Invariants relied on by the kernel: a task enters only when transitioning
+/// *to* `Ready` (never while already queued), leaves only at dispatch, and a
+/// queued task's `current_priority` never changes (only the running task
+/// takes or releases resources). Front insertions carry strictly decreasing
+/// negative keys and back insertions strictly increasing positive ones, so
+/// each ring stays sorted ascending by key and the band minimum is its front.
+#[derive(Debug, Default)]
+struct ReadyQueue {
+    /// Bit `p` of word `p / 64` set ⇔ band `p` non-empty.
+    bits: [u64; 4],
+    /// One ring per priority band, grown on demand.
+    bands: Vec<VecDeque<(i64, TaskId)>>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, priority: Priority, key: i64, id: TaskId, front: bool) {
+        let p = priority.0 as usize;
+        if self.bands.len() <= p {
+            self.bands.resize_with(p + 1, VecDeque::new);
+        }
+        let band = &mut self.bands[p];
+        let neighbour = if front { band.front() } else { band.back() };
+        debug_assert!(
+            neighbour.is_none_or(|&(k, _)| if front { key < k } else { key > k }),
+            "ready keys keep bands sorted"
+        );
+        if front {
+            band.push_front((key, id));
+        } else {
+            band.push_back((key, id));
+        }
+        self.bits[p / 64] |= 1u64 << (p % 64);
+    }
+
+    /// The best queued candidate `(priority, ready_key, id)`, if any.
+    fn peek_best(&self) -> Option<(Priority, i64, TaskId)> {
+        for (word_idx, &word) in self.bits.iter().enumerate().rev() {
+            if word != 0 {
+                let p = word_idx * 64 + (63 - word.leading_zeros() as usize);
+                let &(key, id) = self.bands[p]
+                    .front()
+                    .expect("occupancy bitmap tracks non-empty bands");
+                return Some((Priority(p as u8), key, id));
+            }
+        }
+        None
+    }
+
+    /// Removes a queued task (located by its priority band and key).
+    fn remove(&mut self, priority: Priority, key: i64, id: TaskId) {
+        let p = priority.0 as usize;
+        let band = &mut self.bands[p];
+        let pos = band
+            .iter()
+            .position(|&(k, t)| k == key && t == id)
+            .expect("ready task present in its band");
+        band.remove(pos);
+        if band.is_empty() {
+            self.bits[p / 64] &= !(1u64 << (p % 64));
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bits = [0; 4];
+        for band in &mut self.bands {
+            band.clear();
+        }
     }
 }
 
@@ -100,6 +175,8 @@ pub struct Os<W> {
     /// Monotone counters generating ready-queue ordering keys.
     next_back_key: i64,
     next_front_key: i64,
+    /// Priority-bitmap ready queue mirroring every `Ready` task.
+    ready: ReadyQueue,
     busy: Duration,
 }
 
@@ -124,6 +201,7 @@ impl<W> Os<W> {
             started: false,
             next_back_key: 1,
             next_front_key: -1,
+            ready: ReadyQueue::default(),
             busy: Duration::ZERO,
         }
     }
@@ -304,6 +382,43 @@ impl<W> Os<W> {
         self.started = false;
     }
 
+    /// Resets all runtime state to the pre-[`Os::start`] configuration,
+    /// keeping the task/alarm/resource tables, bodies, observers and trace
+    /// settings. A reset OS replays a simulation exactly like a freshly
+    /// built one — the campaign engine's world pooling relies on this
+    /// equivalence (pinned by a proptest at the node level).
+    pub fn reset(&mut self) {
+        for tcb in &mut self.tasks {
+            tcb.state = TaskState::Suspended;
+            tcb.plan = None;
+            tcb.current_priority = tcb.config.priority();
+            tcb.set_events = EventMask::NONE;
+            tcb.waiting_for = EventMask::NONE;
+            tcb.held.clear();
+            tcb.issued = 0;
+            tcb.completed = 0;
+            tcb.exec_time = Duration::ZERO;
+            tcb.budget_reported = false;
+            tcb.ready_key = 0;
+        }
+        for alarm in &mut self.alarms {
+            alarm.disarm();
+            alarm.set_cycle_scale_ppm(1_000_000);
+        }
+        for resource in &mut self.resources {
+            resource.release();
+        }
+        self.timers = EventQueue::new();
+        self.now = Instant::ZERO;
+        self.running = None;
+        self.trace.clear();
+        self.started = false;
+        self.next_back_key = 1;
+        self.next_front_key = -1;
+        self.ready.clear();
+        self.busy = Duration::ZERO;
+    }
+
     /// `ActivateTask`: moves a suspended task to ready or queues an extra
     /// activation.
     ///
@@ -330,7 +445,7 @@ impl<W> Os<W> {
             self.timers
                 .schedule(self.now + deadline, KernelEvent::DeadlineCheck { task: id, seq });
         }
-        let name = self.tasks[id.index()].config.name().to_string();
+        let name = self.tasks[id.index()].config.name();
         self.trace.record(self.now, TRACE_SOURCE, "activate", name);
         self.fire_hook(HookEvent::Activate(id), world);
         if self.tasks[id.index()].state == TaskState::Suspended {
@@ -362,7 +477,7 @@ impl<W> Os<W> {
         if tcb.state == TaskState::Waiting && tcb.set_events.intersects(tcb.waiting_for) {
             tcb.waiting_for = EventMask::NONE;
             self.make_ready(id, false);
-            let name = self.tasks[id.index()].config.name().to_string();
+            let name = self.tasks[id.index()].config.name();
             self.trace.record(self.now, TRACE_SOURCE, "wake", name);
         }
         Ok(())
@@ -483,7 +598,7 @@ impl<W> Os<W> {
             return; // cancelled
         }
         let action = alarm.action();
-        let name = alarm.name().to_string();
+        let name = alarm.name();
         let effective_cycle = alarm.effective_cycle();
         self.trace.record(self.now, TRACE_SOURCE, "alarm", name);
         match effective_cycle {
@@ -506,7 +621,7 @@ impl<W> Os<W> {
     fn check_deadline(&mut self, task: TaskId, seq: u64, world: &mut W) {
         let tcb = &self.tasks[task.index()];
         if tcb.completed < seq {
-            let name = tcb.config.name().to_string();
+            let name = tcb.config.name();
             self.trace
                 .record(self.now, TRACE_SOURCE, "deadline_miss", name);
             self.fire_hook(
@@ -533,24 +648,41 @@ impl<W> Os<W> {
         let tcb = &mut self.tasks[id.index()];
         tcb.state = TaskState::Ready;
         tcb.ready_key = key;
+        let priority = tcb.current_priority;
+        self.ready.push(priority, key, id, front);
+    }
+
+    /// The highest-priority eligible task: the queued `Ready` minimum from
+    /// the bitmap queue, beaten by the running task when it outranks it.
+    /// Higher priority wins; within a priority, the lower ready key wins
+    /// (keys are globally unique, so bands never tie). This pins the
+    /// `(priority, ready_key, TaskId)` ordering that both pick variants
+    /// previously re-implemented as full TCB scans.
+    fn best_eligible(&self) -> Option<TaskId> {
+        let queued = self.ready.peek_best();
+        let running = self.running.and_then(|id| {
+            let tcb = &self.tasks[id.index()];
+            (tcb.state == TaskState::Running)
+                .then_some((tcb.current_priority, tcb.ready_key, id))
+        });
+        match (running, queued) {
+            (Some(r), Some(q)) => {
+                if r.0 > q.0 || (r.0 == q.0 && r.1 < q.1) {
+                    Some(r.2)
+                } else {
+                    Some(q.2)
+                }
+            }
+            (Some(r), None) => Some(r.2),
+            (None, Some(q)) => Some(q.2),
+            (None, None) => None,
+        }
     }
 
     /// Like [`Os::pick_next`] but ignoring the running task's
     /// non-preemptability — the decision `Schedule()` asks for.
     fn pick_ignoring_nonpreempt(&self) -> Option<TaskId> {
-        let mut best: Option<(Priority, i64, TaskId)> = None;
-        for (i, tcb) in self.tasks.iter().enumerate() {
-            if !matches!(tcb.state, TaskState::Ready | TaskState::Running) {
-                continue;
-            }
-            let cand = (tcb.current_priority, tcb.ready_key, TaskId(i as u32));
-            best = match best {
-                None => Some(cand),
-                Some(b) if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) => Some(cand),
-                b => b,
-            };
-        }
-        best.map(|(_, _, id)| id)
+        self.best_eligible()
     }
 
     /// Picks the task that should run now, honouring non-preemptability.
@@ -561,28 +693,9 @@ impl<W> Os<W> {
                 return Some(run);
             }
         }
-        let mut best: Option<(Priority, i64, TaskId)> = None;
-        for (i, tcb) in self.tasks.iter().enumerate() {
-            let eligible = matches!(tcb.state, TaskState::Ready | TaskState::Running);
-            if !eligible {
-                continue;
-            }
-            let cand = (tcb.current_priority, tcb.ready_key, TaskId(i as u32));
-            best = match best {
-                None => Some(cand),
-                Some(b) => {
-                    // Higher priority wins; within a priority, lower key wins.
-                    if cand.0 > b.0 || (cand.0 == b.0 && cand.1 < b.1) {
-                        Some(cand)
-                    } else {
-                        Some(b)
-                    }
-                }
-            };
-        }
         // The running task keeps the CPU against equal-priority ready tasks:
         // its key is its dispatch-time key which is already minimal in band.
-        best.map(|(_, _, id)| id)
+        self.best_eligible()
     }
 
     fn dispatch(&mut self, id: TaskId, world: &mut W) {
@@ -593,15 +706,20 @@ impl<W> Os<W> {
         if let Some(prev) = self.running {
             if self.tasks[prev.index()].state == TaskState::Running {
                 self.make_ready(prev, true);
-                let name = self.tasks[prev.index()].config.name().to_string();
+                let name = self.tasks[prev.index()].config.name();
                 self.trace.record(self.now, TRACE_SOURCE, "preempt", name);
                 self.fire_hook(HookEvent::PostTask(prev), world);
             }
         }
         let tcb = &mut self.tasks[id.index()];
+        if tcb.state == TaskState::Ready {
+            let (priority, key) = (tcb.current_priority, tcb.ready_key);
+            self.ready.remove(priority, key, id);
+        }
+        let tcb = &mut self.tasks[id.index()];
         tcb.state = TaskState::Running;
         self.running = Some(id);
-        let name = self.tasks[id.index()].config.name().to_string();
+        let name = self.tasks[id.index()].config.name();
         self.trace.record(self.now, TRACE_SOURCE, "dispatch", name);
         self.fire_hook(HookEvent::PreTask(id), world);
         // First dispatch of an activation: plan the body.
@@ -675,7 +793,7 @@ impl<W> Os<W> {
                     tcb.waiting_for = mask;
                     tcb.state = TaskState::Waiting;
                     self.running = None;
-                    let name = self.tasks[id.index()].config.name().to_string();
+                    let name = self.tasks[id.index()].config.name();
                     self.trace.record(self.now, TRACE_SOURCE, "wait", name);
                     self.fire_hook(HookEvent::PostTask(id), world);
                     return false;
@@ -737,7 +855,7 @@ impl<W> Os<W> {
                     if let Some(best) = self.pick_ignoring_nonpreempt() {
                         if best != id {
                             self.make_ready(id, true);
-                            let name = self.tasks[id.index()].config.name().to_string();
+                            let name = self.tasks[id.index()].config.name();
                             self.trace.record(self.now, TRACE_SOURCE, "yield", name);
                             self.running = None;
                             self.fire_hook(HookEvent::PostTask(id), world);
@@ -808,7 +926,7 @@ impl<W> Os<W> {
                     .execution_budget()
                     .expect("budget configured");
                 self.tasks[id.index()].budget_reported = true;
-                let name = self.tasks[id.index()].config.name().to_string();
+                let name = self.tasks[id.index()].config.name();
                 self.trace
                     .record(self.now, TRACE_SOURCE, "budget_exceeded", name);
                 self.fire_hook(HookEvent::BudgetExceeded { task: id, budget }, world);
@@ -855,7 +973,7 @@ impl<W> Os<W> {
             tcb.set_events = EventMask::NONE;
         }
         self.running = None;
-        let name = self.tasks[id.index()].config.name().to_string();
+        let name = self.tasks[id.index()].config.name();
         self.trace.record(self.now, TRACE_SOURCE, "terminate", name);
         self.fire_hook(HookEvent::Terminate(id), world);
         // Queued activation pending? Re-enter ready immediately.

@@ -228,6 +228,14 @@ impl<'a> EffectCtx<'a> {
         self.trace.record(self.now, source, kind, detail);
     }
 
+    /// Whether trace records are retained. Effects that format an
+    /// expensive detail string should skip the formatting when this is
+    /// `false` (a disabled recorder drops the record, but only after the
+    /// caller already paid for the string).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
     /// Requests `ActivateTask(task)` once the effect returns.
     pub fn request_activate(&mut self, task: TaskId) {
         self.requests.push(ServiceRequest::ActivateTask(task));

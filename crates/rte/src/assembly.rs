@@ -27,6 +27,20 @@ pub trait Sequencer<W>: Send {
     /// Returns indices into the task's runnable list, in execution order.
     fn sequence(&mut self, now: Instant, world: &W, branch_override: Option<usize>) -> Vec<usize>;
 
+    /// Appends the activation's execution order to `out` (cleared by the
+    /// caller). The default delegates to [`Sequencer::sequence`];
+    /// implementations on the campaign hot path override it to fill the
+    /// caller's reused buffer without allocating per activation.
+    fn sequence_into(
+        &mut self,
+        now: Instant,
+        world: &W,
+        branch_override: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        out.extend(self.sequence(now, world, branch_override));
+    }
+
     /// Number of distinct branches (1 for fixed sequences).
     fn branch_count(&self) -> usize {
         1
@@ -50,6 +64,16 @@ impl FixedSequencer {
 impl<W> Sequencer<W> for FixedSequencer {
     fn sequence(&mut self, _now: Instant, _world: &W, _branch: Option<usize>) -> Vec<usize> {
         (0..self.len).collect()
+    }
+
+    fn sequence_into(
+        &mut self,
+        _now: Instant,
+        _world: &W,
+        _branch: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        out.extend(0..self.len);
     }
 }
 
@@ -92,6 +116,18 @@ impl<W: Send> Sequencer<W> for BranchingSequencer<W> {
         self.branches[idx].clone()
     }
 
+    fn sequence_into(
+        &mut self,
+        _now: Instant,
+        world: &W,
+        branch: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        let idx = branch.unwrap_or_else(|| (self.select)(world));
+        let idx = idx.min(self.branches.len() - 1);
+        out.extend_from_slice(&self.branches[idx]);
+    }
+
     fn branch_count(&self) -> usize {
         self.branches.len()
     }
@@ -101,7 +137,13 @@ impl<W: Send> Sequencer<W> for BranchingSequencer<W> {
 pub struct SequencedTask<W> {
     task_name: String,
     runnables: Vec<RunnableDef<W>>,
+    /// Per-runnable trace labels, pre-shared so planning an activation
+    /// clones an `Arc` instead of allocating a `String` per runnable (the
+    /// campaign hot path plans hundreds of activations per trial).
+    names: Vec<std::sync::Arc<str>>,
     sequencer: Box<dyn Sequencer<W>>,
+    /// Reused execution-order buffer ([`Sequencer::sequence_into`]).
+    order_scratch: Vec<usize>,
 }
 
 impl<W> std::fmt::Debug for SequencedTask<W> {
@@ -119,8 +161,10 @@ impl<W: EcuWorld + 'static> SequencedTask<W> {
         let len = runnables.len();
         SequencedTask {
             task_name: task_name.into(),
+            names: runnables.iter().map(|r| r.spec().name().into()).collect(),
             runnables,
             sequencer: Box::new(FixedSequencer::new(len)),
+            order_scratch: Vec::new(),
         }
     }
 
@@ -132,8 +176,10 @@ impl<W: EcuWorld + 'static> SequencedTask<W> {
     ) -> Self {
         SequencedTask {
             task_name: task_name.into(),
+            names: runnables.iter().map(|r| r.spec().name().into()).collect(),
             runnables,
             sequencer: Box::new(sequencer),
+            order_scratch: Vec::new(),
         }
     }
 
@@ -158,9 +204,11 @@ impl<W: EcuWorld + 'static> SequencedTask<W> {
 impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
     fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
         let branch = world.controls().task(&self.task_name).branch_override;
-        let order = self.sequencer.sequence(now, world, branch);
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        self.sequencer.sequence_into(now, world, branch, &mut order);
         let mut plan = Plan::new();
-        for idx in order {
+        for &idx in &order {
             let Some(def) = self.runnables.get(idx) else {
                 continue; // tolerate stale branch tables
             };
@@ -176,7 +224,7 @@ impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
                 / 1_000_000.0;
             let cost = spec.cost_with_iterations(iters).mul_f64(scale);
             let logic = def.logic();
-            let name = spec.name().to_string();
+            let name = std::sync::Arc::clone(&self.names[idx]);
             plan = plan.compute(cost).effect(move |w: &mut W, ctx| {
                 // Glue code: aliveness indication (controls re-read at
                 // execution time so mid-run injection takes effect).
@@ -188,9 +236,12 @@ impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
                     w.indicate_heartbeat(id, ctx.now());
                 }
                 logic(w, ctx);
-                ctx.trace(TRACE_SOURCE, "runnable", name.clone());
+                // `&*name` keeps the label borrowed: the recorder only
+                // converts to an owned `String` when tracing is enabled.
+                ctx.trace(TRACE_SOURCE, "runnable", &*name);
             });
         }
+        self.order_scratch = order;
         plan
     }
 

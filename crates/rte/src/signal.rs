@@ -79,6 +79,21 @@ impl SignalDb {
         id
     }
 
+    /// Restores every signal to the given value snapshot (index order) and
+    /// clears the update timestamps, as if the values had been the declared
+    /// initials — the state-restoration half of world pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the declared signals.
+    pub fn restore(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.slots.len(), "snapshot covers all signals");
+        for (slot, &value) in self.slots.iter_mut().zip(values) {
+            slot.value = value;
+            slot.updated_at = Instant::ZERO;
+        }
+    }
+
     /// Looks up a signal id by name.
     pub fn id_of(&self, name: &str) -> Option<SignalId> {
         self.by_name.get(name).copied()

@@ -1,13 +1,22 @@
 //! Deterministic discrete-event queue.
 //!
 //! The [`EventQueue`] orders events by time; ties are broken by insertion
-//! order so that a simulation run is fully reproducible regardless of heap
-//! internals. The queue is generic over the event payload, letting each layer
-//! (OS kernel, bus, vehicle model) define its own event vocabulary.
+//! order so that a simulation run is fully reproducible regardless of the
+//! container internals. The queue is generic over the event payload, letting
+//! each layer (OS kernel, bus, vehicle model) define its own event vocabulary.
+//!
+//! Internally the queue is a hierarchical timer wheel tuned for the periodic
+//! alarm workload of the OSEK kernel: each of the `LEVELS` levels has 64
+//! slots of 64^level microseconds, so an event lands in a bucket with a
+//! single shift/mask and the earliest pending time is found with a
+//! trailing-zero count over the slot-occupancy bitmaps. Events beyond the top
+//! level go to a sorted overflow map and cascade into the wheel as the cursor
+//! reaches their window. The same-instant FIFO tie-break of the original
+//! binary-heap implementation (lowest sequence number first) is preserved
+//! exactly: every bucket scan resolves ties by sequence number.
 
 use crate::time::Instant;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, HashSet};
 
 /// Handle identifying a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -20,36 +29,27 @@ impl EventId {
     }
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    at: Instant,
-    seq: u64,
-    cancelled: bool,
-    payload: Option<E>,
-}
+/// Bits per wheel level: 64 slots each.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Wheel depth. Four levels cover 2^24 µs (~16.8 simulated seconds) past the
+/// cursor's top-level window; anything later overflows to a sorted map.
+const LEVELS: usize = 4;
+/// Shift selecting the top-level window of a time (events differing here from
+/// the cursor live in the overflow map).
+const TOP_SHIFT: u32 = LEVEL_BITS * LEVELS as u32;
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first,
-        // with the lowest sequence number winning ties.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Where [`EventQueue::find_min`] located the earliest entry.
+#[derive(Clone, Copy)]
+enum Loc {
+    /// `past[idx]`.
+    Past(usize),
+    /// `slots[level * SLOTS + slot][idx]`.
+    Level { level: usize, slot: usize, idx: usize },
+    /// `overflow[&key][idx]`.
+    Overflow { key: u64, idx: usize },
 }
 
 /// A time-ordered queue of simulation events with stable tie-breaking.
@@ -68,10 +68,27 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Time (µs) of the most recently popped wheel event. Every wheel and
+    /// overflow entry is at or after the cursor; entries scheduled behind it
+    /// live in `past`.
+    cursor: u64,
+    /// `LEVELS × SLOTS` buckets of `(time µs, seq, payload)`. Bucket order is
+    /// not significant: scans resolve `(time, seq)` explicitly.
+    slots: Vec<Vec<(u64, u64, E)>>,
+    /// Per-level slot-occupancy bitmaps (bit `s` set ⇔ slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Events beyond the top wheel window, keyed by `time >> TOP_SHIFT`.
+    overflow: BTreeMap<u64, Vec<(u64, u64, E)>>,
+    /// Events scheduled behind the cursor (time moved "backwards" relative to
+    /// the pop front). They precede every wheel entry, so ordering stays
+    /// exact; the kernel never schedules in the past, keeping this empty.
+    past: Vec<(u64, u64, E)>,
+    /// Cached `(time µs, seq)` of the verified-live head; `None` = unknown.
+    /// Makes the once-per-compute-slice `peek_time` O(1).
+    head: Option<(u64, u64)>,
     next_seq: u64,
     live: usize,
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: HashSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,11 +100,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(LEVELS * SLOTS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            cursor: 0,
+            slots,
+            occupied: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            past: Vec::new(),
+            head: None,
             next_seq: 0,
             live: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -100,12 +124,17 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: Instant, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            cancelled: false,
-            payload: Some(payload),
-        });
+        let t = at.as_micros();
+        if let Some((head_at, _)) = self.head {
+            if t < head_at {
+                self.head = Some((t, seq));
+            }
+        }
+        if t < self.cursor {
+            self.past.push((t, seq, payload));
+        } else {
+            self.insert_wheel(t, seq, payload);
+        }
         self.live += 1;
         EventId(seq)
     }
@@ -120,6 +149,9 @@ impl<E> EventQueue<E> {
         if self.cancelled.insert(id.0) {
             // The entry may have already popped; `live` is corrected lazily in
             // `pop`, so only mark it here.
+            if self.head.is_some_and(|(_, seq)| seq == id.0) {
+                self.head = None;
+            }
             true
         } else {
             false
@@ -128,32 +160,31 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest pending event, skipping cancelled ones.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
-        while let Some(mut entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) || entry.cancelled {
-                self.live = self.live.saturating_sub(1);
+        while let Some((at, seq, payload)) = self.remove_min() {
+            self.live = self.live.saturating_sub(1);
+            if self.cancelled.remove(&seq) {
                 continue;
             }
-            self.live = self.live.saturating_sub(1);
-            let payload = entry.payload.take().expect("entry payload present");
-            return Some((entry.at, payload));
+            return Some((Instant::from_micros(at), payload));
         }
         None
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<Instant> {
+        if let Some((at, _)) = self.head {
+            return Some(Instant::from_micros(at));
+        }
         loop {
-            let skip = match self.heap.peek() {
-                Some(entry) => self.cancelled.contains(&entry.seq),
-                None => return None,
-            };
-            if skip {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.seq);
+            let (at, seq, loc) = self.find_min()?;
+            if self.cancelled.contains(&seq) {
+                self.remove_at(loc);
+                self.cancelled.remove(&seq);
                 self.live = self.live.saturating_sub(1);
-            } else {
-                return self.heap.peek().map(|e| e.at);
+                continue;
             }
+            self.head = Some((at, seq));
+            return Some(Instant::from_micros(at));
         }
     }
 
@@ -175,6 +206,144 @@ impl<E> EventQueue<E> {
     #[allow(clippy::wrong_self_convention)]
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Wheel internals
+    // ------------------------------------------------------------------
+
+    /// Buckets an entry (`t >= cursor`) at the lowest level whose window
+    /// around the cursor contains it, or in the overflow map.
+    fn insert_wheel(&mut self, t: u64, seq: u64, payload: E) {
+        debug_assert!(t >= self.cursor);
+        for level in 0..LEVELS {
+            let window = LEVEL_BITS * (level as u32 + 1);
+            if t >> window == self.cursor >> window {
+                let slot = ((t >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+                self.slots[level * SLOTS + slot].push((t, seq, payload));
+                self.occupied[level] |= 1u64 << slot;
+                return;
+            }
+        }
+        self.overflow
+            .entry(t >> TOP_SHIFT)
+            .or_default()
+            .push((t, seq, payload));
+    }
+
+    /// Locates the earliest `(time, seq)` entry without removing it.
+    ///
+    /// Ordering argument: `past` entries are strictly before the cursor and
+    /// therefore before every wheel entry; within the wheel, level `l` holds
+    /// only times inside the cursor's level-`l+1` window while level `l+1`
+    /// holds times beyond it, so the first non-empty level contains the
+    /// minimum, in its lowest occupied slot (slot indices do not wrap within
+    /// an aligned window); overflow windows come last, in key order.
+    fn find_min(&self) -> Option<(u64, u64, Loc)> {
+        fn scan<T>(ring: &[(u64, u64, T)]) -> usize {
+            let mut best = 0;
+            for i in 1..ring.len() {
+                if (ring[i].0, ring[i].1) < (ring[best].0, ring[best].1) {
+                    best = i;
+                }
+            }
+            best
+        }
+        if !self.past.is_empty() {
+            let idx = scan(&self.past);
+            let (at, seq, _) = self.past[idx];
+            return Some((at, seq, Loc::Past(idx)));
+        }
+        for level in 0..LEVELS {
+            let bits = self.occupied[level];
+            if bits == 0 {
+                continue;
+            }
+            let slot = bits.trailing_zeros() as usize;
+            let ring = &self.slots[level * SLOTS + slot];
+            let idx = scan(ring);
+            let (at, seq, _) = ring[idx];
+            return Some((at, seq, Loc::Level { level, slot, idx }));
+        }
+        if let Some((&key, ring)) = self.overflow.iter().next() {
+            let idx = scan(ring);
+            let (at, seq, _) = ring[idx];
+            return Some((at, seq, Loc::Overflow { key, idx }));
+        }
+        None
+    }
+
+    /// Physically removes the entry at `loc`, maintaining the bitmaps.
+    fn remove_at(&mut self, loc: Loc) -> (u64, u64, E) {
+        match loc {
+            Loc::Past(idx) => self.past.swap_remove(idx),
+            Loc::Level { level, slot, idx } => {
+                let ring = &mut self.slots[level * SLOTS + slot];
+                let entry = ring.swap_remove(idx);
+                if ring.is_empty() {
+                    self.occupied[level] &= !(1u64 << slot);
+                }
+                entry
+            }
+            Loc::Overflow { key, idx } => {
+                let ring = self.overflow.get_mut(&key).expect("overflow key present");
+                let entry = ring.swap_remove(idx);
+                if ring.is_empty() {
+                    self.overflow.remove(&key);
+                }
+                entry
+            }
+        }
+    }
+
+    /// Removes and returns the earliest entry (cancelled or not).
+    fn remove_min(&mut self) -> Option<(u64, u64, E)> {
+        self.head = None;
+        let (at, seq, loc) = self.find_min()?;
+        match loc {
+            // Entries behind the cursor pop directly; the cursor stays put.
+            Loc::Past(_) => Some(self.remove_at(loc)),
+            _ => {
+                // Advance the cursor to the event being popped: windows the
+                // cursor enters cascade down and the minimum lands in level 0.
+                self.advance_to(at);
+                let slot = (at & SLOT_MASK) as usize;
+                let idx = self.slots[slot]
+                    .iter()
+                    .position(|&(a, s, _)| a == at && s == seq)
+                    .expect("minimum present in level 0 after cascade");
+                Some(self.remove_at(Loc::Level { level: 0, slot, idx }))
+            }
+        }
+    }
+
+    /// Moves the cursor forward to `m` (the pending minimum) and cascades: at
+    /// each level the slot containing `m` is drained and its entries re-bucket
+    /// at a strictly lower level; an overflow window reaching the wheel is
+    /// migrated in. Safe because no pending entry precedes `m`: any slot the
+    /// drain touches holds only times sharing `m`'s window at that level.
+    fn advance_to(&mut self, m: u64) {
+        debug_assert!(m >= self.cursor);
+        if m == self.cursor {
+            return;
+        }
+        self.cursor = m;
+        if let Some(batch) = self.overflow.remove(&(m >> TOP_SHIFT)) {
+            for (t, seq, payload) in batch {
+                self.insert_wheel(t, seq, payload);
+            }
+        }
+        for level in (1..LEVELS).rev() {
+            let slot = ((m >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+            if self.occupied[level] & (1u64 << slot) == 0 {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            self.occupied[level] &= !(1u64 << slot);
+            for (t, seq, payload) in batch {
+                self.insert_wheel(t, seq, payload);
+            }
+        }
     }
 }
 
@@ -259,5 +428,80 @@ mod tests {
         q.schedule(t(20), 2);
         assert_eq!(q.pop(), Some((t(20), 2)));
         assert_eq!(q.pop(), Some((t(30), 3)));
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_wheel_cascades() {
+        // Events at one far instant start two wheel levels up; popping the
+        // near marker first forces them to cascade down through the levels,
+        // which must not disturb their insertion order.
+        let mut q = EventQueue::new();
+        let far = 3 * 4096 + 129; // level 2 relative to cursor 0
+        for i in 0..32 {
+            q.schedule(t(far), i);
+        }
+        q.schedule(t(5), 999);
+        assert_eq!(q.pop(), Some((t(5), 999)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_events_beyond_top_level_pop_in_order() {
+        // 2^24 µs is the wheel horizon; these live in the overflow map.
+        let mut q = EventQueue::new();
+        let horizon = 1u64 << 24;
+        q.schedule(t(40 * horizon + 7), "second-window");
+        q.schedule(t(3 * horizon + 11), "first-window-b");
+        q.schedule(t(3 * horizon + 2), "first-window-a");
+        q.schedule(t(500), "near");
+        assert_eq!(q.pop(), Some((t(500), "near")));
+        assert_eq!(q.pop(), Some((t(3 * horizon + 2), "first-window-a")));
+        assert_eq!(q.pop(), Some((t(3 * horizon + 11), "first-window-b")));
+        assert_eq!(q.pop(), Some((t(40 * horizon + 7), "second-window")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_instant_fifo_beyond_top_level() {
+        let mut q = EventQueue::new();
+        let far = (1u64 << 26) + 42;
+        for i in 0..10 {
+            q.schedule(t(far), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_and_rearm_pending_alarm() {
+        // The kernel's alarm pattern: cancel the pending expiry, re-arm at a
+        // different offset; only the re-armed event fires.
+        let mut q = EventQueue::new();
+        let stale = q.schedule(t(10_000), "stale");
+        assert!(q.cancel(stale));
+        let _fresh = q.schedule(t(4_000), "fresh");
+        assert_eq!(q.peek_time(), Some(t(4_000)));
+        assert_eq!(q.pop(), Some((t(4_000), "fresh")));
+        assert_eq!(q.pop(), None);
+        // Re-arm again after popping; the queue stays usable.
+        q.schedule(t(20_000), "again");
+        assert_eq!(q.pop(), Some((t(20_000), "again")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn schedule_behind_the_pop_front_stays_ordered() {
+        // Popping advances the wheel cursor; events scheduled before it
+        // must still pop ahead of later ones.
+        let mut q = EventQueue::new();
+        q.schedule(t(1_000), "first");
+        q.schedule(t(50_000), "last");
+        assert_eq!(q.pop(), Some((t(1_000), "first")));
+        q.schedule(t(2_000), "mid");
+        q.schedule(t(900), "behind-cursor");
+        assert_eq!(q.pop(), Some((t(900), "behind-cursor")));
+        assert_eq!(q.pop(), Some((t(2_000), "mid")));
+        assert_eq!(q.pop(), Some((t(50_000), "last")));
     }
 }

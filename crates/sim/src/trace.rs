@@ -90,6 +90,14 @@ impl TraceRecorder {
         }
     }
 
+    /// Whether [`TraceRecorder::record`] currently retains events. Callers
+    /// that build an expensive `detail` string should check this first —
+    /// `record` receives the string *after* it was formatted, too late to
+    /// save the allocation.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// All recorded events, in recording order (which is time order as long
     /// as callers record at the current simulation time).
     pub fn events(&self) -> &[TraceEvent] {

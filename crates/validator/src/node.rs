@@ -30,6 +30,8 @@ use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
 use easis_watchdog::report::RunnableCounters;
 use easis_watchdog::SoftwareWatchdog;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Configuration of a central node build.
 #[derive(Debug, Clone)]
@@ -69,6 +71,13 @@ pub struct NodeConfig {
     /// call is a no-op and the node's behaviour — including the campaign
     /// goldens — is bit-identical to a build without observability.
     pub obs_capacity: Option<usize>,
+    /// Record the kernel's execution trace (dispatches, alarms,
+    /// activations …). On by default — figures and tests read it. Campaign
+    /// trials switch it off: they extract outcomes from the fault log and
+    /// monitor stats only, and every trace record costs three small heap
+    /// allocations on the dispatch path, which dominates trial wall-clock
+    /// at campaign scale.
+    pub kernel_trace: bool,
 }
 
 impl Default for NodeConfig {
@@ -87,6 +96,7 @@ impl Default for NodeConfig {
             policy: TreatmentPolicy::default(),
             cpu_scale_ppm: 1_000_000,
             obs_capacity: None,
+            kernel_trace: true,
         }
     }
 }
@@ -99,6 +109,52 @@ impl NodeConfig {
             steer: false,
             ..NodeConfig::default()
         }
+    }
+}
+
+/// A campaign-shared node recipe: the node configuration plus the
+/// watchdog configuration compiled from it exactly once (IdIndex
+/// interning, flow-table bitsets, hypothesis derivation), frozen behind an
+/// `Arc`. A campaign compiles one blueprint and every worker builds (and
+/// then pools) its node from it, so no trial recompiles what the plan
+/// already determines.
+#[derive(Debug, Clone)]
+pub struct NodeBlueprint {
+    config: NodeConfig,
+    watchdog_config: Arc<easis_watchdog::config::WatchdogConfig>,
+    /// Process-unique stamp identifying this compilation, used as the
+    /// pool key so a pooled world is never revived for a *different*
+    /// blueprint that happens to reuse a freed allocation address.
+    stamp: u64,
+}
+
+static BLUEPRINT_STAMP: AtomicU64 = AtomicU64::new(0);
+
+impl NodeBlueprint {
+    /// Compiles the blueprint for a node configuration by running one
+    /// full assembly and freezing its compiled watchdog configuration.
+    pub fn compile(config: NodeConfig) -> Self {
+        let node = CentralNode::build(config.clone());
+        NodeBlueprint {
+            config,
+            watchdog_config: node.world.watchdog.shared_config(),
+            stamp: BLUEPRINT_STAMP.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The node configuration the blueprint was compiled from.
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The shared compiled watchdog configuration.
+    pub fn watchdog_config(&self) -> &Arc<easis_watchdog::config::WatchdogConfig> {
+        &self.watchdog_config
+    }
+
+    /// The process-unique compilation stamp (pool cache key).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 }
 
@@ -144,6 +200,22 @@ impl CentralNode {
     /// period is not compatible with the watchdog period (one must divide
     /// the other).
     pub fn build(config: NodeConfig) -> Self {
+        Self::build_inner(config, None)
+    }
+
+    /// Builds the node from a campaign blueprint, reusing its compiled
+    /// watchdog configuration instead of recompiling it.
+    pub fn build_from_blueprint(blueprint: &NodeBlueprint) -> Self {
+        Self::build_inner(
+            blueprint.config.clone(),
+            Some(Arc::clone(&blueprint.watchdog_config)),
+        )
+    }
+
+    fn build_inner(
+        config: NodeConfig,
+        shared: Option<Arc<easis_watchdog::config::WatchdogConfig>>,
+    ) -> Self {
         let mut signals = SignalDb::new();
         let mut registry = RunnableRegistry::new();
         let mut bundles: Vec<AppBundle<CentralWorld>> = Vec::new();
@@ -161,7 +233,11 @@ impl CentralNode {
         }
         assert!(!bundles.is_empty(), "enable at least one application");
 
-        let mut os: Os<CentralWorld> = Os::new();
+        let mut os: Os<CentralWorld> = if config.kernel_trace {
+            Os::new()
+        } else {
+            Os::with_disabled_trace()
+        };
         let mut mapping = SystemMapping::new();
         let mut tasks = BTreeMap::new();
         let mut alarms = BTreeMap::new();
@@ -231,8 +307,14 @@ impl CentralNode {
             Some(capacity) => easis_obs::ObsSink::enabled(capacity),
             None => easis_obs::ObsSink::disabled(),
         };
-        let wd_config = wd_builder.mapping(mapping.clone()).build();
-        let mut watchdog = SoftwareWatchdog::new(wd_config);
+        // The compile step (IdIndex interning, bitset flow table) is the
+        // expensive part of the builder; a blueprint-backed build skips it
+        // entirely and shares the frozen artifact.
+        let wd_config = match shared {
+            Some(compiled) => compiled,
+            None => Arc::new(wd_builder.mapping(mapping.clone()).build()),
+        };
+        let mut watchdog = SoftwareWatchdog::from_shared(wd_config);
         watchdog.attach_obs(obs.clone());
         let mut fmf = FaultManagementFramework::new(SeverityMap::default(), config.policy);
         fmf.attach_obs(obs.clone());
@@ -257,8 +339,10 @@ impl CentralNode {
                     .effect(|w: &mut CentralWorld, ctx| {
                         let now = ctx.now();
                         let report = w.watchdog.run_cycle(now);
-                        for fault in &report.faults {
-                            ctx.trace("watchdog", "fault", fault.to_string());
+                        if ctx.trace_enabled() {
+                            for fault in &report.faults {
+                                ctx.trace("watchdog", "fault", fault.to_string());
+                            }
                         }
                         if w.hw_watchdog.poll(now) {
                             ctx.trace("hw_wd", "hw_expired", "");
@@ -269,20 +353,24 @@ impl CentralNode {
                         if faults.is_empty() {
                             w.fmf.healthy_cycle(); // DTC aging
                         }
-                        // Freeze frame: the operating conditions at
-                        // detection (the signals a tester would want).
-                        let freeze = easis_fmf::dtc::FreezeFrame {
-                            conditions: ["speed_measured", "lateral_measured"]
-                                .iter()
-                                .filter_map(|name| {
-                                    w.signals
-                                        .id_of(name)
-                                        .map(|id| (name.to_string(), w.signals.read(id)))
-                                })
-                                .collect(),
-                        };
-                        for fault in faults {
-                            w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
+                        if !faults.is_empty() {
+                            // Freeze frame: the operating conditions at
+                            // detection (the signals a tester would want).
+                            // Built only when a fault is actually ingested —
+                            // nominal cycles skip the string allocations.
+                            let freeze = easis_fmf::dtc::FreezeFrame {
+                                conditions: ["speed_measured", "lateral_measured"]
+                                    .iter()
+                                    .filter_map(|name| {
+                                        w.signals
+                                            .id_of(name)
+                                            .map(|id| (name.to_string(), w.signals.read(id)))
+                                    })
+                                    .collect(),
+                            };
+                            for fault in faults {
+                                w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
+                            }
                         }
                         for change in changes {
                             w.fmf.ingest_state_change(change);
@@ -423,6 +511,23 @@ impl CentralNode {
                 .set_rel_alarm(alarm, offset, Some(cycle))
                 .expect("alarms arm exactly once");
         }
+    }
+
+    /// Resets the node to its just-built state so it can be `start()`ed
+    /// again: kernel back to cold (tasks suspended, alarms disarmed,
+    /// timers empty, trace cleared), world back to the initial snapshot,
+    /// baseline monitor statistics cleared. The expensive structure —
+    /// task bodies, the runnable registry, the compiled watchdog
+    /// configuration — is kept. Campaigns pool one node per worker and
+    /// reset it between trials; [`crate::scenario`]'s reset≡fresh property
+    /// test pins that a trial on a reset node is byte-identical to one on
+    /// a fresh build.
+    pub fn reset(&mut self) {
+        self.os.reset();
+        self.world.reset();
+        self.deadline_monitor.reset();
+        self.exec_monitor.reset();
+        self.started = false;
     }
 
     /// Runs the node until `end`, ticking the injector once per

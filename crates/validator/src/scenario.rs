@@ -6,7 +6,7 @@
 //! tests described in prose, and the campaign trial runner behind the
 //! coverage/latency/granularity tables of the outlook.
 
-use crate::node::{CentralNode, NodeConfig};
+use crate::node::{CentralNode, NodeBlueprint, NodeConfig};
 use easis_injection::campaign::TrialSpec;
 use easis_injection::injector::{ErrorClass, Injection, Injector};
 use easis_injection::stats::{DetectorId, TrialOutcome};
@@ -181,18 +181,66 @@ fn detector_of(kind: FaultKind) -> DetectorId {
     }
 }
 
+/// The node configuration every campaign trial runs on: the full node
+/// (all three applications), treatment disabled and monitoring kept past
+/// the faulty verdict so a fast unit (PFC) does not mask a slower one
+/// (arrival rate) — campaign trials measure raw detection capability per
+/// unit.
+pub fn campaign_node_config() -> NodeConfig {
+    NodeConfig {
+        keep_monitoring_faulty: true,
+        policy: easis_fmf::policy::TreatmentPolicy::observe_only(),
+        // Outcomes come from the fault log and monitor stats; the kernel
+        // trace would only burn three allocations per dispatch-path event.
+        kernel_trace: false,
+        ..NodeConfig::default()
+    }
+}
+
 /// Runs one campaign trial on a freshly built full node (all three
 /// applications) and reports which detectors caught the injected error,
 /// with their latencies relative to the injection start.
 pub fn run_trial(spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
-    let mut node = CentralNode::build(NodeConfig {
-        // Campaign trials measure raw detection capability per unit:
-        // disable treatment and keep monitoring past the faulty verdict so
-        // a fast unit (PFC) does not mask a slower one (arrival rate).
-        keep_monitoring_faulty: true,
-        policy: easis_fmf::policy::TreatmentPolicy::observe_only(),
-        ..NodeConfig::default()
-    });
+    let mut node = CentralNode::build(campaign_node_config());
+    run_trial_on(&mut node, spec, horizon)
+}
+
+thread_local! {
+    /// Per-worker pooled node, tagged with the blueprint stamp it was
+    /// built from. One pooled world per worker thread covers a whole
+    /// campaign: trials reset it instead of rebuilding it.
+    static NODE_POOL: std::cell::RefCell<Option<(u64, CentralNode)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs one campaign trial on this worker's pooled node, building it from
+/// `blueprint` on first use and [`CentralNode::reset`]ting it afterwards.
+/// The reset≡fresh property test pins that the outcome is byte-identical
+/// to [`run_trial`] on a fresh build.
+pub fn run_trial_pooled(
+    blueprint: &NodeBlueprint,
+    spec: &TrialSpec,
+    horizon: Instant,
+) -> TrialOutcome {
+    NODE_POOL.with(|pool| {
+        let mut slot = pool.borrow_mut();
+        match slot.as_mut() {
+            Some((stamp, node)) if *stamp == blueprint.stamp() => node.reset(),
+            _ => {
+                *slot = Some((
+                    blueprint.stamp(),
+                    CentralNode::build_from_blueprint(blueprint),
+                ));
+            }
+        }
+        let (_, node) = slot.as_mut().expect("pool populated above");
+        run_trial_on(node, spec, horizon)
+    })
+}
+
+/// The shared trial body: starts the (fresh or just-reset) node, runs the
+/// injection to the horizon and extracts the detector outcome.
+fn run_trial_on(node: &mut CentralNode, spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
     node.start();
     let from = spec.injection.from;
     let mut injector = Injector::new([spec.injection.clone()]);
@@ -231,16 +279,41 @@ pub fn run_trial(spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
     outcome
 }
 
-/// Runs every trial of `plan` on the given executor, each on a freshly
-/// built full node via [`run_trial`]. Trials are hermetic (nothing is
-/// shared between node worlds), so any worker count produces stats
+/// Runs every trial of `plan` on the given executor. The watchdog
+/// configuration is compiled once into a [`NodeBlueprint`] and each
+/// worker pools one node built from it, resetting it between trials
+/// ([`run_trial_pooled`]). Trials stay hermetic — `reset()` restores the
+/// exact fresh-build state — so any worker count produces stats
 /// bit-identical to a serial run.
 pub fn run_plan(
     plan: &easis_injection::campaign::CampaignPlan,
     horizon: Instant,
     executor: &easis_injection::executor::CampaignExecutor,
 ) -> easis_injection::stats::CampaignStats {
-    executor.run(plan, |spec| run_trial(spec, horizon))
+    let blueprint = NodeBlueprint::compile(campaign_node_config());
+    executor.run(plan, |spec| run_trial_pooled(&blueprint, spec, horizon))
+}
+
+/// Runs every trial of `plan` the way campaigns ran before the throughput
+/// engine: each trial builds its own node from scratch — watchdog config
+/// compile included — with the kernel execution trace recording (the
+/// pre-engine node had no way to switch it off). No pooling, no shared
+/// compiled config. Kept as the baseline `campaign_bench` measures the
+/// engine against; the outcomes are bit-identical to [`run_plan`] (the
+/// trace never feeds a trial outcome), which the bench asserts.
+pub fn run_plan_fresh(
+    plan: &easis_injection::campaign::CampaignPlan,
+    horizon: Instant,
+    executor: &easis_injection::executor::CampaignExecutor,
+) -> easis_injection::stats::CampaignStats {
+    let config = NodeConfig {
+        kernel_trace: true,
+        ..campaign_node_config()
+    };
+    executor.run(plan, move |spec| {
+        let mut node = CentralNode::build(config.clone());
+        run_trial_on(&mut node, spec, horizon)
+    })
 }
 
 /// A quick health check of a golden (fault-free) run: returns `true` when

@@ -541,3 +541,155 @@ proptest! {
         );
     }
 }
+
+/// The pre-wheel event queue, kept verbatim as the reference model: a
+/// `BinaryHeap` of `(time, seq)` keys with lazy cancellation. The timer
+/// wheel must produce the identical cancel verdicts, peek times and pop
+/// stream for every operation sequence.
+struct ReferenceEventQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+}
+
+impl ReferenceEventQueue {
+    fn new() -> Self {
+        ReferenceEventQueue {
+            heap: std::collections::BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: Instant) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((at.as_micros(), seq)));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        seq < self.next_seq && self.cancelled.insert(seq)
+    }
+
+    fn peek_time(&mut self) -> Option<Instant> {
+        while let Some(&std::cmp::Reverse((at, seq))) = self.heap.peek() {
+            if self.cancelled.remove(&seq) {
+                self.heap.pop();
+            } else {
+                return Some(Instant::from_micros(at));
+            }
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(Instant, u64)> {
+        while let Some(std::cmp::Reverse((at, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            return Some((Instant::from_micros(at), seq));
+        }
+        None
+    }
+}
+
+proptest! {
+    /// The hierarchical timer wheel is observationally equivalent to the
+    /// `BinaryHeap` it replaced: identical cancel verdicts (including
+    /// double-cancel and cancel-after-fire), identical peek times, and an
+    /// identical `(time, FIFO)` pop stream — over arbitrary interleavings
+    /// of schedule/pop/cancel with heavy same-instant collisions, events
+    /// beyond the top wheel level, and events behind the cursor.
+    #[test]
+    fn timer_wheel_matches_binary_heap_reference(
+        ops in prop::collection::vec(
+            (0u8..8, 0u64..(1u64 << 27), any::<u32>()),
+            1..300,
+        ),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceEventQueue::new();
+        let mut issued = Vec::new();
+        for &(op, t, pick) in &ops {
+            match op {
+                // Schedule: half the draws collapse into a small range so
+                // same-instant FIFO and cascade co-location are stressed;
+                // the other half reach past the top wheel level.
+                0..=4 => {
+                    let at = Instant::from_micros(if t & 1 == 0 { t >> 14 } else { t });
+                    let id = wheel.schedule(at, reference.next_seq);
+                    let seq = reference.schedule(at);
+                    prop_assert_eq!(id.raw(), seq, "seq allocation diverged");
+                    issued.push(id);
+                }
+                5..=6 => {
+                    prop_assert_eq!(wheel.peek_time(), reference.peek_time());
+                    let wheel_pop = wheel.pop();
+                    let reference_pop = reference.pop();
+                    prop_assert_eq!(wheel_pop, reference_pop, "pop stream diverged");
+                }
+                _ => {
+                    if let Some(&id) = issued.get(pick as usize % issued.len().max(1)) {
+                        prop_assert_eq!(
+                            wheel.cancel(id),
+                            reference.cancel(id.raw()),
+                            "cancel verdict diverged for {:?}", id
+                        );
+                    }
+                }
+            }
+        }
+        // Drain both completely: the tails must match too.
+        loop {
+            prop_assert_eq!(wheel.peek_time(), reference.peek_time());
+            let wheel_pop = wheel.pop();
+            let reference_pop = reference.pop();
+            prop_assert_eq!(wheel_pop, reference_pop, "drain diverged");
+            if wheel_pop.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// World pooling is invisible: a trial on a pooled node — built from a
+    /// campaign blueprint, dirtied by a different trial, then `reset()` —
+    /// produces an outcome byte-identical to the same trial on a freshly
+    /// built node. Few cases: every case builds full central nodes and
+    /// simulates several hundred milliseconds.
+    #[test]
+    fn pooled_reset_trial_equals_fresh_build_trial(
+        seed in any::<u64>(),
+        test_pick in any::<u32>(),
+        dirty_pick in any::<u32>(),
+    ) {
+        use easis::validator::node::NodeBlueprint;
+        use easis::validator::scenario::{campaign_node_config, run_trial, run_trial_pooled};
+        let horizon = Instant::from_millis(700);
+        let plan = CampaignBuilder::new(seed, (0..9).map(RunnableId).collect())
+            .loop_targets(vec![RunnableId(4), RunnableId(7)])
+            .trials_per_class(1)
+            .window(Instant::from_millis(200), Duration::from_millis(200))
+            .with_horizon(horizon)
+            .build();
+        let trials = plan.trials();
+        let spec = &trials[test_pick as usize % trials.len()];
+        let dirty = &trials[dirty_pick as usize % trials.len()];
+        let fresh = run_trial(spec, horizon);
+        let blueprint = NodeBlueprint::compile(campaign_node_config());
+        // Dirty the pooled world with an unrelated trial first, so the
+        // comparison exercises reset-from-a-faulted state, not first-use.
+        let _ = run_trial_pooled(&blueprint, dirty, horizon);
+        let pooled = run_trial_pooled(&blueprint, spec, horizon);
+        prop_assert_eq!(&fresh, &pooled, "pooled reset diverged from fresh build");
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&fresh).unwrap(),
+            serde_json::to_string_pretty(&pooled).unwrap(),
+            "JSON bytes diverged"
+        );
+    }
+}

@@ -34,20 +34,28 @@ for key in schema_version iterations monitored_runnables ns_per_heartbeat \
 done
 rm -rf "$hotpath_scratch"
 
-echo "==> campaign_bench smoke run (pooled vs fresh, schema check)"
+echo "==> campaign_bench smoke run (pooled vs fresh, schema + alloc gates)"
 # Reduced trial count from a scratch dir: the bit-identical pooled-vs-
-# fresh stats assertion always applies, the >=2x speedup assertion is
-# skipped below the full 200 trials/class so smoke runs stay
-# timing-noise-proof, and the committed BENCH_campaign.json (full-scale
-# record) is not clobbered.
+# fresh stats assertion, the steady-state allocation floor and the
+# horizon-scaling zero-alloc gate always apply; the >=2x speedup
+# assertion is skipped below the full 200 trials/class so smoke runs
+# stay timing-noise-proof, and the committed BENCH_campaign.json
+# (full-scale record) is not clobbered.
 campaign_scratch="$(mktemp -d)"
 (cd "$campaign_scratch" && EASIS_WORKERS=2 "$OLDPWD/target/release/campaign_bench" 10 > /dev/null)
 for key in schema_version trials workers simulated_ms_per_trial setup \
-           pooled fresh speedup_pooled_vs_fresh; do
+           pooled fresh speedup_pooled_vs_fresh steady_state \
+           clean_trial_allocs horizon_scaling_allocs worker_sweep; do
   grep -q "\"$key\"" "$campaign_scratch/BENCH_campaign.json" \
     || { echo "BENCH_campaign.json missing key: $key"; exit 1; }
 done
 rm -rf "$campaign_scratch"
+
+echo "==> soak smoke run (short horizon via EASIS_SOAK_HORIZON_MS)"
+# The full soak defaults to two simulated hours; one simulated minute
+# still crosses several 2^24-us timer-wheel rotations, so the overflow
+# cascade path is exercised on every CI run.
+EASIS_SOAK_HORIZON_MS=60000 cargo test -q --test soak
 
 echo "==> campaign golden across worker/chunk configurations (pooled path)"
 for w in 1 2 4; do

@@ -22,27 +22,73 @@
 //! must be **≥2× the fresh trials/sec** (asserted). The setup-vs-run
 //! split (per-trial node build vs pooled reset vs one-off blueprint
 //! compile) is measured separately so the report shows *where* the
-//! speedup comes from. Results land in `BENCH_campaign.json` (stable
-//! schema, `schema_version` 1).
+//! speedup comes from.
+//!
+//! Since the plan-arena task bodies landed, the bin additionally proves
+//! the steady-state claim under a counting global allocator: a clean
+//! (no-fault) pooled trial on a warmed node is measured at the reference
+//! horizon and at twice the horizon, and the counts must be **equal** —
+//! doubling the simulated time (and with it every task activation) adds
+//! zero heap allocations, i.e. the plan/effect/step-buffer path is
+//! allocation-free (asserted). A per-worker-count trials/sec sweep over
+//! 1/2/4/8 workers records how the pooled path scales. Results land in
+//! `BENCH_campaign.json` (stable schema, `schema_version` 2).
 //!
 //! Usage: `campaign_bench [trials_per_class]` (default 200 → 1000 trials
 //! over the 5 error classes; the ≥2× assertion is skipped below the
-//! default so CI smoke runs stay timing-noise-proof). Worker count comes
-//! from `EASIS_WORKERS` (default: available parallelism).
+//! default so CI smoke runs stay timing-noise-proof — the zero-alloc
+//! gate always applies). Worker count comes from `EASIS_WORKERS`
+//! (default: available parallelism).
 //!
 //! [`run_plan`]: easis_validator::scenario::run_plan
 //! [`run_plan_fresh`]: easis_validator::scenario::run_plan_fresh
 //! [`NodeBlueprint`]: easis_validator::node::NodeBlueprint
 //! [`CampaignStats`]: easis_injection::stats::CampaignStats
 
-use easis_injection::campaign::{CampaignBuilder, CampaignPlan};
+use easis_injection::campaign::{CampaignBuilder, CampaignPlan, TrialSpec};
 use easis_injection::executor::CampaignExecutor;
+use easis_injection::injector::{ErrorClass, Injection};
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::{Duration, Instant};
 use easis_validator::node::{CentralNode, NodeBlueprint};
-use easis_validator::scenario::{campaign_node_config, run_plan, run_plan_fresh};
+use easis_validator::scenario::{
+    campaign_node_config, run_plan, run_plan_fresh, run_trial_pooled,
+};
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation so the steady-state trial path can be proven
+/// allocation-free, not just claimed.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// trials_per_class of the full campaign (5 error classes → 1000 trials).
 const DEFAULT_TRIALS_PER_CLASS: usize = 200;
@@ -58,6 +104,12 @@ const SETUP_REPS: u32 = 10;
 
 /// Simulated horizon of every trial.
 const HORIZON: Instant = Instant::from_millis(1_500);
+
+/// Maximum heap blocks a clean steady-state pooled trial may allocate: the
+/// per-trial constants (injector setup, outcome tag) measure 3 on the plan-
+/// arena data plane; one block of slack absorbs collection growth-point
+/// jitter without letting a real per-activation allocation through.
+const STEADY_STATE_ALLOC_FLOOR: u64 = 4;
 
 /// The T-COV campaign plan: same seed, target set and injection window as
 /// the golden campaign report (`tests/goldens/campaign_report.json`),
@@ -83,7 +135,7 @@ fn best_of<F: FnMut()>(reps: u32, mut op: F) -> f64 {
 }
 
 // ---------------------------------------------------------------------
-// Report schema (schema_version 1 — keep stable, future PRs diff this).
+// Report schema (schema_version 2 — keep stable, future PRs diff this).
 // ---------------------------------------------------------------------
 
 /// One campaign execution path, full-plan wall clock and derived rates.
@@ -123,6 +175,27 @@ struct SetupSplit {
     pooled_setup_fraction: f64,
 }
 
+/// Steady-state allocation probe of one clean pooled trial. The doubling
+/// delta is the gate: zero means no per-activation (plan/effect/step-
+/// buffer) allocation survives on the hot path.
+#[derive(Serialize)]
+struct AllocProbe {
+    /// Heap allocations of one clean (no-fault) pooled trial on a warmed
+    /// node, reference horizon.
+    clean_trial_allocs: u64,
+    /// Same probe at twice the simulated horizon (twice the activations).
+    clean_trial_allocs_2x_horizon: u64,
+    /// `2x − 1x`: allocations attributable to simulated time. Must be 0.
+    horizon_scaling_allocs: i64,
+}
+
+/// Pooled-path throughput at one worker count (the multi-core sweep).
+#[derive(Serialize)]
+struct SweepEntry {
+    workers: u64,
+    trials_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     schema_version: u32,
@@ -133,6 +206,8 @@ struct Report {
     pooled: PathTiming,
     fresh: PathTiming,
     speedup_pooled_vs_fresh: f64,
+    steady_state: AllocProbe,
+    worker_sweep: Vec<SweepEntry>,
 }
 
 /// Measures the one-off and per-trial setup costs outside the campaign.
@@ -159,6 +234,41 @@ fn measure_setup() -> (f64, f64, f64) {
     (compile_ns, build_ns, reset_ns)
 }
 
+/// A trial whose injection window lies beyond any probed horizon: the
+/// node runs entirely nominal cycles — the steady state of a campaign.
+fn clean_spec() -> TrialSpec {
+    TrialSpec {
+        seed: 0xA11C,
+        injection: Injection::new(
+            ErrorClass::SkipRunnable {
+                runnable: RunnableId(0),
+            },
+            Instant::from_millis(10_000_000),
+            Instant::from_millis(10_000_100),
+        ),
+    }
+}
+
+/// Measures heap allocations of one clean pooled trial on a warmed node
+/// (minimum over several runs, so incidental lazy initialisation cannot
+/// inflate the figure). Runs on the calling thread's pool slot.
+fn measure_clean_trial_allocs(blueprint: &NodeBlueprint, horizon: Instant) -> u64 {
+    let spec = clean_spec();
+    // Warm the pool: the first trial builds the node, the following ones
+    // grow every retained buffer (arena slots, timer wheel, logs) to the
+    // steady state of this horizon.
+    for _ in 0..3 {
+        black_box(run_trial_pooled(blueprint, &spec, horizon));
+    }
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        black_box(run_trial_pooled(blueprint, &spec, horizon));
+        best = best.min(allocations() - before);
+    }
+    best
+}
+
 fn validate_emitted_json(path: &str) {
     let text = std::fs::read_to_string(path).expect("BENCH_campaign.json written");
     let value = serde_json::parse_value(&text).expect("BENCH_campaign.json parses");
@@ -174,6 +284,8 @@ fn validate_emitted_json(path: &str) {
         "pooled",
         "fresh",
         "speedup_pooled_vs_fresh",
+        "steady_state",
+        "worker_sweep",
     ] {
         assert!(
             entries.iter().any(|(k, _)| k == key),
@@ -200,6 +312,37 @@ fn main() {
     println!("================================================================");
 
     let (compile_ns, build_ns, reset_ns) = measure_setup();
+
+    // Steady-state allocation probe: a clean pooled trial at the reference
+    // horizon and at twice the horizon. Equal counts prove the per-
+    // activation path (plans, effects, step buffers) allocates nothing —
+    // only the per-trial constants (injector, outcome) remain.
+    let probe_blueprint = NodeBlueprint::compile(campaign_node_config());
+    let allocs_1x = measure_clean_trial_allocs(&probe_blueprint, HORIZON);
+    let allocs_2x =
+        measure_clean_trial_allocs(&probe_blueprint, Instant::from_millis(2 * HORIZON.as_millis()));
+    let scaling = allocs_2x as i64 - allocs_1x as i64;
+    println!(
+        "steady-state allocs/trial: {allocs_1x} at {simulated_ms_per_trial} ms, \
+         {allocs_2x} at {} ms (horizon-scaling delta {scaling})",
+        2 * simulated_ms_per_trial
+    );
+    assert!(
+        scaling <= 0,
+        "doubling the simulated horizon must add zero allocations (got \
+         +{scaling}) — the plan/effect/step-buffer path has regressed from \
+         allocation-free"
+    );
+    // Absolute floor: a clean steady-state trial pays only the per-trial
+    // constants (injector setup, outcome tag) — with the plan arena this is
+    // 3 blocks. Gate with minimal slack so a new per-activation allocation
+    // anywhere in the kernel/RTE/watchdog cycle fails loudly.
+    assert!(
+        allocs_1x <= STEADY_STATE_ALLOC_FLOOR,
+        "clean steady-state trial allocated {allocs_1x} heap blocks \
+         (floor {STEADY_STATE_ALLOC_FLOOR}) — a per-trial or per-activation \
+         allocation crept back in"
+    );
 
     // Fresh first so the pooled path cannot inherit any warmed-up state
     // (it could not anyway — pools are per worker thread and the executor
@@ -267,8 +410,30 @@ fn main() {
         );
     }
 
+    // Multi-core scaling of the pooled path: one sweep entry per worker
+    // count, regardless of what EASIS_WORKERS says about the headline runs.
+    let sweep_reps = if trials_per_class >= ASSERT_FLOOR_TRIALS_PER_CLASS {
+        2
+    } else {
+        1
+    };
+    let mut worker_sweep = Vec::new();
+    println!("{:<28} {:>14}", "worker sweep (pooled)", "trials/sec");
+    for w in [1usize, 2, 4, 8] {
+        let ex = CampaignExecutor::new(w);
+        let ns = best_of(sweep_reps, || {
+            black_box(run_plan(&plan, HORIZON, &ex));
+        });
+        let tps = trials as f64 / (ns / 1e9);
+        println!("{:<28} {:>14.0}", format!("  {w} worker(s)"), tps);
+        worker_sweep.push(SweepEntry {
+            workers: w as u64,
+            trials_per_sec: tps,
+        });
+    }
+
     let report = Report {
-        schema_version: 1,
+        schema_version: 2,
         trials,
         workers: workers as u64,
         simulated_ms_per_trial,
@@ -276,6 +441,12 @@ fn main() {
         pooled,
         fresh,
         speedup_pooled_vs_fresh: speedup,
+        steady_state: AllocProbe {
+            clean_trial_allocs: allocs_1x,
+            clean_trial_allocs_2x_horizon: allocs_2x,
+            horizon_scaling_allocs: scaling,
+        },
+        worker_sweep,
     };
     let path = "BENCH_campaign.json";
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

@@ -63,10 +63,15 @@ pub enum DtcStatus {
 }
 
 /// Environmental snapshot captured at first occurrence.
+///
+/// Condition names are interned `Arc<str>`s: platforms capture the same
+/// condition set on every faulty cycle, so cloning a frame bumps refcounts
+/// instead of re-allocating the name strings (the campaign hot path ingests
+/// hundreds of frames per faulty trial).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FreezeFrame {
     /// Named operating-condition values (e.g. vehicle speed).
-    pub conditions: Vec<(String, f64)>,
+    pub conditions: Vec<(std::sync::Arc<str>, f64)>,
 }
 
 /// One stored code.

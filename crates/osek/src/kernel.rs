@@ -18,7 +18,7 @@
 use crate::alarm::{Alarm, AlarmAction, AlarmId};
 use crate::error::OsError;
 use crate::hooks::{HookEvent, HookObserver};
-use crate::plan::{EffectCtx, Plan, ResourceId, ServiceRequest, Step, TaskBody};
+use crate::plan::{EffectCtx, PlanArena, ResourceId, ServiceRequest, Step, TaskBody};
 use crate::resource::{HeldResources, Resource};
 use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
 use easis_sim::event::EventQueue;
@@ -39,7 +39,9 @@ struct Tcb<W> {
     config: TaskConfig,
     state: TaskState,
     body: Option<Box<dyn TaskBody<W>>>,
-    plan: Option<Plan<W>>,
+    /// `true` once the current activation's plan has been filled into the
+    /// kernel's [`PlanArena`] slot (cleared at termination/reset).
+    planned: bool,
     current_priority: Priority,
     set_events: EventMask,
     waiting_for: EventMask,
@@ -164,6 +166,9 @@ impl ReadyQueue {
 /// ```
 pub struct Os<W> {
     tasks: Vec<Tcb<W>>,
+    /// Capacity-retained per-task plan buffers (slot `i` belongs to task
+    /// `i`); cleared, never shrunk, across activations and resets.
+    arena: PlanArena<W>,
     alarms: Vec<Alarm>,
     resources: Vec<Resource>,
     timers: EventQueue<KernelEvent>,
@@ -191,6 +196,7 @@ impl<W> Os<W> {
     pub fn new() -> Self {
         Os {
             tasks: Vec::new(),
+            arena: PlanArena::new(),
             alarms: Vec::new(),
             resources: Vec::new(),
             timers: EventQueue::new(),
@@ -226,7 +232,7 @@ impl<W> Os<W> {
             config,
             state: TaskState::Suspended,
             body: Some(Box::new(body)),
-            plan: None,
+            planned: false,
             current_priority: priority,
             set_events: EventMask::NONE,
             waiting_for: EventMask::NONE,
@@ -237,6 +243,7 @@ impl<W> Os<W> {
             budget_reported: false,
             ready_key: 0,
         });
+        self.arena.grow_to(self.tasks.len());
         id
     }
 
@@ -390,7 +397,7 @@ impl<W> Os<W> {
     pub fn reset(&mut self) {
         for tcb in &mut self.tasks {
             tcb.state = TaskState::Suspended;
-            tcb.plan = None;
+            tcb.planned = false;
             tcb.current_priority = tcb.config.priority();
             tcb.set_events = EventMask::NONE;
             tcb.waiting_for = EventMask::NONE;
@@ -408,7 +415,8 @@ impl<W> Os<W> {
         for resource in &mut self.resources {
             resource.release();
         }
-        self.timers = EventQueue::new();
+        self.arena.reset();
+        self.timers.clear();
         self.now = Instant::ZERO;
         self.running = None;
         self.trace.clear();
@@ -722,14 +730,35 @@ impl<W> Os<W> {
         let name = self.tasks[id.index()].config.name();
         self.trace.record(self.now, TRACE_SOURCE, "dispatch", name);
         self.fire_hook(HookEvent::PreTask(id), world);
-        // First dispatch of an activation: plan the body.
-        if self.tasks[id.index()].plan.is_none() {
+        // First dispatch of an activation: plan the body into the task's
+        // arena slot (cleared, capacity retained — no allocation once the
+        // slot has grown to the steady-state plan length).
+        if !self.tasks[id.index()].planned {
             let mut body = self.tasks[id.index()].body.take().expect("body present");
-            let plan = body.plan(self.now, world);
+            let buf = self.arena.slot_mut(id.index());
+            buf.clear();
+            body.plan_into(self.now, world, buf);
             self.tasks[id.index()].body = Some(body);
-            self.tasks[id.index()].plan = Some(plan);
+            self.tasks[id.index()].planned = true;
             self.tasks[id.index()].exec_time = Duration::ZERO;
             self.tasks[id.index()].budget_reported = false;
+        }
+    }
+
+    /// Applies the OS service requests an effect queued on its context.
+    fn apply_requests(&mut self, requests: Vec<ServiceRequest>, world: &mut W) {
+        for req in requests {
+            match req {
+                ServiceRequest::ActivateTask(t) => {
+                    let _ = self.activate_task(t, world);
+                }
+                ServiceRequest::SetEvent(t, m) => {
+                    let _ = self.set_event(t, m, world);
+                }
+                ServiceRequest::CancelAlarm(a) => {
+                    let _ = self.cancel_alarm(AlarmId(a));
+                }
+            }
         }
     }
 
@@ -742,10 +771,7 @@ impl<W> Os<W> {
             if self.pick_next() != Some(id) {
                 return false;
             }
-            let step = {
-                let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
-                plan.pop()
-            };
+            let step = self.arena.slot_mut(id.index()).pop();
             let Some(step) = step else {
                 self.terminate_running(id, world);
                 return false;
@@ -760,19 +786,17 @@ impl<W> Os<W> {
                     let mut ctx = EffectCtx::new(self.now, id, &mut self.trace);
                     f(world, &mut ctx);
                     let requests = ctx.take_requests();
-                    for req in requests {
-                        match req {
-                            ServiceRequest::ActivateTask(t) => {
-                                let _ = self.activate_task(t, world);
-                            }
-                            ServiceRequest::SetEvent(t, m) => {
-                                let _ = self.set_event(t, m, world);
-                            }
-                            ServiceRequest::CancelAlarm(a) => {
-                                let _ = self.cancel_alarm(AlarmId(a));
-                            }
-                        }
-                    }
+                    self.apply_requests(requests, world);
+                }
+                Step::EffectRef(token) => {
+                    let mut body = self.tasks[id.index()].body.take().expect("body present");
+                    let requests = {
+                        let mut ctx = EffectCtx::new(self.now, id, &mut self.trace);
+                        body.run_effect(token, world, &mut ctx);
+                        ctx.take_requests()
+                    };
+                    self.tasks[id.index()].body = Some(body);
+                    self.apply_requests(requests, world);
                 }
                 Step::ActivateTask(t) => {
                     let _ = self.activate_task(t, world);
@@ -933,16 +957,18 @@ impl<W> Os<W> {
             }
             if self.now == end && !remaining.is_zero() {
                 // Horizon reached mid-compute: save the remainder.
-                let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
-                plan.push_front(Step::Compute(remaining));
+                self.arena
+                    .slot_mut(id.index())
+                    .push_front(Step::Compute(remaining));
                 return Some(true);
             }
             // Process timers due exactly now; they may ready someone higher.
             self.fire_due_timers(world);
             if self.pick_next() != Some(id) {
                 if !remaining.is_zero() {
-                    let plan = self.tasks[id.index()].plan.as_mut().expect("plan present");
-                    plan.push_front(Step::Compute(remaining));
+                    self.arena
+                        .slot_mut(id.index())
+                        .push_front(Step::Compute(remaining));
                 }
                 return Some(false);
             }
@@ -969,9 +995,10 @@ impl<W> Os<W> {
         {
             let tcb = &mut self.tasks[id.index()];
             tcb.completed += 1;
-            tcb.plan = None;
+            tcb.planned = false;
             tcb.set_events = EventMask::NONE;
         }
+        self.arena.slot_mut(id.index()).clear();
         self.running = None;
         let name = self.tasks[id.index()].config.name();
         self.trace.record(self.now, TRACE_SOURCE, "terminate", name);
@@ -1019,6 +1046,7 @@ impl<W> std::fmt::Debug for Os<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::Plan;
 
     type W = Vec<String>;
 
@@ -1458,6 +1486,7 @@ mod tests {
 #[cfg(test)]
 mod schedule_tests {
     use super::*;
+    use crate::plan::Plan;
 
     type W = Vec<String>;
     fn ms(n: u64) -> Duration {

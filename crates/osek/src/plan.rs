@@ -38,6 +38,12 @@ pub enum Step<W> {
     Compute(Duration),
     /// Run an instantaneous effect (signal I/O, heartbeat indication, …).
     Effect(Effect<W>),
+    /// Run a body-owned effect identified by an opaque token: the kernel
+    /// hands the token back to [`TaskBody::run_effect`] on the same body
+    /// that planned it. This is the allocation-free alternative to
+    /// [`Step::Effect`] — no closure is boxed per activation; the body keeps
+    /// its state and dispatches on the token.
+    EffectRef(u32),
     /// `ActivateTask` system service.
     ActivateTask(TaskId),
     /// `SetEvent` system service (target must be an extended task).
@@ -64,6 +70,7 @@ impl<W> fmt::Debug for Step<W> {
         match self {
             Step::Compute(d) => write!(f, "Compute({d})"),
             Step::Effect(_) => write!(f, "Effect(..)"),
+            Step::EffectRef(tok) => write!(f, "EffectRef({tok})"),
             Step::ActivateTask(t) => write!(f, "ActivateTask({t})"),
             Step::SetEvent(t, m) => write!(f, "SetEvent({t}, {m})"),
             Step::WaitEvent(m) => write!(f, "WaitEvent({m})"),
@@ -145,6 +152,128 @@ impl<W> Plan<W> {
     pub fn push_front(&mut self, s: Step<W>) {
         self.steps.push_front(s);
     }
+
+    // ------------------------------------------------------------------
+    // In-place mutation API (arena-backed bodies fill a retained buffer
+    // instead of building a fresh plan per activation)
+    // ------------------------------------------------------------------
+
+    /// Removes all steps, retaining the allocated capacity. This is what
+    /// makes a [`PlanArena`] slot reusable: after the first few activations
+    /// the buffer has grown to the task's steady-state plan length and
+    /// re-planning allocates nothing.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Number of steps the plan can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.steps.capacity()
+    }
+
+    /// Appends a compute step in place.
+    pub fn push_compute(&mut self, d: Duration) {
+        self.steps.push_back(Step::Compute(d));
+    }
+
+    /// Appends a boxed effect in place (allocates the box; arena bodies
+    /// should prefer [`Plan::push_effect_ref`]).
+    pub fn push_effect(&mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_>) + Send + 'static) {
+        self.steps.push_back(Step::Effect(Box::new(f)));
+    }
+
+    /// Appends a body-owned effect reference in place — the allocation-free
+    /// counterpart of [`Plan::push_effect`].
+    pub fn push_effect_ref(&mut self, token: u32) {
+        self.steps.push_back(Step::EffectRef(token));
+    }
+
+    /// Appends an arbitrary step in place.
+    pub fn push_back(&mut self, s: Step<W>) {
+        self.steps.push_back(s);
+    }
+
+    /// Moves all steps of `other` to the back of `self`, leaving `other`
+    /// empty (with its capacity intact).
+    pub fn append(&mut self, other: &mut Plan<W>) {
+        self.steps.append(&mut other.steps);
+    }
+}
+
+/// Per-task, capacity-retained plan storage.
+///
+/// The kernel owns one arena with a slot per declared task. At each first
+/// dispatch of an activation the slot is cleared (capacity kept) and the
+/// task body fills it in place via [`TaskBody::plan_into`]. Once a slot has
+/// grown to the task's steady-state plan length, re-planning performs no
+/// heap allocation at all — the campaign hot path relies on this to run
+/// alloc-free trials. [`PlanArena::reset`] (called from `Os::reset`) clears
+/// every slot but keeps the capacity, so pooled worlds replay trials without
+/// re-growing the buffers.
+pub struct PlanArena<W> {
+    slots: Vec<Plan<W>>,
+}
+
+impl<W> fmt::Debug for PlanArena<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanArena")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<W> Default for PlanArena<W> {
+    fn default() -> Self {
+        PlanArena { slots: Vec::new() }
+    }
+}
+
+impl<W> PlanArena<W> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        PlanArena::default()
+    }
+
+    /// Ensures at least `n` slots exist (one per task id).
+    pub fn grow_to(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, Plan::new);
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the arena has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable access to a task's slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was never grown to (kernel bug).
+    pub fn slot_mut(&mut self, idx: usize) -> &mut Plan<W> {
+        &mut self.slots[idx]
+    }
+
+    /// Clears every slot, retaining all allocated capacity. Part of the
+    /// world-pooling contract: a reset arena replans exactly like a fresh
+    /// one, only without the allocations.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+    }
+
+    /// Sum of all slots' step capacities (observability for tests and
+    /// benches asserting capacity retention across resets).
+    pub fn total_capacity(&self) -> usize {
+        self.slots.iter().map(Plan::capacity).sum()
+    }
 }
 
 impl<W> FromIterator<Step<W>> for Plan<W> {
@@ -157,13 +286,42 @@ impl<W> FromIterator<Step<W>> for Plan<W> {
 
 /// A task body: invoked once per activation to produce that activation's
 /// execution plan.
+///
+/// Arena-backed bodies implement [`TaskBody::plan_into`] to fill the
+/// kernel-owned, capacity-retained buffer in place and plan
+/// [`Step::EffectRef`] tokens that dispatch back into
+/// [`TaskBody::run_effect`] — zero heap allocation per activation. Plain
+/// closures returning a [`Plan`] still work through the blanket impl (their
+/// steps are moved into the arena buffer; the closure's own allocations
+/// remain, which is fine outside the campaign hot path).
 pub trait TaskBody<W>: Send {
-    /// Plans the steps for one activation starting at `now`.
+    /// Fills `out` with the steps for one activation starting at `now`.
+    /// `out` arrives empty but with the capacity retained from earlier
+    /// activations of this task.
     ///
     /// The body may inspect (but not mutate) the world when deciding the
-    /// plan; mutations belong in `Effect` steps so they happen at the right
+    /// plan; mutations belong in effect steps so they happen at the right
     /// simulated time.
-    fn plan(&mut self, now: Instant, world: &W) -> Plan<W>;
+    fn plan_into(&mut self, now: Instant, world: &W, out: &mut Plan<W>);
+
+    /// Executes the effect identified by `token` (planned as
+    /// [`Step::EffectRef`]). The default implementation panics: a body that
+    /// plans effect references must override this.
+    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_>) {
+        let _ = (world, ctx);
+        panic!(
+            "task body `{}` planned Step::EffectRef({token}) without implementing run_effect",
+            self.name()
+        );
+    }
+
+    /// Plans one activation into a fresh buffer — convenience wrapper over
+    /// [`TaskBody::plan_into`] for tests and non-hot-path callers.
+    fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
+        let mut out = Plan::new();
+        self.plan_into(now, world, &mut out);
+        out
+    }
 
     /// Name used in traces; defaults to `"task"`.
     fn name(&self) -> &str {
@@ -176,8 +334,8 @@ impl<W, F> TaskBody<W> for F
 where
     F: FnMut(Instant, &W) -> Plan<W> + Send,
 {
-    fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
-        self(now, world)
+    fn plan_into(&mut self, now: Instant, world: &W, out: &mut Plan<W>) {
+        out.append(&mut self(now, world));
     }
 }
 
@@ -336,5 +494,102 @@ mod tests {
         assert_eq!(format!("{s:?}"), "Compute(2ms)");
         let e: Step<W> = Step::Effect(Box::new(|_, _| {}));
         assert_eq!(format!("{e:?}"), "Effect(..)");
+        let r: Step<W> = Step::EffectRef(7);
+        assert_eq!(format!("{r:?}"), "EffectRef(7)");
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut p: Plan<W> = Plan::new();
+        for _ in 0..16 {
+            p.push_compute(Duration::from_micros(1));
+        }
+        let cap = p.capacity();
+        assert!(cap >= 16);
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.capacity(), cap);
+    }
+
+    #[test]
+    fn append_moves_steps_and_keeps_source_capacity() {
+        let mut a: Plan<W> = Plan::new();
+        let mut b: Plan<W> = Plan::new().compute(Duration::from_micros(1)).step(Step::Schedule);
+        let cap_b = b.capacity();
+        a.append(&mut b);
+        assert_eq!(a.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap_b);
+    }
+
+    #[test]
+    fn arena_empty_plan_slot_is_valid() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        arena.grow_to(2);
+        assert_eq!(arena.len(), 2);
+        // A body that plans nothing leaves the slot empty: the kernel
+        // terminates the activation immediately. No step, no panic.
+        assert!(arena.slot_mut(0).pop().is_none());
+        assert!(arena.slot_mut(0).is_empty());
+    }
+
+    #[test]
+    fn arena_reset_keeps_grown_capacity() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        arena.grow_to(3);
+        for i in 0..3 {
+            let slot = arena.slot_mut(i);
+            for _ in 0..(8 * (i + 1)) {
+                slot.push_effect_ref(i as u32);
+            }
+        }
+        let cap = arena.total_capacity();
+        assert!(cap >= 8 + 16 + 24);
+        arena.reset();
+        for i in 0..3 {
+            assert!(arena.slot_mut(i).is_empty());
+        }
+        assert_eq!(arena.total_capacity(), cap, "reset must not shrink slots");
+        // Refilling to the previous length allocates nothing (capacity-wise:
+        // the capacity stays put).
+        for i in 0..3 {
+            let slot = arena.slot_mut(i);
+            for _ in 0..(8 * (i + 1)) {
+                slot.push_effect_ref(i as u32);
+            }
+        }
+        assert_eq!(arena.total_capacity(), cap);
+    }
+
+    #[test]
+    fn arena_grow_to_is_monotone() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        assert!(arena.is_empty());
+        arena.grow_to(4);
+        arena.grow_to(2); // never shrinks
+        assert_eq!(arena.len(), 4);
+    }
+
+    #[test]
+    fn closure_body_plans_into_arena_buffer() {
+        let mut body = |_now: Instant, _w: &W| Plan::<W>::new().compute(Duration::from_micros(3));
+        let mut out: Plan<W> = Plan::new();
+        TaskBody::plan_into(&mut body, Instant::ZERO, &0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out.pop(), Some(Step::Compute(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "without implementing run_effect")]
+    fn default_run_effect_rejects_unclaimed_tokens() {
+        struct NoEffects;
+        impl TaskBody<W> for NoEffects {
+            fn plan_into(&mut self, _now: Instant, _world: &W, _out: &mut Plan<W>) {}
+        }
+        let mut body = NoEffects;
+        let mut w: W = 0;
+        let mut trace = TraceRecorder::new();
+        let mut ctx = EffectCtx::new(Instant::ZERO, TaskId(0), &mut trace);
+        body.run_effect(9, &mut w, &mut ctx);
     }
 }

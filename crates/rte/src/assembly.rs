@@ -13,7 +13,7 @@
 
 use crate::runnable::{RunnableDef, RunnableId};
 use crate::world::EcuWorld;
-use easis_osek::plan::{Plan, TaskBody};
+use easis_osek::plan::{EffectCtx, Plan, TaskBody};
 use easis_sim::time::{Duration, Instant};
 
 /// Trace source tag used by the runnable layer.
@@ -202,19 +202,21 @@ impl<W: EcuWorld + 'static> SequencedTask<W> {
 }
 
 impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
-    fn plan(&mut self, now: Instant, world: &W) -> Plan<W> {
+    /// Plans `Compute(cost) + EffectRef(runnable index)` pairs into the
+    /// kernel's arena buffer — no boxed closure, no step-buffer allocation
+    /// once the slot has grown to the sequence length. The effect half of
+    /// each pair dispatches back into [`SequencedTask::run_effect`].
+    fn plan_into(&mut self, now: Instant, world: &W, out: &mut Plan<W>) {
         let branch = world.controls().task(&self.task_name).branch_override;
         let mut order = std::mem::take(&mut self.order_scratch);
         order.clear();
         self.sequencer.sequence_into(now, world, branch, &mut order);
-        let mut plan = Plan::new();
         for &idx in &order {
             let Some(def) = self.runnables.get(idx) else {
                 continue; // tolerate stale branch tables
             };
             let spec = def.spec();
-            let id = spec.id();
-            let ctl = world.controls().runnable(id);
+            let ctl = world.controls().runnable(spec.id());
             if ctl.skip {
                 continue;
             }
@@ -223,26 +225,33 @@ impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
                 * world.controls().global_exec_scale_ppm() as f64
                 / 1_000_000.0;
             let cost = spec.cost_with_iterations(iters).mul_f64(scale);
-            let logic = def.logic();
-            let name = std::sync::Arc::clone(&self.names[idx]);
-            plan = plan.compute(cost).effect(move |w: &mut W, ctx| {
-                // Glue code: aliveness indication (controls re-read at
-                // execution time so mid-run injection takes effect).
-                let ctl = w.controls().runnable(id);
-                if !ctl.suppress_heartbeat {
-                    w.indicate_heartbeat(id, ctx.now());
-                }
-                for _ in 0..ctl.extra_heartbeats {
-                    w.indicate_heartbeat(id, ctx.now());
-                }
-                logic(w, ctx);
-                // `&*name` keeps the label borrowed: the recorder only
-                // converts to an owned `String` when tracing is enabled.
-                ctx.trace(TRACE_SOURCE, "runnable", &*name);
-            });
+            out.push_compute(cost);
+            out.push_effect_ref(idx as u32);
         }
         self.order_scratch = order;
-        plan
+    }
+
+    /// Executes runnable `token` (the declaration index planned by
+    /// [`SequencedTask::plan_into`]) with its heartbeat glue.
+    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_>) {
+        let def = &self.runnables[token as usize];
+        let id = def.spec().id();
+        // Arc refcount bump, not an allocation: the logic must outlive the
+        // `&mut self` borrow because it receives the world by `&mut`.
+        let logic = def.logic();
+        // Glue code: aliveness indication (controls re-read at execution
+        // time so mid-run injection takes effect).
+        let ctl = world.controls().runnable(id);
+        if !ctl.suppress_heartbeat {
+            world.indicate_heartbeat(id, ctx.now());
+        }
+        for _ in 0..ctl.extra_heartbeats {
+            world.indicate_heartbeat(id, ctx.now());
+        }
+        logic(world, ctx);
+        // `&*..` keeps the label borrowed: the recorder only converts to an
+        // owned `String` when tracing is enabled.
+        ctx.trace(TRACE_SOURCE, "runnable", &*self.names[token as usize]);
     }
 
     fn name(&self) -> &str {

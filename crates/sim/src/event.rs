@@ -86,6 +86,9 @@ pub struct EventQueue<E> {
     /// Cached `(time µs, seq)` of the verified-live head; `None` = unknown.
     /// Makes the once-per-compute-slice `peek_time` O(1).
     head: Option<(u64, u64)>,
+    /// Empty, capacity-retaining buffer swapped against a slot during a
+    /// cascade so draining never drops the slot's allocation.
+    cascade_scratch: Vec<(u64, u64, E)>,
     next_seq: u64,
     live: usize,
     cancelled: HashSet<u64>,
@@ -109,10 +112,34 @@ impl<E> EventQueue<E> {
             overflow: BTreeMap::new(),
             past: Vec::new(),
             head: None,
+            cascade_scratch: Vec::new(),
             next_seq: 0,
             live: 0,
             cancelled: HashSet::new(),
         }
+    }
+
+    /// Empties the queue while retaining all allocated slot capacity and
+    /// resetting the cursor/sequence state to that of a fresh queue. A
+    /// cleared queue schedules and pops exactly like [`EventQueue::new`]
+    /// (same ids, same order) but re-arming the periodic-alarm workload
+    /// after a reset allocates nothing — the campaign engine's pooled
+    /// `Os::reset` relies on this.
+    pub fn clear(&mut self) {
+        self.cursor = 0;
+        for bucket in &mut self.slots {
+            bucket.clear();
+        }
+        self.occupied = [0; LEVELS];
+        // Overflow windows come and go with the simulated horizon; dropping
+        // the (typically tiny) map wholesale is simpler than retaining its
+        // per-window vectors.
+        self.overflow.clear();
+        self.past.clear();
+        self.head = None;
+        self.next_seq = 0;
+        self.live = 0;
+        self.cancelled.clear();
     }
 
     /// Schedules `payload` to fire at `at`. Returns a handle for [`cancel`].
@@ -338,11 +365,21 @@ impl<E> EventQueue<E> {
             if self.occupied[level] & (1u64 << slot) == 0 {
                 continue;
             }
-            let batch = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            // Swap the slot's buffer against the reusable cascade scratch
+            // instead of `mem::take`ing it: taking would drop the buffer
+            // (and its capacity) after the drain, costing an allocation per
+            // re-bucketed event in steady state. With the swap, capacities
+            // circulate between the scratch and the slots and the periodic
+            // alarm workload cascades allocation-free once warm.
+            let mut batch = std::mem::replace(
+                &mut self.slots[level * SLOTS + slot],
+                std::mem::take(&mut self.cascade_scratch),
+            );
             self.occupied[level] &= !(1u64 << slot);
-            for (t, seq, payload) in batch {
+            for (t, seq, payload) in batch.drain(..) {
                 self.insert_wheel(t, seq, payload);
             }
+            self.cascade_scratch = batch;
         }
     }
 }
@@ -487,6 +524,27 @@ mod tests {
         // Re-arm again after popping; the queue stays usable.
         q.schedule(t(20_000), "again");
         assert_eq!(q.pop(), Some((t(20_000), "again")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_replays_like_a_fresh_queue() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(10), "a");
+        q.schedule(t(1 << 26), "overflow");
+        q.schedule(t(5), "past-maker");
+        assert_eq!(q.pop(), Some((t(5), "past-maker")));
+        q.schedule(t(3), "behind");
+        assert!(q.cancel(a));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // Ids and ordering restart exactly as on a fresh queue.
+        let first = q.schedule(t(30), "x");
+        assert_eq!(first.raw(), 0);
+        q.schedule(t(20), "y");
+        assert_eq!(q.pop(), Some((t(20), "y")));
+        assert_eq!(q.pop(), Some((t(30), "x")));
         assert_eq!(q.pop(), None);
     }
 

@@ -19,12 +19,12 @@ use easis_fmf::record::SeverityMap;
 use easis_injection::injector::Injector;
 use easis_osek::alarm::{AlarmAction, AlarmId};
 use easis_osek::kernel::Os;
-use easis_osek::plan::Plan;
+use easis_osek::plan::{EffectCtx, Plan, TaskBody};
 use easis_osek::task::{Priority, TaskConfig, TaskId};
 use easis_rte::assembly::SequencedTask;
 use easis_rte::mapping::{ApplicationId, SystemMapping};
 use easis_rte::runnable::{RunnableId, RunnableRegistry};
-use easis_rte::signal::SignalDb;
+use easis_rte::signal::{SignalDb, SignalId};
 use easis_sim::time::{Duration, Instant};
 use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
 use easis_watchdog::report::RunnableCounters;
@@ -328,59 +328,20 @@ impl CentralNode {
         world.initial_signals = world.signals.iter().map(|(_, _, v)| v).collect();
 
         // The watchdog task: highest priority, runs the cycle check and the
-        // FMF integration.
+        // FMF integration. Freeze-frame condition names are interned (and
+        // their signal ids resolved) once here, so a faulty cycle clones
+        // `Arc`s instead of allocating strings.
         let wd_cost =
             Duration::from_micros(60).mul_f64(config.cpu_scale_ppm as f64 / 1_000_000.0);
+        let freeze_conditions: Vec<(Arc<str>, SignalId)> = ["speed_measured", "lateral_measured"]
+            .iter()
+            .filter_map(|&name| world.signals.id_of(name).map(|id| (Arc::from(name), id)))
+            .collect();
         let wd_task = os.add_task(
             TaskConfig::new("SoftwareWatchdogTask", Priority(10)),
-            move |_now: Instant, _w: &CentralWorld| {
-                Plan::new()
-                    .compute(wd_cost)
-                    .effect(|w: &mut CentralWorld, ctx| {
-                        let now = ctx.now();
-                        let report = w.watchdog.run_cycle(now);
-                        if ctx.trace_enabled() {
-                            for fault in &report.faults {
-                                ctx.trace("watchdog", "fault", fault.to_string());
-                            }
-                        }
-                        if w.hw_watchdog.poll(now) {
-                            ctx.trace("hw_wd", "hw_expired", "");
-                        }
-                        let faults = w.watchdog.take_faults();
-                        let changes = w.watchdog.take_state_changes();
-                        w.fault_log.extend(faults.iter().copied());
-                        if faults.is_empty() {
-                            w.fmf.healthy_cycle(); // DTC aging
-                        }
-                        if !faults.is_empty() {
-                            // Freeze frame: the operating conditions at
-                            // detection (the signals a tester would want).
-                            // Built only when a fault is actually ingested —
-                            // nominal cycles skip the string allocations.
-                            let freeze = easis_fmf::dtc::FreezeFrame {
-                                conditions: ["speed_measured", "lateral_measured"]
-                                    .iter()
-                                    .filter_map(|name| {
-                                        w.signals
-                                            .id_of(name)
-                                            .map(|id| (name.to_string(), w.signals.read(id)))
-                                    })
-                                    .collect(),
-                            };
-                            for fault in faults {
-                                w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
-                            }
-                        }
-                        for change in changes {
-                            w.fmf.ingest_state_change(change);
-                        }
-                        for action in w.fmf.take_actions() {
-                            ctx.trace("fmf", "treatment", action.treatment.to_string());
-                            Self::execute_treatment(w, ctx, &action.treatment);
-                            w.treatments.push(action);
-                        }
-                    })
+            WatchdogTaskBody {
+                cost: wd_cost,
+                freeze_conditions,
             },
         );
         let wd_alarm = os.add_alarm("WatchdogCycle", AlarmAction::ActivateTask(wd_task));
@@ -389,16 +350,7 @@ impl CentralNode {
 
         // Hardware-watchdog kick task: lowest priority, so a saturated CPU
         // starves it and the hardware watchdog fires.
-        let kick_task = os.add_task(
-            TaskConfig::new("HwKickTask", Priority(0)),
-            move |_now: Instant, _w: &CentralWorld| {
-                Plan::new()
-                    .compute(Duration::from_micros(5))
-                    .effect(|w: &mut CentralWorld, ctx| {
-                        let _ = w.hw_watchdog.kick(ctx.now());
-                    })
-            },
-        );
+        let kick_task = os.add_task(TaskConfig::new("HwKickTask", Priority(0)), HwKickBody);
         let kick_alarm = os.add_alarm("HwKickCycle", AlarmAction::ActivateTask(kick_task));
         alarms.insert("HwKickTask".to_string(), kick_alarm);
         tasks.insert("HwKickTask".to_string(), kick_task);
@@ -564,6 +516,88 @@ impl CentralNode {
     /// The node configuration.
     pub fn config(&self) -> &NodeConfig {
         &self.config
+    }
+}
+
+/// Arena body of the watchdog task: plans `Compute(cost) + EffectRef(0)`
+/// into the kernel's retained buffer; the effect runs the cycle check and
+/// the FMF integration of §4.4. Holding the interned freeze-frame condition
+/// names (with their pre-resolved signal ids) in the body makes a faulty
+/// cycle's frame capture string-allocation-free.
+struct WatchdogTaskBody {
+    cost: Duration,
+    freeze_conditions: Vec<(Arc<str>, SignalId)>,
+}
+
+impl TaskBody<CentralWorld> for WatchdogTaskBody {
+    fn plan_into(&mut self, _now: Instant, _world: &CentralWorld, out: &mut Plan<CentralWorld>) {
+        out.push_compute(self.cost);
+        out.push_effect_ref(0);
+    }
+
+    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_>) {
+        let now = ctx.now();
+        let report = w.watchdog.run_cycle(now);
+        if ctx.trace_enabled() {
+            for fault in &report.faults {
+                ctx.trace("watchdog", "fault", fault.to_string());
+            }
+        }
+        if w.hw_watchdog.poll(now) {
+            ctx.trace("hw_wd", "hw_expired", "");
+        }
+        let faults = w.watchdog.take_faults();
+        let changes = w.watchdog.take_state_changes();
+        w.fault_log.extend(faults.iter().copied());
+        if faults.is_empty() {
+            w.fmf.healthy_cycle(); // DTC aging
+        }
+        if !faults.is_empty() {
+            // Freeze frame: the operating conditions at detection (the
+            // signals a tester would want). Built only when a fault is
+            // actually ingested; the names are interned, so the build costs
+            // one Vec, no strings.
+            let freeze = easis_fmf::dtc::FreezeFrame {
+                conditions: self
+                    .freeze_conditions
+                    .iter()
+                    .map(|(name, id)| (Arc::clone(name), w.signals.read(*id)))
+                    .collect(),
+            };
+            for fault in faults {
+                w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
+            }
+        }
+        for change in changes {
+            w.fmf.ingest_state_change(change);
+        }
+        for action in w.fmf.take_actions() {
+            ctx.trace("fmf", "treatment", action.treatment.to_string());
+            CentralNode::execute_treatment(w, ctx, &action.treatment);
+            w.treatments.push(action);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "SoftwareWatchdogTask"
+    }
+}
+
+/// Arena body of the hardware-watchdog kick task.
+struct HwKickBody;
+
+impl TaskBody<CentralWorld> for HwKickBody {
+    fn plan_into(&mut self, _now: Instant, _world: &CentralWorld, out: &mut Plan<CentralWorld>) {
+        out.push_compute(Duration::from_micros(5));
+        out.push_effect_ref(0);
+    }
+
+    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_>) {
+        let _ = w.hw_watchdog.kick(ctx.now());
+    }
+
+    fn name(&self) -> &str {
+        "HwKickTask"
     }
 }
 

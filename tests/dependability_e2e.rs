@@ -210,3 +210,69 @@ fn application_restart_resets_internal_state() {
     // …while non-app-internal signals (inputs) were left untouched.
     assert_eq!(node.world.signals.read(measured), 30.0);
 }
+
+/// Freeze-frame condition names are interned `Arc<str>`s owned by the
+/// watchdog task body: every frame captured in every trial clones the same
+/// two allocations ("speed_measured", "lateral_measured"), and
+/// `CentralNode::reset()` — the world-pooling reset between campaign
+/// trials — must keep those interned strings alive and stable rather than
+/// re-allocating them per run.
+#[test]
+fn freeze_frame_strings_stay_interned_across_node_reset() {
+    let mut node = CentralNode::build(NodeConfig::default());
+    let faulty_run = |node: &mut CentralNode| {
+        node.start();
+        let target = node.runnable("SAFE_CC_process");
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::HeartbeatLoss { runnable: target },
+            ms(200),
+            ms(300),
+        )]);
+        node.run_until(ms(500), &mut injector);
+        let conditions: Vec<std::sync::Arc<str>> = node
+            .world
+            .fmf
+            .dtc()
+            .iter()
+            .flat_map(|rec| rec.freeze_frame.conditions.iter())
+            .map(|(name, _)| std::sync::Arc::clone(name))
+            .collect();
+        assert!(!conditions.is_empty(), "faulty run must capture freeze frames");
+        conditions
+    };
+
+    let first = faulty_run(&mut node);
+    // Within one run, frames never duplicate a name's allocation: any two
+    // conditions with equal text share one `Arc`.
+    for a in &first {
+        for b in &first {
+            if **a == **b {
+                assert!(
+                    std::sync::Arc::ptr_eq(a, b),
+                    "`{a}` captured twice with distinct allocations"
+                );
+            }
+        }
+    }
+
+    node.reset();
+    assert!(node.world.fmf.dtc().is_empty(), "reset clears the fault memory");
+    let second = faulty_run(&mut node);
+
+    // Across the reset, the very same interned allocations are re-used:
+    // each name in the replay is pointer-identical to its first-run twin.
+    assert_eq!(first.len(), second.len(), "replay must capture identical frames");
+    for name in &second {
+        assert!(
+            first.iter().any(|original| std::sync::Arc::ptr_eq(original, name)),
+            "condition `{name}` was re-allocated instead of re-using the interned string"
+        );
+    }
+    // And the names are exactly the watchdog's capture set.
+    for expected in ["speed_measured", "lateral_measured"] {
+        assert!(
+            second.iter().any(|n| &**n == expected),
+            "missing condition `{expected}`"
+        );
+    }
+}

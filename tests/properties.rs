@@ -653,6 +653,242 @@ proptest! {
     }
 }
 
+/// A randomized per-activation effect, executable through either task-body
+/// style (see [`apply_effect`]).
+#[derive(Clone, Debug)]
+enum EffectSpec {
+    /// Bump this task's world counter and log `(time, task, value)`.
+    Bump(u64),
+    /// Record a trace event through the effect context.
+    TraceMark,
+    /// Request `ActivateTask` on another task.
+    Activate(u32),
+}
+
+/// Shared world for the arena-vs-boxed equivalence runs: per-task counters,
+/// a cost meter charged by every effect, and an ordered observation log.
+#[derive(Default)]
+struct EquivWorld {
+    counters: Vec<u64>,
+    meter: CostMeter,
+    log: Vec<(u64, u32, u64)>,
+}
+
+/// The single source of truth for what an effect does — both body styles
+/// call this, so any observable divergence is a dispatch-path bug, not a
+/// spec mismatch.
+fn apply_effect(
+    task: u32,
+    spec: &EffectSpec,
+    n_tasks: u32,
+    world: &mut EquivWorld,
+    ctx: &mut easis::osek::plan::EffectCtx<'_>,
+) {
+    use easis::osek::task::TaskId;
+    world.meter.charge(7);
+    match spec {
+        EffectSpec::Bump(k) => {
+            world.counters[task as usize] += k;
+            world.log.push((ctx.now().as_micros(), task, world.counters[task as usize]));
+        }
+        EffectSpec::TraceMark => {
+            ctx.trace("equiv", "mark", format!("t{task}"));
+        }
+        EffectSpec::Activate(t) => {
+            ctx.request_activate(TaskId(t % n_tasks));
+        }
+    }
+}
+
+/// Arena-native body: plans `Compute` + `EffectRef` tokens into the
+/// kernel-owned buffer; the kernel dispatches the tokens back into
+/// `run_effect` on this same (state-retaining) value. Allocation-free per
+/// activation — the production style.
+struct ArenaSpecBody {
+    task: u32,
+    n_tasks: u32,
+    steps: Vec<(u64, EffectSpec)>,
+}
+
+impl easis::osek::plan::TaskBody<EquivWorld> for ArenaSpecBody {
+    fn plan_into(
+        &mut self,
+        _now: Instant,
+        _world: &EquivWorld,
+        out: &mut easis::osek::plan::Plan<EquivWorld>,
+    ) {
+        for (token, (cost, _)) in self.steps.iter().enumerate() {
+            out.push_compute(Duration::from_micros(*cost));
+            out.push_effect_ref(token as u32);
+        }
+    }
+
+    fn run_effect(
+        &mut self,
+        token: u32,
+        world: &mut EquivWorld,
+        ctx: &mut easis::osek::plan::EffectCtx<'_>,
+    ) {
+        let spec = self.steps[token as usize].1.clone();
+        apply_effect(self.task, &spec, self.n_tasks, world, ctx);
+    }
+
+    fn name(&self) -> &str {
+        "arena-spec"
+    }
+}
+
+/// One randomized task: unique priority, cyclic activation period, and a
+/// short step list of `(compute µs, effect)` pairs.
+#[derive(Clone, Debug)]
+struct EquivTaskSpec {
+    priority_bit: u8,
+    period_ms: u64,
+    steps: Vec<(u64, EffectSpec)>,
+}
+
+/// Builds an OS running the given task specs with either arena-native
+/// bodies (`arena = true`) or the pre-arena reference style (`false`): a
+/// boxed closure returning a freshly allocated `Plan` whose effects are
+/// per-activation boxed closures — exactly the allocation pattern the
+/// `PlanArena` redesign replaced.
+fn build_equiv_os(
+    specs: &[EquivTaskSpec],
+    arena: bool,
+) -> easis::osek::kernel::Os<EquivWorld> {
+    use easis::osek::alarm::AlarmAction;
+    use easis::osek::kernel::Os;
+    use easis::osek::plan::Plan;
+    use easis::osek::task::{Priority, TaskConfig};
+    let n_tasks = specs.len() as u32;
+    let mut os: Os<EquivWorld> = Os::new();
+    for (idx, spec) in specs.iter().enumerate() {
+        // Unique priorities: interleaving is then fully determined by the
+        // spec, not by same-priority FIFO accidents of insertion order.
+        let priority = Priority((idx as u8 + 1) * 2 + (spec.priority_bit & 1));
+        let config = TaskConfig::new(format!("t{idx}"), priority).autostart();
+        let id = if arena {
+            os.add_task(
+                config,
+                ArenaSpecBody {
+                    task: idx as u32,
+                    n_tasks,
+                    steps: spec.steps.clone(),
+                },
+            )
+        } else {
+            let steps = spec.steps.clone();
+            let task = idx as u32;
+            os.add_task(config, move |_now: Instant, _w: &EquivWorld| {
+                let mut plan = Plan::new();
+                for (cost, effect) in &steps {
+                    plan = plan.compute(Duration::from_micros(*cost));
+                    let effect = effect.clone();
+                    plan = plan.effect(move |w, ctx| apply_effect(task, &effect, n_tasks, w, ctx));
+                }
+                plan
+            })
+        };
+        os.add_alarm(format!("a{idx}"), AlarmAction::ActivateTask(id));
+    }
+    os
+}
+
+/// Starts `os` on a fresh world, arms every cyclic alarm and runs to the
+/// horizon; returns the world for observation.
+fn run_equiv_os(
+    os: &mut easis::osek::kernel::Os<EquivWorld>,
+    specs: &[EquivTaskSpec],
+    horizon: Instant,
+) -> EquivWorld {
+    use easis::osek::alarm::AlarmId;
+    let mut world = EquivWorld {
+        counters: vec![0; specs.len()],
+        ..EquivWorld::default()
+    };
+    os.start(&mut world);
+    for (idx, spec) in specs.iter().enumerate() {
+        let period = Duration::from_millis(spec.period_ms);
+        os.set_rel_alarm(AlarmId(idx as u32), period, Some(period))
+            .expect("alarm arms on a fresh/reset OS");
+    }
+    os.run_until(horizon, &mut world);
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arena-backed task bodies are observationally equivalent to the
+    /// boxed-closure reference style they replaced: over randomized task
+    /// sets (priorities, periods, compute costs, effect mixes) the kernel
+    /// trace, the world counters/log and the `CostMeter` charges are
+    /// bit-identical — and stay so when the arena OS is `reset()` and the
+    /// campaign is replayed on the retained (capacity-warm) buffers.
+    #[test]
+    fn arena_bodies_match_boxed_closure_reference(
+        raw_tasks in prop::collection::vec(
+            (
+                any::<u8>(),                                   // priority bit
+                1u64..8,                                       // period ms
+                prop::collection::vec(
+                    (1u64..300, 0u8..3, any::<u32>()),         // (cost µs, kind, param)
+                    0..5,
+                ),
+            ),
+            1..5,
+        ),
+        horizon_ms in 10u64..50,
+    ) {
+        let specs: Vec<EquivTaskSpec> = raw_tasks
+            .iter()
+            .map(|(bit, period, raw_steps)| EquivTaskSpec {
+                priority_bit: *bit,
+                period_ms: *period,
+                steps: raw_steps
+                    .iter()
+                    .map(|&(cost, kind, param)| {
+                        let effect = match kind {
+                            0 => EffectSpec::Bump(u64::from(param % 9) + 1),
+                            1 => EffectSpec::TraceMark,
+                            _ => EffectSpec::Activate(param),
+                        };
+                        (cost, effect)
+                    })
+                    .collect(),
+            })
+            .collect();
+        let horizon = Instant::from_millis(horizon_ms);
+
+        let mut reference_os = build_equiv_os(&specs, false);
+        let reference_world = run_equiv_os(&mut reference_os, &specs, horizon);
+        let mut arena_os = build_equiv_os(&specs, true);
+        let arena_world = run_equiv_os(&mut arena_os, &specs, horizon);
+
+        prop_assert_eq!(
+            arena_os.trace().events(),
+            reference_os.trace().events(),
+            "kernel + effect trace diverged"
+        );
+        prop_assert_eq!(&arena_world.counters, &reference_world.counters);
+        prop_assert_eq!(&arena_world.log, &reference_world.log, "effect order diverged");
+        prop_assert_eq!(&arena_world.meter, &reference_world.meter, "cost charges diverged");
+
+        // Campaign replay: reset the arena OS (slots keep their capacity)
+        // and run the identical scenario again — still bit-identical.
+        arena_os.reset();
+        let replay_world = run_equiv_os(&mut arena_os, &specs, horizon);
+        prop_assert_eq!(
+            arena_os.trace().events(),
+            reference_os.trace().events(),
+            "trace diverged after arena reset replay"
+        );
+        prop_assert_eq!(&replay_world.counters, &reference_world.counters);
+        prop_assert_eq!(&replay_world.log, &reference_world.log);
+        prop_assert_eq!(&replay_world.meter, &reference_world.meter);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -5,9 +5,26 @@
 
 use easis::injection::{CampaignBuilder, Injector};
 use easis::rte::runnable::RunnableId;
+use easis::sim::event::EventQueue;
+use easis::sim::rng::SimRng;
 use easis::sim::time::{Duration, Instant};
 use easis::validator::hil::HilValidator;
 use easis::validator::{scenario, CentralNode, NodeConfig};
+
+/// Simulated soak horizon in milliseconds. Defaults to two hours; CI smoke
+/// runs set `EASIS_SOAK_HORIZON_MS` to a short horizon (still several
+/// timer-wheel cascade periods — the top wheel level spans 2^24 µs ≈ 16.8 s).
+fn soak_horizon_ms() -> u64 {
+    std::env::var("EASIS_SOAK_HORIZON_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2 * 60 * 60 * 1000)
+}
+
+/// One top-level timer-wheel rotation: events scheduled further ahead than
+/// this land in the overflow `BTreeMap` and must cascade back into the
+/// wheel when the cursor crosses the next rotation boundary.
+const WHEEL_HORIZON_US: u64 = 1 << 24;
 
 #[test]
 fn central_node_stays_clean_for_ten_simulated_seconds() {
@@ -32,6 +49,252 @@ fn hil_long_run_remains_stable_and_supervised() {
     assert_eq!(report.faults_detected, 0);
     // Bus traffic is proportional to time: 120s × (100 speed+50 lat+20 lim)/s.
     assert!(report.can_frames > 15_000);
+}
+
+/// Heap-of-record for the wheel soak: the same lazy-cancellation
+/// `BinaryHeap` model the property suite uses, kept minimal here so the
+/// soak is self-contained.
+struct HeapOfRecord {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+}
+
+impl HeapOfRecord {
+    fn new() -> Self {
+        HeapOfRecord {
+            heap: std::collections::BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: Instant) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((at.as_micros(), seq)));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        seq < self.next_seq && self.cancelled.insert(seq)
+    }
+
+    fn peek_time(&mut self) -> Option<Instant> {
+        while let Some(&std::cmp::Reverse((at, seq))) = self.heap.peek() {
+            if self.cancelled.remove(&seq) {
+                self.heap.pop();
+            } else {
+                return Some(Instant::from_micros(at));
+            }
+        }
+        None
+    }
+
+    fn pop(&mut self) -> Option<(Instant, u64)> {
+        while let Some(std::cmp::Reverse((at, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            return Some((Instant::from_micros(at), seq));
+        }
+        None
+    }
+}
+
+/// Hours of simulated time through the hierarchical timer wheel, in
+/// lockstep with a binary-heap model: a 10 ms tick that stays inside the
+/// wheel, a 60 s re-arming alarm that *always* lands in the overflow
+/// `BTreeMap` (60 s > 2^24 µs), random far one-shots up to 90 minutes out,
+/// and occasional cancellations of overflow residents. Peek and pop must
+/// agree at every event — in particular across every top-rotation boundary,
+/// where the overflow cascade re-files events into the wheel.
+#[test]
+fn timer_wheel_soak_matches_heap_across_overflow_cascades() {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        FastTick,
+        SlowAlarm,
+        FarOneShot,
+    }
+
+    let horizon = Instant::from_millis(soak_horizon_ms());
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut record = HeapOfRecord::new();
+    let mut rng = SimRng::seed_from(0x50AC);
+    // Payloads are the reference sequence numbers; `kinds[seq]` says how to
+    // react to the expiry (re-arm fast/slow, or nothing for one-shots).
+    let mut kinds: Vec<Kind> = Vec::new();
+
+    fn schedule(
+        wheel: &mut EventQueue<u64>,
+        record: &mut HeapOfRecord,
+        kinds: &mut Vec<Kind>,
+        kind: Kind,
+        at: Instant,
+    ) -> easis::sim::event::EventId {
+        let id = wheel.schedule(at, record.next_seq);
+        let seq = record.schedule(at);
+        assert_eq!(id.raw(), seq, "seq allocation diverged");
+        kinds.push(kind);
+        id
+    }
+
+    // Seed the periodic sources.
+    let mut overflow_spills: u64 = 0; // events scheduled past the wheel horizon
+    let mut cascade_crossings: u64 = 0; // top-rotation boundaries crossed
+    let fast_period = Duration::from_millis(10);
+    let slow_period = Duration::from_secs(60);
+    schedule(&mut wheel, &mut record, &mut kinds, Kind::FastTick, Instant::ZERO + fast_period);
+    schedule(&mut wheel, &mut record, &mut kinds, Kind::SlowAlarm, Instant::ZERO + slow_period);
+    overflow_spills += 1;
+    let mut far_ids = Vec::new();
+
+    let mut last_rotation = 0u64;
+    loop {
+        assert_eq!(wheel.peek_time(), record.peek_time(), "peek diverged");
+        let wheel_pop = wheel.pop();
+        let record_pop = record.pop();
+        assert_eq!(wheel_pop, record_pop, "pop stream diverged");
+        let Some((now, seq)) = wheel_pop else {
+            break;
+        };
+        if now > horizon {
+            break;
+        }
+        let rotation = now.as_micros() >> 24;
+        if rotation != last_rotation {
+            cascade_crossings += 1;
+            last_rotation = rotation;
+            // Right on a cascade boundary the overflow entries for this
+            // rotation have just been re-filed into the wheel: the head of
+            // both queues must still agree.
+            assert_eq!(wheel.peek_time(), record.peek_time(), "peek diverged after cascade");
+        }
+
+        // Re-arm the periodic sources relative to their own expiry, the way
+        // kernel alarms do; sprinkle in far one-shots and cancellations.
+        match kinds[seq as usize] {
+            Kind::FastTick => {
+                schedule(&mut wheel, &mut record, &mut kinds, Kind::FastTick, now + fast_period);
+                if rng.next_below(100) < 2 {
+                    let far = Duration::from_millis(rng.next_in(20_000, 5_400_000));
+                    let id = schedule(
+                        &mut wheel,
+                        &mut record,
+                        &mut kinds,
+                        Kind::FarOneShot,
+                        now + far,
+                    );
+                    if far.as_micros() > WHEEL_HORIZON_US {
+                        overflow_spills += 1;
+                    }
+                    far_ids.push(id);
+                    if far_ids.len() > 8 {
+                        // Cancel an old far event — often already cascaded
+                        // or fired; the verdicts must agree either way.
+                        let pick = rng.next_below(far_ids.len() as u64) as usize;
+                        let victim = far_ids.remove(pick);
+                        assert_eq!(
+                            wheel.cancel(victim),
+                            record.cancel(victim.raw()),
+                            "cancel verdict diverged"
+                        );
+                    }
+                }
+            }
+            Kind::SlowAlarm => {
+                schedule(&mut wheel, &mut record, &mut kinds, Kind::SlowAlarm, now + slow_period);
+                overflow_spills += 1;
+            }
+            Kind::FarOneShot => {}
+        }
+    }
+
+    // The soak must actually have exercised the overflow path, not just the
+    // in-wheel levels: every 60 s re-arm spills, and hours of time cross
+    // many top-rotation boundaries.
+    let expected_rotations = soak_horizon_ms() * 1000 / WHEEL_HORIZON_US;
+    assert!(
+        overflow_spills >= expected_rotations.div_ceil(4).max(2),
+        "only {overflow_spills} overflow spills — soak did not reach past the wheel horizon"
+    );
+    assert_eq!(
+        cascade_crossings, expected_rotations,
+        "cascade boundary count diverged from the simulated horizon"
+    );
+
+    // Drain both completely: far one-shots beyond the horizon included.
+    loop {
+        assert_eq!(wheel.peek_time(), record.peek_time(), "drain peek diverged");
+        let wheel_pop = wheel.pop();
+        assert_eq!(wheel_pop, record.pop(), "drain diverged");
+        if wheel_pop.is_none() {
+            break;
+        }
+    }
+}
+
+/// The same overflow machinery end-to-end through the OSEK kernel: a 10 ms
+/// task and a 60 s task (whose cyclic alarm re-arms into the overflow map
+/// every time) run for hours of simulated time on arena-backed bodies with
+/// the trace disabled. Activation counts must come out exact — a lost or
+/// duplicated cascade would skew them — and the run must stay allocation-
+/// bounded enough to finish in test time.
+#[test]
+fn kernel_alarm_soak_exact_activation_counts_past_wheel_horizon() {
+    use easis::osek::alarm::{AlarmAction, AlarmId};
+    use easis::osek::kernel::Os;
+    use easis::osek::plan::{Plan, TaskBody};
+    use easis::osek::task::{Priority, TaskConfig};
+
+    struct CountBody {
+        slot: usize,
+        cost: Duration,
+    }
+    impl TaskBody<[u64; 2]> for CountBody {
+        fn plan_into(&mut self, _now: Instant, _world: &[u64; 2], out: &mut Plan<[u64; 2]>) {
+            out.push_compute(self.cost);
+            out.push_effect_ref(0);
+        }
+        fn run_effect(
+            &mut self,
+            _token: u32,
+            world: &mut [u64; 2],
+            _ctx: &mut easis::osek::plan::EffectCtx<'_>,
+        ) {
+            world[self.slot] += 1;
+        }
+        fn name(&self) -> &str {
+            "count"
+        }
+    }
+
+    let horizon_ms = soak_horizon_ms();
+    let horizon = Instant::from_millis(horizon_ms);
+    let mut os: Os<[u64; 2]> = Os::with_disabled_trace();
+    let fast = os.add_task(
+        TaskConfig::new("fast", Priority(2)),
+        CountBody { slot: 0, cost: Duration::from_micros(50) },
+    );
+    let slow = os.add_task(
+        TaskConfig::new("slow", Priority(1)),
+        CountBody { slot: 1, cost: Duration::from_micros(200) },
+    );
+    os.add_alarm("fast", AlarmAction::ActivateTask(fast));
+    os.add_alarm("slow", AlarmAction::ActivateTask(slow));
+
+    let mut world = [0u64; 2];
+    os.start(&mut world);
+    os.set_rel_alarm(AlarmId(0), Duration::from_millis(10), Some(Duration::from_millis(10)))
+        .unwrap();
+    os.set_rel_alarm(AlarmId(1), Duration::from_secs(60), Some(Duration::from_secs(60)))
+        .unwrap();
+    os.run_until(horizon, &mut world);
+
+    assert_eq!(world[0], horizon_ms.div_ceil(10).saturating_sub(1), "fast activations");
+    assert_eq!(world[1], (horizon_ms / 1000).div_ceil(60).saturating_sub(1), "slow activations");
+    assert_eq!(os.now(), horizon);
 }
 
 #[test]

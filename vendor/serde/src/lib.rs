@@ -369,6 +369,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl Serialize for std::sync::Arc<str> {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize).collect())

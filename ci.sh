@@ -28,7 +28,8 @@ echo "==> hotpath_bench smoke run (schema check, alloc gate)"
 hotpath_scratch="$(mktemp -d)"
 (cd "$hotpath_scratch" && "$OLDPWD/target/release/hotpath_bench" 20000 > /dev/null)
 for key in schema_version iterations monitored_runnables ns_per_heartbeat \
-           ns_per_pfc_check ns_per_cycle_check steady_state_cycle_allocs; do
+           ns_per_pfc_check ns_per_cycle_check steady_state_cycle_allocs \
+           direct_dispatch; do
   grep -q "\"$key\"" "$hotpath_scratch/BENCH_hotpath.json" \
     || { echo "BENCH_hotpath.json missing key: $key"; exit 1; }
 done
@@ -51,10 +52,21 @@ for key in schema_version trials workers simulated_ms_per_trial setup \
 done
 rm -rf "$campaign_scratch"
 
+echo "==> effect dispatch stays move-free (split-borrow kernel invariant)"
+# The split-borrow kernel runs effects on bodies in place; a reappearing
+# take/restore of the body slot would silently reintroduce the double
+# move per effect. Scoped to the kernel sources: hotpath_bench keeps a
+# deliberate take/restore replica as its moved-body baseline.
+if grep -rn 'take().expect("body present")' crates/osek/src/; then
+  echo "moved-body dispatch crept back into the kernel effect path"; exit 1
+fi
+
 echo "==> soak smoke run (short horizon via EASIS_SOAK_HORIZON_MS)"
 # The full soak defaults to two simulated hours; one simulated minute
 # still crosses several 2^24-us timer-wheel rotations, so the overflow
-# cascade path is exercised on every CI run.
+# cascade path — including the long-horizon central-node scenario that
+# injects a fault across the rotation boundary — is exercised on every
+# CI run.
 EASIS_SOAK_HORIZON_MS=60000 cargo test -q --test soak
 
 echo "==> campaign golden across worker/chunk configurations (pooled path)"

@@ -105,11 +105,13 @@ const SETUP_REPS: u32 = 10;
 /// Simulated horizon of every trial.
 const HORIZON: Instant = Instant::from_millis(1_500);
 
-/// Maximum heap blocks a clean steady-state pooled trial may allocate: the
-/// per-trial constants (injector setup, outcome tag) measure 3 on the plan-
-/// arena data plane; one block of slack absorbs collection growth-point
-/// jitter without letting a real per-activation allocation through.
-const STEADY_STATE_ALLOC_FLOOR: u64 = 4;
+/// Maximum heap blocks a clean steady-state pooled trial may allocate.
+/// With the pooled injector (`Injector::reload`) and the interned
+/// outcome tag (`ErrorClass::interned_tag`) the per-trial constants are
+/// gone — a warmed trial measures 0; one block of slack absorbs
+/// collection growth-point jitter without letting a real per-trial
+/// allocation through.
+const STEADY_STATE_ALLOC_FLOOR: u64 = 1;
 
 /// The T-COV campaign plan: same seed, target set and injection window as
 /// the golden campaign report (`tests/goldens/campaign_report.json`),
@@ -333,9 +335,9 @@ fn main() {
          +{scaling}) — the plan/effect/step-buffer path has regressed from \
          allocation-free"
     );
-    // Absolute floor: a clean steady-state trial pays only the per-trial
-    // constants (injector setup, outcome tag) — with the plan arena this is
-    // 3 blocks. Gate with minimal slack so a new per-activation allocation
+    // Absolute floor: with the pooled injector and the interned outcome
+    // tag a clean steady-state trial allocates nothing. Gate with one
+    // block of slack so a new per-trial or per-activation allocation
     // anywhere in the kernel/RTE/watchdog cycle fails loudly.
     assert!(
         allocs_1x <= STEADY_STATE_ALLOC_FLOOR,

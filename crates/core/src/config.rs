@@ -398,15 +398,6 @@ impl WatchdogConfigBuilder {
         self
     }
 
-    /// Keeps monitoring runnables of tasks already marked faulty.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `deactivate_on_faulty_task(false)` instead"
-    )]
-    pub fn keep_monitoring_faulty_tasks(self) -> Self {
-        self.deactivate_on_faulty_task(false)
-    }
-
     /// Declares the ECU faulty once `n` applications are faulty.
     pub fn ecu_faulty_after_apps(mut self, n: u32) -> Self {
         self.config.ecu_faulty_app_threshold = n;
@@ -504,15 +495,6 @@ mod tests {
             .deactivate_on_faulty_task(false)
             .build();
         assert!(!off.deactivate_on_faulty_task());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_keep_monitoring_alias_still_works() {
-        let cfg = WatchdogConfig::builder(Duration::from_millis(10))
-            .keep_monitoring_faulty_tasks()
-            .build();
-        assert!(!cfg.deactivate_on_faulty_task());
     }
 
     #[test]

@@ -14,6 +14,7 @@ use easis_rte::mapping::ApplicationId;
 use easis_sim::time::Instant;
 use easis_watchdog::report::{DetectedFault, FaultKind, StateChange};
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// The FMF service.
 #[derive(Debug, Clone)]
@@ -27,6 +28,13 @@ pub struct FaultManagementFramework {
     terminated_apps: Vec<ApplicationId>,
     ecu_resets: u32,
     obs: ObsSink,
+    /// Interned treatment reasons, one `Arc<str>` per application ever
+    /// treated. The rendered strings are exactly what the old
+    /// `format!`-per-action path produced; interning just means an
+    /// application's second (and every later) treatment allocates
+    /// nothing. Deliberately kept across [`reset`](Self::reset): a pooled
+    /// world treats the same applications trial after trial.
+    app_reasons: BTreeMap<ApplicationId, Arc<str>>,
 }
 
 impl FaultManagementFramework {
@@ -42,6 +50,7 @@ impl FaultManagementFramework {
             terminated_apps: Vec::new(),
             ecu_resets: 0,
             obs: ObsSink::disabled(),
+            app_reasons: BTreeMap::new(),
         }
     }
 
@@ -112,7 +121,8 @@ impl FaultManagementFramework {
                     }
                     _ => {}
                 }
-                self.push_action(at, treatment, format!("application {app} faulty"));
+                let reason = self.app_faulty_reason(app);
+                self.push_action(at, treatment, reason);
             }
             StateChange::EcuFaulty { at } => {
                 if !self.policy.treat {
@@ -120,7 +130,7 @@ impl FaultManagementFramework {
                 }
                 if let Some(treatment) = self.policy.for_faulty_ecu() {
                     self.ecu_resets += 1;
-                    self.push_action(at, treatment, "global ECU state faulty".to_string());
+                    self.push_action(at, treatment, ecu_faulty_reason());
                 }
             }
         }
@@ -140,7 +150,17 @@ impl FaultManagementFramework {
         }
     }
 
-    fn push_action(&mut self, at: Instant, treatment: Treatment, reason: String) {
+    /// The interned "application … faulty" reason for `app`, rendered on
+    /// the first treatment of that application and shared thereafter.
+    fn app_faulty_reason(&mut self, app: ApplicationId) -> Arc<str> {
+        Arc::clone(
+            self.app_reasons
+                .entry(app)
+                .or_insert_with(|| format!("application {app} faulty").into()),
+        )
+    }
+
+    fn push_action(&mut self, at: Instant, treatment: Treatment, reason: Arc<str>) {
         self.obs.record(
             at,
             ObsEvent::FmfReaction {
@@ -218,6 +238,13 @@ impl Default for FaultManagementFramework {
     fn default() -> Self {
         FaultManagementFramework::new(SeverityMap::default(), TreatmentPolicy::default())
     }
+}
+
+/// The process-interned "global ECU state faulty" reason — one shared
+/// allocation no matter how many ECU resets any framework commands.
+fn ecu_faulty_reason() -> Arc<str> {
+    static REASON: OnceLock<Arc<str>> = OnceLock::new();
+    Arc::clone(REASON.get_or_init(|| Arc::from("global ECU state faulty")))
 }
 
 #[cfg(test)]
@@ -335,6 +362,27 @@ mod tests {
             }
         );
         assert_eq!(events[0].at, Instant::from_millis(10));
+    }
+
+    #[test]
+    fn reasons_render_like_the_format_strings_and_are_interned() {
+        let mut fmf = FaultManagementFramework::default();
+        fmf.ingest_state_change(app_faulty(1));
+        fmf.ingest_state_change(app_faulty(2));
+        fmf.ingest_state_change(StateChange::EcuFaulty {
+            at: Instant::from_millis(3),
+        });
+        let actions = fmf.take_actions();
+        assert_eq!(&*actions[0].reason, "application App0 faulty");
+        assert_eq!(&*actions[1].reason, "application App0 faulty");
+        assert_eq!(&*actions[2].reason, "global ECU state faulty");
+        // Interned: both App0 actions share one allocation, and the cache
+        // survives reset() (pooled worlds treat the same apps per trial).
+        assert!(std::sync::Arc::ptr_eq(&actions[0].reason, &actions[1].reason));
+        fmf.reset();
+        fmf.ingest_state_change(app_faulty(10));
+        let again = fmf.take_actions();
+        assert!(std::sync::Arc::ptr_eq(&actions[0].reason, &again[0].reason));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use easis_rte::mapping::ApplicationId;
 use easis_sim::time::Instant;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A fault treatment to be executed by the platform integration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -63,8 +64,10 @@ pub struct TreatmentAction {
     pub at: Instant,
     /// The treatment to execute.
     pub treatment: Treatment,
-    /// Human-readable reason for the fault log.
-    pub reason: String,
+    /// Human-readable reason for the fault log. An `Arc<str>` handle to a
+    /// reason interned by the framework (one allocation per distinct
+    /// reason, not per action); serializes as a plain string.
+    pub reason: Arc<str>,
 }
 
 /// Escalating treatment policy.

@@ -16,6 +16,7 @@ use easis_rte::runnable::RunnableId;
 use easis_sim::time::Instant;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// The classes of injected errors.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +84,35 @@ impl ErrorClass {
             ErrorClass::BranchOverride { .. } => "branch_override",
             ErrorClass::AlarmScale { .. } => "alarm_scale",
         }
+    }
+
+    /// Like [`ErrorClass::tag`], but returns a process-interned `Arc<str>`
+    /// handle to the same rendered tag: cloning it only bumps a reference
+    /// count, so stamping a `TrialOutcome` per campaign trial allocates
+    /// nothing.
+    pub fn interned_tag(&self) -> Arc<str> {
+        static TAGS: OnceLock<[Arc<str>; 7]> = OnceLock::new();
+        let table = TAGS.get_or_init(|| {
+            [
+                Arc::from("execution_slowdown"),
+                Arc::from("heartbeat_loss"),
+                Arc::from("skip_runnable"),
+                Arc::from("duplicate_dispatch"),
+                Arc::from("loop_overrun"),
+                Arc::from("branch_override"),
+                Arc::from("alarm_scale"),
+            ]
+        });
+        let idx = match self {
+            ErrorClass::ExecutionSlowdown { .. } => 0,
+            ErrorClass::HeartbeatLoss { .. } => 1,
+            ErrorClass::SkipRunnable { .. } => 2,
+            ErrorClass::DuplicateDispatch { .. } => 3,
+            ErrorClass::LoopOverrun { .. } => 4,
+            ErrorClass::BranchOverride { .. } => 5,
+            ErrorClass::AlarmScale { .. } => 6,
+        };
+        Arc::clone(&table[idx])
     }
 
     /// The runnable this class targets, if any.
@@ -162,6 +192,19 @@ impl Injector {
     /// An injector with nothing armed (golden runs).
     pub fn none() -> Self {
         Injector::new([])
+    }
+
+    /// Re-arms the injector over a new injection set, retaining the
+    /// backing buffer's capacity. The pooled campaign path keeps one
+    /// injector per worker and reloads it per trial instead of
+    /// constructing a fresh one — dropping the injector-setup heap block
+    /// from every trial. Reloading is exactly equivalent to
+    /// [`Injector::new`] with the same injections (the attached
+    /// observability sink is kept).
+    pub fn reload(&mut self, injections: impl IntoIterator<Item = Injection>) {
+        self.injections.clear();
+        self.injections
+            .extend(injections.into_iter().map(|i| (i, Phase::Pending)));
     }
 
     /// Arms/disarms injections according to `now`.
@@ -353,6 +396,57 @@ mod tests {
     #[test]
     fn none_injector_is_immediately_finished() {
         assert!(Injector::none().is_finished());
+    }
+
+    #[test]
+    fn interned_tag_matches_tag_and_is_shared() {
+        let classes = [
+            ErrorClass::ExecutionSlowdown { runnable: r(0), scale_ppm: 1 },
+            ErrorClass::HeartbeatLoss { runnable: r(0) },
+            ErrorClass::SkipRunnable { runnable: r(0) },
+            ErrorClass::DuplicateDispatch { runnable: r(0), extra: 1 },
+            ErrorClass::LoopOverrun { runnable: r(0), iterations: 1 },
+            ErrorClass::BranchOverride { task_name: "x".into(), branch: 0 },
+            ErrorClass::AlarmScale { alarm: AlarmId(0), scale_ppm: 1 },
+        ];
+        for class in &classes {
+            let a = class.interned_tag();
+            let b = class.interned_tag();
+            assert_eq!(&*a, class.tag());
+            // Interned: repeated calls hand out the same allocation.
+            assert!(std::sync::Arc::ptr_eq(&a, &b));
+        }
+    }
+
+    #[test]
+    fn reload_is_equivalent_to_new() {
+        let injection =
+            Injection::new(ErrorClass::SkipRunnable { runnable: r(3) }, t(100), t(200));
+        let mut reloaded = Injector::new([Injection::new(
+            ErrorClass::HeartbeatLoss { runnable: r(9) },
+            t(1),
+            t(2),
+        )]);
+        // Burn through the first load so phases are in a non-trivial state.
+        let mut controls = RunnableControls::new();
+        let mut os: Os<BasicEcuWorld> = Os::new();
+        reloaded.tick(t(5), &mut controls, &mut os);
+        reloaded.tick(t(6), &mut controls, &mut os);
+        assert!(reloaded.is_finished());
+
+        reloaded.reload([injection.clone()]);
+        let mut fresh = Injector::new([injection]);
+        assert!(!reloaded.is_finished());
+        for at in [50, 100, 150, 200] {
+            let mut c1 = RunnableControls::new();
+            let mut c2 = RunnableControls::new();
+            let mut o1: Os<BasicEcuWorld> = Os::new();
+            let mut o2: Os<BasicEcuWorld> = Os::new();
+            reloaded.tick(t(at), &mut c1, &mut o1);
+            fresh.tick(t(at), &mut c2, &mut o2);
+            assert_eq!(reloaded.armed_count(), fresh.armed_count(), "at {at}");
+            assert_eq!(reloaded.is_finished(), fresh.is_finished(), "at {at}");
+        }
     }
 
     #[test]

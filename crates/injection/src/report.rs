@@ -128,7 +128,7 @@ impl CampaignReport {
                 let of_class: Vec<_> = stats
                     .trials()
                     .iter()
-                    .filter(|t| t.class == class)
+                    .filter(|t| *t.class == class)
                     .collect();
                 let injected = of_class.len();
                 let sw_detected = of_class

@@ -4,6 +4,7 @@ use easis_sim::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The detectors compared by the coverage/latency experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -55,10 +56,15 @@ impl DetectorId {
 }
 
 /// Result of one fault-injection trial.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The class tag is an `Arc<str>`: campaign trials stamp outcomes with
+/// [`ErrorClass::interned_tag`](crate::injector::ErrorClass::interned_tag)
+/// handles so no per-trial string is allocated. It serializes as a plain
+/// string, so on-disk stats records are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrialOutcome {
     /// Error class tag of the injected fault.
-    pub class: String,
+    pub class: Arc<str>,
     /// Detection latency per detector (injection start → first detection);
     /// absent = not detected.
     pub detections: BTreeMap<DetectorId, Duration>,
@@ -66,7 +72,7 @@ pub struct TrialOutcome {
 
 impl TrialOutcome {
     /// Creates an outcome for a class tag.
-    pub fn new(class: impl Into<String>) -> Self {
+    pub fn new(class: impl Into<Arc<str>>) -> Self {
         TrialOutcome {
             class: class.into(),
             detections: BTreeMap::new(),
@@ -130,7 +136,7 @@ impl CampaignStats {
 
     /// Distinct class tags, sorted.
     pub fn classes(&self) -> Vec<String> {
-        let mut c: Vec<String> = self.trials.iter().map(|t| t.class.clone()).collect();
+        let mut c: Vec<String> = self.trials.iter().map(|t| t.class.to_string()).collect();
         c.sort();
         c.dedup();
         c
@@ -139,7 +145,7 @@ impl CampaignStats {
     /// Coverage of `detector` on `class`: detected / injected.
     pub fn coverage(&self, class: &str, detector: DetectorId) -> f64 {
         let of_class: Vec<&TrialOutcome> =
-            self.trials.iter().filter(|t| t.class == class).collect();
+            self.trials.iter().filter(|t| &*t.class == class).collect();
         if of_class.is_empty() {
             return 0.0;
         }
@@ -150,7 +156,7 @@ impl CampaignStats {
     /// Combined Software Watchdog coverage on `class` (any unit).
     pub fn sw_coverage(&self, class: &str) -> f64 {
         let of_class: Vec<&TrialOutcome> =
-            self.trials.iter().filter(|t| t.class == class).collect();
+            self.trials.iter().filter(|t| &*t.class == class).collect();
         if of_class.is_empty() {
             return 0.0;
         }
@@ -166,7 +172,7 @@ impl CampaignStats {
         let mut l: Vec<Duration> = self
             .trials
             .iter()
-            .filter(|t| t.class == class)
+            .filter(|t| &*t.class == class)
             .filter_map(|t| t.detections.get(&detector).copied())
             .collect();
         l.sort_unstable();

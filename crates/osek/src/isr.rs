@@ -42,7 +42,7 @@ impl<W: 'static> Os<W> {
         &mut self,
         name: impl Into<String>,
         cost: Duration,
-        handler: impl FnMut(&mut W, &mut EffectCtx<'_>) + Send + Clone + 'static,
+        handler: impl FnMut(&mut W, &mut EffectCtx<'_, W>) + Send + Clone + 'static,
     ) -> IsrId {
         let task = self.add_task(
             TaskConfig::new(name, ISR_PRIORITY)

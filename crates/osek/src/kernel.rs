@@ -14,11 +14,27 @@
 //!
 //! Execution is deterministic: ties on the event queue break by insertion
 //! order and the scheduler state machine contains no hidden randomness.
+//!
+//! # Split-borrow ownership
+//!
+//! [`Os`] is factored into three disjoint parts: the task *bodies*, the
+//! per-task plan *arena*, and the scheduler *core* (TCB metadata, alarms,
+//! resources, timer queue, ready queue, trace). Because the parts are
+//! separate fields, dispatch borrows them simultaneously without moving
+//! anything: planning calls [`TaskBody::plan_into`] on the body **in
+//! place** while the arena slot and the core's clock are borrowed
+//! alongside, and [`Step::EffectRef`] execution hands
+//! [`TaskBody::run_effect`] a [`KernelServices`] view of the core so
+//! effects call `ActivateTask`/`SetEvent`/`CancelAlarm` **directly and
+//! synchronously** — no `Option::take`/restore of the body, no deferred
+//! request queue on the hot path.
 
 use crate::alarm::{Alarm, AlarmAction, AlarmId};
 use crate::error::OsError;
 use crate::hooks::{HookEvent, HookObserver};
-use crate::plan::{EffectCtx, PlanArena, ResourceId, ServiceRequest, Step, TaskBody};
+use crate::plan::{
+    EffectCtx, KernelServices, PlanArena, ResourceId, ServiceCore, Step, TaskBody,
+};
 use crate::resource::{HeldResources, Resource};
 use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
 use easis_sim::event::EventQueue;
@@ -35,10 +51,13 @@ enum KernelEvent {
     DeadlineCheck { task: TaskId, seq: u64 },
 }
 
-struct Tcb<W> {
+/// Task control block *metadata* — everything the scheduler needs to make
+/// decisions. The body itself lives in `Os::bodies` (same index), outside
+/// the core, so an executing effect can borrow its body mutably while the
+/// core stays independently borrowable as its service view.
+struct Tcb {
     config: TaskConfig,
     state: TaskState,
-    body: Option<Box<dyn TaskBody<W>>>,
     /// `true` once the current activation's plan has been filled into the
     /// kernel's [`PlanArena`] slot (cleared at termination/reset).
     planned: bool,
@@ -58,7 +77,7 @@ struct Tcb<W> {
     ready_key: i64,
 }
 
-impl<W> Tcb<W> {
+impl Tcb {
     fn queued(&self) -> u64 {
         self.issued - self.completed
     }
@@ -138,6 +157,29 @@ impl ReadyQueue {
     }
 }
 
+/// The scheduler core: every piece of kernel state *except* the task
+/// bodies and the plan arena. Holding it as one field gives dispatch the
+/// split borrow the effect path needs — `&mut Core<W>` (as the effect's
+/// [`KernelServices`]) alongside `&mut` the executing body — and it is the
+/// kernel-side implementation of [`ServiceCore`].
+struct Core<W> {
+    tasks: Vec<Tcb>,
+    alarms: Vec<Alarm>,
+    resources: Vec<Resource>,
+    timers: EventQueue<KernelEvent>,
+    now: Instant,
+    running: Option<TaskId>,
+    observers: Vec<Box<dyn HookObserver<W>>>,
+    trace: TraceRecorder,
+    started: bool,
+    /// Monotone counters generating ready-queue ordering keys.
+    next_back_key: i64,
+    next_front_key: i64,
+    /// Priority-bitmap ready queue mirroring every `Ready` task.
+    ready: ReadyQueue,
+    busy: Duration,
+}
+
 /// The OSEK operating system model, generic over the ECU world type `W`.
 ///
 /// # Examples
@@ -165,24 +207,16 @@ impl ReadyQueue {
 /// assert_eq!(world, 10);
 /// ```
 pub struct Os<W> {
-    tasks: Vec<Tcb<W>>,
+    /// Task bodies, indexed by task id — stored apart from the scheduler
+    /// core so an effect can run on its body in place while holding the
+    /// core as its [`KernelServices`] view.
+    bodies: Vec<Box<dyn TaskBody<W>>>,
     /// Capacity-retained per-task plan buffers (slot `i` belongs to task
     /// `i`); cleared, never shrunk, across activations and resets.
     arena: PlanArena<W>,
-    alarms: Vec<Alarm>,
-    resources: Vec<Resource>,
-    timers: EventQueue<KernelEvent>,
-    now: Instant,
-    running: Option<TaskId>,
-    observers: Vec<Box<dyn HookObserver<W>>>,
-    trace: TraceRecorder,
-    started: bool,
-    /// Monotone counters generating ready-queue ordering keys.
-    next_back_key: i64,
-    next_front_key: i64,
-    /// Priority-bitmap ready queue mirroring every `Ready` task.
-    ready: ReadyQueue,
-    busy: Duration,
+    /// Scheduler state (TCBs, alarms, resources, timers, ready queue,
+    /// trace) — the [`ServiceCore`] handed to effects.
+    core: Core<W>,
 }
 
 impl<W> Default for Os<W> {
@@ -195,20 +229,23 @@ impl<W> Os<W> {
     /// Creates an empty OS with tracing enabled.
     pub fn new() -> Self {
         Os {
-            tasks: Vec::new(),
+            bodies: Vec::new(),
             arena: PlanArena::new(),
-            alarms: Vec::new(),
-            resources: Vec::new(),
-            timers: EventQueue::new(),
-            now: Instant::ZERO,
-            running: None,
-            observers: Vec::new(),
-            trace: TraceRecorder::new(),
-            started: false,
-            next_back_key: 1,
-            next_front_key: -1,
-            ready: ReadyQueue::default(),
-            busy: Duration::ZERO,
+            core: Core {
+                tasks: Vec::new(),
+                alarms: Vec::new(),
+                resources: Vec::new(),
+                timers: EventQueue::new(),
+                now: Instant::ZERO,
+                running: None,
+                observers: Vec::new(),
+                trace: TraceRecorder::new(),
+                started: false,
+                next_back_key: 1,
+                next_front_key: -1,
+                ready: ReadyQueue::default(),
+                busy: Duration::ZERO,
+            },
         }
     }
 
@@ -216,7 +253,7 @@ impl<W> Os<W> {
     /// benchmarking).
     pub fn with_disabled_trace() -> Self {
         let mut os = Self::new();
-        os.trace = TraceRecorder::disabled();
+        os.core.trace = TraceRecorder::disabled();
         os
     }
 
@@ -226,12 +263,12 @@ impl<W> Os<W> {
 
     /// Declares a task. Returns its id.
     pub fn add_task(&mut self, config: TaskConfig, body: impl TaskBody<W> + 'static) -> TaskId {
-        let id = TaskId(self.tasks.len() as u32);
+        let id = TaskId(self.core.tasks.len() as u32);
         let priority = config.priority();
-        self.tasks.push(Tcb {
+        self.bodies.push(Box::new(body));
+        self.core.tasks.push(Tcb {
             config,
             state: TaskState::Suspended,
-            body: Some(Box::new(body)),
             planned: false,
             current_priority: priority,
             set_events: EventMask::NONE,
@@ -243,27 +280,27 @@ impl<W> Os<W> {
             budget_reported: false,
             ready_key: 0,
         });
-        self.arena.grow_to(self.tasks.len());
+        self.arena.grow_to(self.core.tasks.len());
         id
     }
 
     /// Declares an alarm. Returns its id; arm it with [`Os::set_rel_alarm`].
     pub fn add_alarm(&mut self, name: impl Into<String>, action: AlarmAction) -> AlarmId {
-        let id = AlarmId(self.alarms.len() as u32);
-        self.alarms.push(Alarm::new(name, action));
+        let id = AlarmId(self.core.alarms.len() as u32);
+        self.core.alarms.push(Alarm::new(name, action));
         id
     }
 
     /// Declares a resource with the given ceiling priority. Returns its id.
     pub fn add_resource(&mut self, name: impl Into<String>, ceiling: Priority) -> ResourceId {
-        let id = ResourceId(self.resources.len() as u32);
-        self.resources.push(Resource::new(name, ceiling));
+        let id = ResourceId(self.core.resources.len() as u32);
+        self.core.resources.push(Resource::new(name, ceiling));
         id
     }
 
     /// Subscribes a hook observer.
     pub fn add_observer(&mut self, observer: impl HookObserver<W> + 'static) {
-        self.observers.push(Box::new(observer));
+        self.core.observers.push(Box::new(observer));
     }
 
     // ------------------------------------------------------------------
@@ -272,22 +309,22 @@ impl<W> Os<W> {
 
     /// Current simulated time.
     pub fn now(&self) -> Instant {
-        self.now
+        self.core.now
     }
 
     /// The trace recorder.
     pub fn trace(&self) -> &TraceRecorder {
-        &self.trace
+        &self.core.trace
     }
 
     /// Mutable access to the trace recorder (e.g. to clear between phases).
     pub fn trace_mut(&mut self) -> &mut TraceRecorder {
-        &mut self.trace
+        &mut self.core.trace
     }
 
     /// Number of declared tasks.
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.core.tasks.len()
     }
 
     /// State of a task.
@@ -296,7 +333,8 @@ impl<W> Os<W> {
     ///
     /// Returns [`OsError::InvalidId`] for an unknown id.
     pub fn task_state(&self, id: TaskId) -> Result<TaskState, OsError> {
-        self.tasks
+        self.core
+            .tasks
             .get(id.index())
             .map(|t| t.state)
             .ok_or(OsError::InvalidId)
@@ -308,7 +346,8 @@ impl<W> Os<W> {
     ///
     /// Returns [`OsError::InvalidId`] for an unknown id.
     pub fn task_name(&self, id: TaskId) -> Result<&str, OsError> {
-        self.tasks
+        self.core
+            .tasks
             .get(id.index())
             .map(|t| t.config.name())
             .ok_or(OsError::InvalidId)
@@ -316,7 +355,8 @@ impl<W> Os<W> {
 
     /// Finds a task by name.
     pub fn find_task(&self, name: &str) -> Option<TaskId> {
-        self.tasks
+        self.core
+            .tasks
             .iter()
             .position(|t| t.config.name() == name)
             .map(|i| TaskId(i as u32))
@@ -324,21 +364,21 @@ impl<W> Os<W> {
 
     /// Currently running task, if any.
     pub fn running_task(&self) -> Option<TaskId> {
-        self.running
+        self.core.running
     }
 
     /// Total CPU time consumed by tasks so far.
     pub fn busy_time(&self) -> Duration {
-        self.busy
+        self.core.busy
     }
 
     /// CPU utilisation since start (0.0 when no time has passed).
     pub fn utilization(&self) -> f64 {
-        let elapsed = self.now.duration_since(Instant::ZERO);
+        let elapsed = self.core.now.duration_since(Instant::ZERO);
         if elapsed.is_zero() {
             0.0
         } else {
-            self.busy.as_micros() as f64 / elapsed.as_micros() as f64
+            self.core.busy.as_micros() as f64 / elapsed.as_micros() as f64
         }
     }
 
@@ -348,7 +388,7 @@ impl<W> Os<W> {
     ///
     /// Returns [`OsError::InvalidId`] for an unknown id.
     pub fn alarm_mut(&mut self, id: AlarmId) -> Result<&mut Alarm, OsError> {
-        self.alarms.get_mut(id.index()).ok_or(OsError::InvalidId)
+        self.core.alarms.get_mut(id.index()).ok_or(OsError::InvalidId)
     }
 
     /// Immutable access to an alarm.
@@ -357,7 +397,7 @@ impl<W> Os<W> {
     ///
     /// Returns [`OsError::InvalidId`] for an unknown id.
     pub fn alarm(&self, id: AlarmId) -> Result<&Alarm, OsError> {
-        self.alarms.get(id.index()).ok_or(OsError::InvalidId)
+        self.core.alarms.get(id.index()).ok_or(OsError::InvalidId)
     }
 
     // ------------------------------------------------------------------
@@ -366,6 +406,434 @@ impl<W> Os<W> {
 
     /// Starts the OS: fires the startup hook and activates autostart tasks.
     pub fn start(&mut self, world: &mut W) {
+        self.core.start(world);
+    }
+
+    /// Shuts the OS down (fires the shutdown hook; scheduling stops).
+    pub fn shutdown(&mut self, world: &mut W) {
+        self.core.shutdown(world);
+    }
+
+    /// Resets all runtime state to the pre-[`Os::start`] configuration,
+    /// keeping the task/alarm/resource tables, bodies, observers and trace
+    /// settings. A reset OS replays a simulation exactly like a freshly
+    /// built one — the campaign engine's world pooling relies on this
+    /// equivalence (pinned by a proptest at the node level).
+    pub fn reset(&mut self) {
+        self.core.reset_runtime();
+        self.arena.reset();
+    }
+
+    /// `ActivateTask`: moves a suspended task to ready or queues an extra
+    /// activation.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::ActivationLimit`]
+    /// when the activation queue is full (also reported via the error hook).
+    pub fn activate_task(&mut self, id: TaskId, world: &mut W) -> Result<(), OsError> {
+        self.core.activate_task(id, world)
+    }
+
+    /// `SetEvent`: sets events on an extended task, waking it if it waits
+    /// for any of them.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::InvalidAccess`]
+    /// for basic tasks, [`OsError::InvalidState`] if the task is suspended.
+    pub fn set_event(&mut self, id: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        self.core.set_event(id, mask, world)
+    }
+
+    /// `SetRelAlarm`: arms an alarm `offset` from now, optionally cyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::InvalidState`]
+    /// if already armed, [`OsError::InvalidValue`] for a zero offset or cycle.
+    pub fn set_rel_alarm(
+        &mut self,
+        id: AlarmId,
+        offset: Duration,
+        cycle: Option<Duration>,
+    ) -> Result<(), OsError> {
+        self.core.set_rel_alarm(id, offset, cycle)
+    }
+
+    /// `CancelAlarm`: disarms an alarm.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::AlarmNotInUse`]
+    /// if disarmed.
+    pub fn cancel_alarm(&mut self, id: AlarmId) -> Result<(), OsError> {
+        self.core.cancel_alarm(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation until `end` (inclusive of events at `end`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS was not started or `end` is in the past.
+    pub fn run_until(&mut self, end: Instant, world: &mut W) {
+        assert!(self.core.started, "call start() first");
+        assert!(end >= self.core.now, "cannot run backwards in time");
+        loop {
+            // Fire every timer event due at the current instant.
+            self.core.fire_due_timers(world);
+            // Choose who runs.
+            let chosen = self.core.pick_next();
+            match chosen {
+                None => {
+                    // CPU idle: jump to the next timer event or to `end`.
+                    match self.core.timers.peek_time() {
+                        Some(t) if t <= end => {
+                            self.core.now = t;
+                        }
+                        _ => {
+                            self.core.now = end;
+                            return;
+                        }
+                    }
+                }
+                Some(id) => {
+                    self.dispatch(id, world);
+                    let done = self.execute_slice(id, end, world);
+                    if done {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs for `dur` from the current time.
+    pub fn run_for(&mut self, dur: Duration, world: &mut W) {
+        self.run_until(self.core.now + dur, world);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals (body/arena side of the split borrow)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, id: TaskId, world: &mut W) {
+        if self.core.running == Some(id) && self.core.tasks[id.index()].state == TaskState::Running
+        {
+            return;
+        }
+        // Preempt whoever was running.
+        if let Some(prev) = self.core.running {
+            if self.core.tasks[prev.index()].state == TaskState::Running {
+                self.core.make_ready(prev, true);
+                let name = self.core.tasks[prev.index()].config.name();
+                self.core
+                    .trace
+                    .record(self.core.now, TRACE_SOURCE, "preempt", name);
+                self.core.fire_hook(HookEvent::PostTask(prev), world);
+            }
+        }
+        let tcb = &mut self.core.tasks[id.index()];
+        if tcb.state == TaskState::Ready {
+            let (priority, key) = (tcb.current_priority, tcb.ready_key);
+            self.core.ready.remove(priority, key, id);
+        }
+        let tcb = &mut self.core.tasks[id.index()];
+        tcb.state = TaskState::Running;
+        self.core.running = Some(id);
+        let name = self.core.tasks[id.index()].config.name();
+        self.core
+            .trace
+            .record(self.core.now, TRACE_SOURCE, "dispatch", name);
+        self.core.fire_hook(HookEvent::PreTask(id), world);
+        // First dispatch of an activation: plan the body into the task's
+        // arena slot (cleared, capacity retained — no allocation once the
+        // slot has grown to the steady-state plan length). The body plans
+        // in place: `bodies`, `arena` and `core` are disjoint fields, so no
+        // move out of the TCB is needed.
+        if !self.core.tasks[id.index()].planned {
+            let buf = self.arena.slot_mut(id.index());
+            buf.clear();
+            self.bodies[id.index()].plan_into(self.core.now, world, buf);
+            let tcb = &mut self.core.tasks[id.index()];
+            tcb.planned = true;
+            tcb.exec_time = Duration::ZERO;
+            tcb.budget_reported = false;
+        }
+    }
+
+    /// Executes steps of the running task until it terminates, blocks, is
+    /// preempted, or simulated time reaches `end`. Returns `true` when the
+    /// caller's horizon `end` was reached.
+    fn execute_slice(&mut self, id: TaskId, end: Instant, world: &mut W) -> bool {
+        loop {
+            // A timer may have readied a higher-priority task.
+            if self.core.pick_next() != Some(id) {
+                return false;
+            }
+            let step = self.arena.slot_mut(id.index()).pop();
+            let Some(step) = step else {
+                self.terminate_running(id, world);
+                return false;
+            };
+            match step {
+                Step::Compute(d) => {
+                    if let Some(reached_end) = self.run_compute(id, d, end, world) {
+                        return reached_end;
+                    }
+                }
+                Step::Effect(mut f) => {
+                    let now = self.core.now;
+                    let mut ctx = EffectCtx::for_kernel(now, id, KernelServices::new(&mut self.core));
+                    f(world, &mut ctx);
+                    // Legacy `request_*` shim: drain and replay through the
+                    // same direct service entry points, still at this
+                    // instant. Empty (and skipped) on the direct-call path.
+                    if ctx.has_requests() {
+                        let requests = ctx.take_requests_internal();
+                        self.core.apply_requests(requests, world);
+                    }
+                }
+                Step::EffectRef(token) => {
+                    // In-place dispatch: the body stays in `bodies` while
+                    // the effect holds the core as its service view — the
+                    // split borrow that replaced the take/restore dance.
+                    let now = self.core.now;
+                    let mut ctx = EffectCtx::for_kernel(now, id, KernelServices::new(&mut self.core));
+                    self.bodies[id.index()].run_effect(token, world, &mut ctx);
+                    if ctx.has_requests() {
+                        let requests = ctx.take_requests_internal();
+                        self.core.apply_requests(requests, world);
+                    }
+                }
+                Step::ActivateTask(t) => {
+                    let _ = self.core.activate_task(t, world);
+                }
+                Step::SetEvent(t, m) => {
+                    let _ = self.core.set_event(t, m, world);
+                }
+                Step::WaitEvent(mask) => {
+                    if self.core.tasks[id.index()].config.kind() != TaskKind::Extended {
+                        self.core.report_error(OsError::InvalidAccess, world);
+                        // Basic tasks cannot wait; ignore the step.
+                        continue;
+                    }
+                    let tcb = &mut self.core.tasks[id.index()];
+                    if tcb.set_events.intersects(mask) {
+                        continue; // event already pending: no blocking
+                    }
+                    tcb.waiting_for = mask;
+                    tcb.state = TaskState::Waiting;
+                    self.core.running = None;
+                    let name = self.core.tasks[id.index()].config.name();
+                    self.core
+                        .trace
+                        .record(self.core.now, TRACE_SOURCE, "wait", name);
+                    self.core.fire_hook(HookEvent::PostTask(id), world);
+                    return false;
+                }
+                Step::ClearEvent(mask) => {
+                    let tcb = &mut self.core.tasks[id.index()];
+                    tcb.set_events = tcb.set_events.clear(mask);
+                }
+                Step::GetResource(rid) => {
+                    if rid.0 as usize >= self.core.resources.len() {
+                        self.core.report_error(OsError::InvalidId, world);
+                        continue;
+                    }
+                    if self.core.resources[rid.0 as usize].is_occupied() {
+                        // With a correct ceiling this cannot happen; report
+                        // and skip so faulty configs surface in the trace.
+                        self.core.report_error(OsError::ResourceOrder, world);
+                        continue;
+                    }
+                    let prior = self.core.tasks[id.index()].current_priority;
+                    let ceiling = self.core.resources[rid.0 as usize].ceiling();
+                    self.core.resources[rid.0 as usize].occupy(id);
+                    let tcb = &mut self.core.tasks[id.index()];
+                    tcb.held.push(rid, prior);
+                    if ceiling > tcb.current_priority {
+                        tcb.current_priority = ceiling;
+                    }
+                }
+                Step::ReleaseResource(rid) => {
+                    if rid.0 as usize >= self.core.resources.len() {
+                        self.core.report_error(OsError::InvalidId, world);
+                        continue;
+                    }
+                    let restored = self.core.tasks[id.index()].held.pop_matching(rid);
+                    match restored {
+                        Some(prior) => {
+                            self.core.resources[rid.0 as usize].release();
+                            self.core.tasks[id.index()].current_priority = prior;
+                            // Dropping priority may enable preemption.
+                            if self.core.pick_next() != Some(id) {
+                                return false;
+                            }
+                        }
+                        None => {
+                            self.core.report_error(OsError::ResourceOrder, world);
+                        }
+                    }
+                }
+                Step::ChainTask(t) => {
+                    self.terminate_running(id, world);
+                    let _ = self.core.activate_task(t, world);
+                    return false;
+                }
+                Step::Schedule => {
+                    // Re-run the dispatch decision ignoring this task's
+                    // non-preemptability: OSEK Schedule() semantics. If a
+                    // higher-priority task is ready, yield to it (re-enter
+                    // the ready queue at the front, like a preemption).
+                    if let Some(best) = self.core.pick_ignoring_nonpreempt() {
+                        if best != id {
+                            self.core.make_ready(id, true);
+                            let name = self.core.tasks[id.index()].config.name();
+                            self.core
+                                .trace
+                                .record(self.core.now, TRACE_SOURCE, "yield", name);
+                            self.core.running = None;
+                            self.core.fire_hook(HookEvent::PostTask(id), world);
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time while the task computes. Returns `Some(true)`
+    /// if the run horizon was reached, `Some(false)` if the task should stop
+    /// executing this slice (preemption), `None` when the compute step
+    /// finished and the next step may run.
+    fn run_compute(
+        &mut self,
+        id: TaskId,
+        d: Duration,
+        end: Instant,
+        world: &mut W,
+    ) -> Option<bool> {
+        let mut remaining = d;
+        while !remaining.is_zero() {
+            let finish = self.core.now + remaining;
+            // Budget crossing, if any, caps the slice so the hook fires at
+            // the exact overrun instant.
+            let budget_cross = {
+                let tcb = &self.core.tasks[id.index()];
+                match tcb.config.execution_budget() {
+                    Some(budget) if !tcb.budget_reported && tcb.exec_time < budget => {
+                        Some(self.core.now + (budget - tcb.exec_time))
+                    }
+                    _ => None,
+                }
+            };
+            let next_timer = self.core.timers.peek_time();
+            let mut slice_end = finish;
+            if let Some(t) = next_timer {
+                if t < slice_end {
+                    slice_end = t;
+                }
+            }
+            if let Some(b) = budget_cross {
+                if b < slice_end {
+                    slice_end = b;
+                }
+            }
+            if end < slice_end {
+                slice_end = end;
+            }
+            let consumed = slice_end.saturating_duration_since(self.core.now);
+            self.core.now = slice_end;
+            self.core.busy += consumed;
+            remaining = remaining.saturating_sub(consumed);
+            {
+                let tcb = &mut self.core.tasks[id.index()];
+                tcb.exec_time += consumed;
+            }
+            // Budget exactly reached?
+            let over = {
+                let tcb = &self.core.tasks[id.index()];
+                matches!(tcb.config.execution_budget(), Some(b) if !tcb.budget_reported && tcb.exec_time >= b)
+            };
+            if over {
+                let budget = self.core.tasks[id.index()]
+                    .config
+                    .execution_budget()
+                    .expect("budget configured");
+                self.core.tasks[id.index()].budget_reported = true;
+                let name = self.core.tasks[id.index()].config.name();
+                self.core
+                    .trace
+                    .record(self.core.now, TRACE_SOURCE, "budget_exceeded", name);
+                self.core
+                    .fire_hook(HookEvent::BudgetExceeded { task: id, budget }, world);
+            }
+            if self.core.now == end && !remaining.is_zero() {
+                // Horizon reached mid-compute: save the remainder.
+                self.arena
+                    .slot_mut(id.index())
+                    .push_front(Step::Compute(remaining));
+                return Some(true);
+            }
+            // Process timers due exactly now; they may ready someone higher.
+            self.core.fire_due_timers(world);
+            if self.core.pick_next() != Some(id) {
+                if !remaining.is_zero() {
+                    self.arena
+                        .slot_mut(id.index())
+                        .push_front(Step::Compute(remaining));
+                }
+                return Some(false);
+            }
+        }
+        // Step finished; horizon may coincide with completion.
+        if self.core.now == end {
+            return Some(true);
+        }
+        None
+    }
+
+    fn terminate_running(&mut self, id: TaskId, world: &mut W) {
+        // OSEK: terminating with occupied resources is an error; release them.
+        if !self.core.tasks[id.index()].held.is_empty() {
+            self.core.report_error(OsError::ResourceOrder, world);
+            let ids: Vec<ResourceId> = self.core.tasks[id.index()].held.ids().collect();
+            for rid in ids {
+                self.core.resources[rid.0 as usize].release();
+            }
+            self.core.tasks[id.index()].held.clear();
+            let base = self.core.tasks[id.index()].config.priority();
+            self.core.tasks[id.index()].current_priority = base;
+        }
+        {
+            let tcb = &mut self.core.tasks[id.index()];
+            tcb.completed += 1;
+            tcb.planned = false;
+            tcb.set_events = EventMask::NONE;
+        }
+        self.arena.slot_mut(id.index()).clear();
+        self.core.running = None;
+        let name = self.core.tasks[id.index()].config.name();
+        self.core
+            .trace
+            .record(self.core.now, TRACE_SOURCE, "terminate", name);
+        self.core.fire_hook(HookEvent::Terminate(id), world);
+        // Queued activation pending? Re-enter ready immediately.
+        if self.core.tasks[id.index()].queued() > 0 {
+            self.core.make_ready(id, false);
+        } else {
+            self.core.tasks[id.index()].state = TaskState::Suspended;
+        }
+    }
+}
+
+impl<W> Core<W> {
+    fn start(&mut self, world: &mut W) {
         assert!(!self.started, "OS started twice");
         self.started = true;
         self.trace.record(self.now, TRACE_SOURCE, "startup", "");
@@ -382,19 +850,15 @@ impl<W> Os<W> {
         }
     }
 
-    /// Shuts the OS down (fires the shutdown hook; scheduling stops).
-    pub fn shutdown(&mut self, world: &mut W) {
+    fn shutdown(&mut self, world: &mut W) {
         self.trace.record(self.now, TRACE_SOURCE, "shutdown", "");
         self.fire_hook(HookEvent::Shutdown, world);
         self.started = false;
     }
 
-    /// Resets all runtime state to the pre-[`Os::start`] configuration,
-    /// keeping the task/alarm/resource tables, bodies, observers and trace
-    /// settings. A reset OS replays a simulation exactly like a freshly
-    /// built one — the campaign engine's world pooling relies on this
-    /// equivalence (pinned by a proptest at the node level).
-    pub fn reset(&mut self) {
+    /// Resets every core field to the pre-start configuration (the arena is
+    /// reset by [`Os::reset`] alongside).
+    fn reset_runtime(&mut self) {
         for tcb in &mut self.tasks {
             tcb.state = TaskState::Suspended;
             tcb.planned = false;
@@ -415,7 +879,6 @@ impl<W> Os<W> {
         for resource in &mut self.resources {
             resource.release();
         }
-        self.arena.reset();
         self.timers.clear();
         self.now = Instant::ZERO;
         self.running = None;
@@ -427,14 +890,7 @@ impl<W> Os<W> {
         self.busy = Duration::ZERO;
     }
 
-    /// `ActivateTask`: moves a suspended task to ready or queues an extra
-    /// activation.
-    ///
-    /// # Errors
-    ///
-    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::ActivationLimit`]
-    /// when the activation queue is full (also reported via the error hook).
-    pub fn activate_task(&mut self, id: TaskId, world: &mut W) -> Result<(), OsError> {
+    fn activate_task(&mut self, id: TaskId, world: &mut W) -> Result<(), OsError> {
         if id.index() >= self.tasks.len() {
             return Err(OsError::InvalidId);
         }
@@ -462,14 +918,7 @@ impl<W> Os<W> {
         Ok(())
     }
 
-    /// `SetEvent`: sets events on an extended task, waking it if it waits
-    /// for any of them.
-    ///
-    /// # Errors
-    ///
-    /// [`OsError::InvalidId`] for unknown tasks, [`OsError::InvalidAccess`]
-    /// for basic tasks, [`OsError::InvalidState`] if the task is suspended.
-    pub fn set_event(&mut self, id: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+    fn set_event(&mut self, id: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
         let Some(tcb) = self.tasks.get_mut(id.index()) else {
             return Err(OsError::InvalidId);
         };
@@ -491,13 +940,7 @@ impl<W> Os<W> {
         Ok(())
     }
 
-    /// `SetRelAlarm`: arms an alarm `offset` from now, optionally cyclic.
-    ///
-    /// # Errors
-    ///
-    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::InvalidState`]
-    /// if already armed, [`OsError::InvalidValue`] for a zero offset or cycle.
-    pub fn set_rel_alarm(
+    fn set_rel_alarm(
         &mut self,
         id: AlarmId,
         offset: Duration,
@@ -518,13 +961,7 @@ impl<W> Os<W> {
         Ok(())
     }
 
-    /// `CancelAlarm`: disarms an alarm.
-    ///
-    /// # Errors
-    ///
-    /// [`OsError::InvalidId`] for unknown alarms, [`OsError::AlarmNotInUse`]
-    /// if disarmed.
-    pub fn cancel_alarm(&mut self, id: AlarmId) -> Result<(), OsError> {
+    fn cancel_alarm(&mut self, id: AlarmId) -> Result<(), OsError> {
         let Some(alarm) = self.alarms.get_mut(id.index()) else {
             return Err(OsError::InvalidId);
         };
@@ -536,56 +973,6 @@ impl<W> Os<W> {
         // is ignored, matching CancelAlarm semantics.
         Ok(())
     }
-
-    // ------------------------------------------------------------------
-    // Execution
-    // ------------------------------------------------------------------
-
-    /// Runs the simulation until `end` (inclusive of events at `end`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the OS was not started or `end` is in the past.
-    pub fn run_until(&mut self, end: Instant, world: &mut W) {
-        assert!(self.started, "call start() first");
-        assert!(end >= self.now, "cannot run backwards in time");
-        loop {
-            // Fire every timer event due at the current instant.
-            self.fire_due_timers(world);
-            // Choose who runs.
-            let chosen = self.pick_next();
-            match chosen {
-                None => {
-                    // CPU idle: jump to the next timer event or to `end`.
-                    match self.timers.peek_time() {
-                        Some(t) if t <= end => {
-                            self.now = t;
-                        }
-                        _ => {
-                            self.now = end;
-                            return;
-                        }
-                    }
-                }
-                Some(id) => {
-                    self.dispatch(id, world);
-                    let done = self.execute_slice(id, end, world);
-                    if done {
-                        return;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Runs for `dur` from the current time.
-    pub fn run_for(&mut self, dur: Duration, world: &mut W) {
-        self.run_until(self.now + dur, world);
-    }
-
-    // ------------------------------------------------------------------
-    // Internals
-    // ------------------------------------------------------------------
 
     fn fire_due_timers(&mut self, world: &mut W) {
         while let Some(t) = self.timers.peek_time() {
@@ -687,7 +1074,7 @@ impl<W> Os<W> {
         }
     }
 
-    /// Like [`Os::pick_next`] but ignoring the running task's
+    /// Like [`Core::pick_next`] but ignoring the running task's
     /// non-preemptability — the decision `Schedule()` asks for.
     fn pick_ignoring_nonpreempt(&self) -> Option<TaskId> {
         self.best_eligible()
@@ -706,47 +1093,14 @@ impl<W> Os<W> {
         self.best_eligible()
     }
 
-    fn dispatch(&mut self, id: TaskId, world: &mut W) {
-        if self.running == Some(id) && self.tasks[id.index()].state == TaskState::Running {
-            return;
-        }
-        // Preempt whoever was running.
-        if let Some(prev) = self.running {
-            if self.tasks[prev.index()].state == TaskState::Running {
-                self.make_ready(prev, true);
-                let name = self.tasks[prev.index()].config.name();
-                self.trace.record(self.now, TRACE_SOURCE, "preempt", name);
-                self.fire_hook(HookEvent::PostTask(prev), world);
-            }
-        }
-        let tcb = &mut self.tasks[id.index()];
-        if tcb.state == TaskState::Ready {
-            let (priority, key) = (tcb.current_priority, tcb.ready_key);
-            self.ready.remove(priority, key, id);
-        }
-        let tcb = &mut self.tasks[id.index()];
-        tcb.state = TaskState::Running;
-        self.running = Some(id);
-        let name = self.tasks[id.index()].config.name();
-        self.trace.record(self.now, TRACE_SOURCE, "dispatch", name);
-        self.fire_hook(HookEvent::PreTask(id), world);
-        // First dispatch of an activation: plan the body into the task's
-        // arena slot (cleared, capacity retained — no allocation once the
-        // slot has grown to the steady-state plan length).
-        if !self.tasks[id.index()].planned {
-            let mut body = self.tasks[id.index()].body.take().expect("body present");
-            let buf = self.arena.slot_mut(id.index());
-            buf.clear();
-            body.plan_into(self.now, world, buf);
-            self.tasks[id.index()].body = Some(body);
-            self.tasks[id.index()].planned = true;
-            self.tasks[id.index()].exec_time = Duration::ZERO;
-            self.tasks[id.index()].budget_reported = false;
-        }
-    }
-
-    /// Applies the OS service requests an effect queued on its context.
-    fn apply_requests(&mut self, requests: Vec<ServiceRequest>, world: &mut W) {
+    /// Replays legacy queued service requests through the direct service
+    /// entry points — the deprecated-shim half of the redesign: a
+    /// `request_*` call and its direct counterpart go through the same
+    /// kernel code, only at slightly different instants within the same
+    /// simulated time.
+    #[allow(deprecated)]
+    fn apply_requests(&mut self, requests: Vec<crate::plan::ServiceRequest>, world: &mut W) {
+        use crate::plan::ServiceRequest;
         for req in requests {
             match req {
                 ServiceRequest::ActivateTask(t) => {
@@ -759,255 +1113,6 @@ impl<W> Os<W> {
                     let _ = self.cancel_alarm(AlarmId(a));
                 }
             }
-        }
-    }
-
-    /// Executes steps of the running task until it terminates, blocks, is
-    /// preempted, or simulated time reaches `end`. Returns `true` when the
-    /// caller's horizon `end` was reached.
-    fn execute_slice(&mut self, id: TaskId, end: Instant, world: &mut W) -> bool {
-        loop {
-            // A timer may have readied a higher-priority task.
-            if self.pick_next() != Some(id) {
-                return false;
-            }
-            let step = self.arena.slot_mut(id.index()).pop();
-            let Some(step) = step else {
-                self.terminate_running(id, world);
-                return false;
-            };
-            match step {
-                Step::Compute(d) => {
-                    if let Some(reached_end) = self.run_compute(id, d, end, world) {
-                        return reached_end;
-                    }
-                }
-                Step::Effect(mut f) => {
-                    let mut ctx = EffectCtx::new(self.now, id, &mut self.trace);
-                    f(world, &mut ctx);
-                    let requests = ctx.take_requests();
-                    self.apply_requests(requests, world);
-                }
-                Step::EffectRef(token) => {
-                    let mut body = self.tasks[id.index()].body.take().expect("body present");
-                    let requests = {
-                        let mut ctx = EffectCtx::new(self.now, id, &mut self.trace);
-                        body.run_effect(token, world, &mut ctx);
-                        ctx.take_requests()
-                    };
-                    self.tasks[id.index()].body = Some(body);
-                    self.apply_requests(requests, world);
-                }
-                Step::ActivateTask(t) => {
-                    let _ = self.activate_task(t, world);
-                }
-                Step::SetEvent(t, m) => {
-                    let _ = self.set_event(t, m, world);
-                }
-                Step::WaitEvent(mask) => {
-                    if self.tasks[id.index()].config.kind() != TaskKind::Extended {
-                        self.report_error(OsError::InvalidAccess, world);
-                        // Basic tasks cannot wait; ignore the step.
-                        continue;
-                    }
-                    let tcb = &mut self.tasks[id.index()];
-                    if tcb.set_events.intersects(mask) {
-                        continue; // event already pending: no blocking
-                    }
-                    tcb.waiting_for = mask;
-                    tcb.state = TaskState::Waiting;
-                    self.running = None;
-                    let name = self.tasks[id.index()].config.name();
-                    self.trace.record(self.now, TRACE_SOURCE, "wait", name);
-                    self.fire_hook(HookEvent::PostTask(id), world);
-                    return false;
-                }
-                Step::ClearEvent(mask) => {
-                    let tcb = &mut self.tasks[id.index()];
-                    tcb.set_events = tcb.set_events.clear(mask);
-                }
-                Step::GetResource(rid) => {
-                    if rid.0 as usize >= self.resources.len() {
-                        self.report_error(OsError::InvalidId, world);
-                        continue;
-                    }
-                    if self.resources[rid.0 as usize].is_occupied() {
-                        // With a correct ceiling this cannot happen; report
-                        // and skip so faulty configs surface in the trace.
-                        self.report_error(OsError::ResourceOrder, world);
-                        continue;
-                    }
-                    let prior = self.tasks[id.index()].current_priority;
-                    let ceiling = self.resources[rid.0 as usize].ceiling();
-                    self.resources[rid.0 as usize].occupy(id);
-                    let tcb = &mut self.tasks[id.index()];
-                    tcb.held.push(rid, prior);
-                    if ceiling > tcb.current_priority {
-                        tcb.current_priority = ceiling;
-                    }
-                }
-                Step::ReleaseResource(rid) => {
-                    if rid.0 as usize >= self.resources.len() {
-                        self.report_error(OsError::InvalidId, world);
-                        continue;
-                    }
-                    let restored = self.tasks[id.index()].held.pop_matching(rid);
-                    match restored {
-                        Some(prior) => {
-                            self.resources[rid.0 as usize].release();
-                            self.tasks[id.index()].current_priority = prior;
-                            // Dropping priority may enable preemption.
-                            if self.pick_next() != Some(id) {
-                                return false;
-                            }
-                        }
-                        None => {
-                            self.report_error(OsError::ResourceOrder, world);
-                        }
-                    }
-                }
-                Step::ChainTask(t) => {
-                    self.terminate_running(id, world);
-                    let _ = self.activate_task(t, world);
-                    return false;
-                }
-                Step::Schedule => {
-                    // Re-run the dispatch decision ignoring this task's
-                    // non-preemptability: OSEK Schedule() semantics. If a
-                    // higher-priority task is ready, yield to it (re-enter
-                    // the ready queue at the front, like a preemption).
-                    if let Some(best) = self.pick_ignoring_nonpreempt() {
-                        if best != id {
-                            self.make_ready(id, true);
-                            let name = self.tasks[id.index()].config.name();
-                            self.trace.record(self.now, TRACE_SOURCE, "yield", name);
-                            self.running = None;
-                            self.fire_hook(HookEvent::PostTask(id), world);
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Advances simulated time while the task computes. Returns `Some(true)`
-    /// if the run horizon was reached, `Some(false)` if the task should stop
-    /// executing this slice (preemption), `None` when the compute step
-    /// finished and the next step may run.
-    fn run_compute(
-        &mut self,
-        id: TaskId,
-        d: Duration,
-        end: Instant,
-        world: &mut W,
-    ) -> Option<bool> {
-        let mut remaining = d;
-        while !remaining.is_zero() {
-            let finish = self.now + remaining;
-            // Budget crossing, if any, caps the slice so the hook fires at
-            // the exact overrun instant.
-            let budget_cross = {
-                let tcb = &self.tasks[id.index()];
-                match tcb.config.execution_budget() {
-                    Some(budget) if !tcb.budget_reported && tcb.exec_time < budget => {
-                        Some(self.now + (budget - tcb.exec_time))
-                    }
-                    _ => None,
-                }
-            };
-            let next_timer = self.timers.peek_time();
-            let mut slice_end = finish;
-            if let Some(t) = next_timer {
-                if t < slice_end {
-                    slice_end = t;
-                }
-            }
-            if let Some(b) = budget_cross {
-                if b < slice_end {
-                    slice_end = b;
-                }
-            }
-            if end < slice_end {
-                slice_end = end;
-            }
-            let consumed = slice_end.saturating_duration_since(self.now);
-            self.now = slice_end;
-            self.busy += consumed;
-            remaining = remaining.saturating_sub(consumed);
-            {
-                let tcb = &mut self.tasks[id.index()];
-                tcb.exec_time += consumed;
-            }
-            // Budget exactly reached?
-            let over = {
-                let tcb = &self.tasks[id.index()];
-                matches!(tcb.config.execution_budget(), Some(b) if !tcb.budget_reported && tcb.exec_time >= b)
-            };
-            if over {
-                let budget = self.tasks[id.index()]
-                    .config
-                    .execution_budget()
-                    .expect("budget configured");
-                self.tasks[id.index()].budget_reported = true;
-                let name = self.tasks[id.index()].config.name();
-                self.trace
-                    .record(self.now, TRACE_SOURCE, "budget_exceeded", name);
-                self.fire_hook(HookEvent::BudgetExceeded { task: id, budget }, world);
-            }
-            if self.now == end && !remaining.is_zero() {
-                // Horizon reached mid-compute: save the remainder.
-                self.arena
-                    .slot_mut(id.index())
-                    .push_front(Step::Compute(remaining));
-                return Some(true);
-            }
-            // Process timers due exactly now; they may ready someone higher.
-            self.fire_due_timers(world);
-            if self.pick_next() != Some(id) {
-                if !remaining.is_zero() {
-                    self.arena
-                        .slot_mut(id.index())
-                        .push_front(Step::Compute(remaining));
-                }
-                return Some(false);
-            }
-        }
-        // Step finished; horizon may coincide with completion.
-        if self.now == end {
-            return Some(true);
-        }
-        None
-    }
-
-    fn terminate_running(&mut self, id: TaskId, world: &mut W) {
-        // OSEK: terminating with occupied resources is an error; release them.
-        if !self.tasks[id.index()].held.is_empty() {
-            self.report_error(OsError::ResourceOrder, world);
-            let ids: Vec<ResourceId> = self.tasks[id.index()].held.ids().collect();
-            for rid in ids {
-                self.resources[rid.0 as usize].release();
-            }
-            self.tasks[id.index()].held.clear();
-            let base = self.tasks[id.index()].config.priority();
-            self.tasks[id.index()].current_priority = base;
-        }
-        {
-            let tcb = &mut self.tasks[id.index()];
-            tcb.completed += 1;
-            tcb.planned = false;
-            tcb.set_events = EventMask::NONE;
-        }
-        self.arena.slot_mut(id.index()).clear();
-        self.running = None;
-        let name = self.tasks[id.index()].config.name();
-        self.trace.record(self.now, TRACE_SOURCE, "terminate", name);
-        self.fire_hook(HookEvent::Terminate(id), world);
-        // Queued activation pending? Re-enter ready immediately.
-        if self.tasks[id.index()].queued() > 0 {
-            self.make_ready(id, false);
-        } else {
-            self.tasks[id.index()].state = TaskState::Suspended;
         }
     }
 
@@ -1031,14 +1136,45 @@ impl<W> Os<W> {
     }
 }
 
+/// The kernel side of the split borrow: effects reach these services
+/// through the [`KernelServices`] view on their [`EffectCtx`].
+impl<W> ServiceCore<W> for Core<W> {
+    fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError> {
+        Core::activate_task(self, task, world)
+    }
+
+    fn set_event(&mut self, task: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        Core::set_event(self, task, mask, world)
+    }
+
+    fn cancel_alarm_raw(&mut self, raw_alarm_id: u32) -> Result<(), OsError> {
+        Core::cancel_alarm(self, AlarmId(raw_alarm_id))
+    }
+
+    fn task_state(&self, task: TaskId) -> Result<TaskState, OsError> {
+        self.tasks
+            .get(task.index())
+            .map(|t| t.state)
+            .ok_or(OsError::InvalidId)
+    }
+
+    fn trace_mut(&mut self) -> &mut TraceRecorder {
+        &mut self.trace
+    }
+
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+}
+
 impl<W> std::fmt::Debug for Os<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Os")
-            .field("now", &self.now)
-            .field("tasks", &self.tasks.len())
-            .field("alarms", &self.alarms.len())
-            .field("resources", &self.resources.len())
-            .field("running", &self.running)
+            .field("now", &self.core.now)
+            .field("tasks", &self.core.tasks.len())
+            .field("alarms", &self.core.alarms.len())
+            .field("resources", &self.core.resources.len())
+            .field("running", &self.core.running)
             .finish()
     }
 }
@@ -1438,6 +1574,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn effect_requested_activation_takes_effect_immediately() {
         let mut os: Os<W> = Os::new();
         let b = os.add_task(TaskConfig::new("b", Priority(9)), log_body("b", ms(1)));
@@ -1453,6 +1590,73 @@ mod tests {
         os.run_until(Instant::from_millis(10), &mut w);
         // b (priority 9) preempts a right after the effect, so b logs first.
         assert_eq!(w, vec!["b@1000".to_string(), "a@6000".to_string()]);
+    }
+
+    #[test]
+    fn effect_direct_activation_matches_legacy_request_semantics() {
+        // Same scenario as the deprecated-shim test above, but through the
+        // direct-call API: the activation executes synchronously inside the
+        // effect, and the scheduling outcome is identical (preemption only
+        // materialises at the next scheduling decision, after the step).
+        let mut os: Os<W> = Os::new();
+        let b = os.add_task(TaskConfig::new("b", Priority(9)), log_body("b", ms(1)));
+        let a = os.add_task(TaskConfig::new("a", Priority(1)), move |_n: Instant, _w: &W| {
+            Plan::new()
+                .effect(move |w: &mut W, ctx| ctx.activate_task(b, w).unwrap())
+                .compute(ms(5))
+                .effect(|w: &mut W, ctx| w.push(format!("a@{}", ctx.now().as_micros())))
+        });
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(a, &mut w).unwrap();
+        os.run_until(Instant::from_millis(10), &mut w);
+        assert_eq!(w, vec!["b@1000".to_string(), "a@6000".to_string()]);
+        // The direct call went through the same kernel path: activation
+        // traces for os start, a and b.
+        assert_eq!(os.trace().count_kind("activate"), 2);
+    }
+
+    #[test]
+    fn arena_body_calls_services_directly_in_place() {
+        // An arena-backed body (plan_into + EffectRef) exercises the whole
+        // split-borrow path: run_effect executes on the body in place and
+        // activates a peer task synchronously through its KernelServices.
+        struct Chainer {
+            peer: Option<TaskId>,
+            fired: u32,
+        }
+        impl TaskBody<W> for Chainer {
+            fn plan_into(&mut self, _now: Instant, _world: &W, out: &mut Plan<W>) {
+                out.push_compute(Duration::from_millis(1));
+                out.push_effect_ref(0);
+            }
+            fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_, W>) {
+                assert_eq!(token, 0);
+                self.fired += 1;
+                world.push(format!("chainer@{}", ctx.now().as_micros()));
+                if let Some(peer) = self.peer {
+                    ctx.activate_task(peer, world).unwrap();
+                    assert_eq!(
+                        ctx.kernel().unwrap().task_state(peer),
+                        Ok(TaskState::Ready)
+                    );
+                }
+            }
+            fn name(&self) -> &str {
+                "chainer"
+            }
+        }
+        let mut os: Os<W> = Os::new();
+        let peer = os.add_task(TaskConfig::new("peer", Priority(1)), log_body("peer", ms(1)));
+        let chainer = os.add_task(
+            TaskConfig::new("chainer", Priority(5)),
+            Chainer { peer: Some(peer), fired: 0 },
+        );
+        let mut w = W::new();
+        os.start(&mut w);
+        os.activate_task(chainer, &mut w).unwrap();
+        os.run_until(Instant::from_millis(10), &mut w);
+        assert_eq!(w, vec!["chainer@1000".to_string(), "peer@2000".to_string()]);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use error::OsError;
 pub use hooks::{HookEvent, HookObserver};
 pub use isr::{IsrId, ISR_PRIORITY};
 pub use kernel::Os;
-pub use plan::{EffectCtx, Plan, PlanArena, ResourceId, Step, TaskBody};
+pub use plan::{EffectCtx, KernelServices, Plan, PlanArena, ResourceId, ServiceCore, Step, TaskBody};
 pub use resource::Resource;
 pub use task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};

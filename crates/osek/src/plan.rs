@@ -10,9 +10,13 @@
 //!
 //! Bodies are generic over a *world* type `W` — the shared state of the ECU
 //! (signal database, dependability services). Effects receive `&mut W` plus
-//! an [`EffectCtx`] through which they can request OS services.
+//! an [`EffectCtx`] through which they call OS services
+//! ([`EffectCtx::activate_task`], [`EffectCtx::set_event`],
+//! [`EffectCtx::cancel_alarm`]) — executed directly and synchronously on the
+//! kernel's scheduler core via the split-borrow [`KernelServices`] view.
 
-use crate::task::{EventMask, TaskId};
+use crate::error::OsError;
+use crate::task::{EventMask, TaskId, TaskState};
 use easis_sim::time::{Duration, Instant};
 use easis_sim::trace::TraceRecorder;
 use std::collections::VecDeque;
@@ -29,8 +33,8 @@ impl fmt::Display for ResourceId {
 }
 
 /// An instantaneous side effect executed by a task at the current simulated
-/// time. Receives the shared world and an [`EffectCtx`] for OS requests.
-pub type Effect<W> = Box<dyn FnMut(&mut W, &mut EffectCtx<'_>) + Send>;
+/// time. Receives the shared world and an [`EffectCtx`] for OS services.
+pub type Effect<W> = Box<dyn FnMut(&mut W, &mut EffectCtx<'_, W>) + Send>;
 
 /// One step of a task's execution plan.
 pub enum Step<W> {
@@ -115,7 +119,7 @@ impl<W> Plan<W> {
     }
 
     /// Appends an instantaneous effect.
-    pub fn effect(mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_>) + Send + 'static) -> Self {
+    pub fn effect(mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_, W>) + Send + 'static) -> Self {
         self.steps.push_back(Step::Effect(Box::new(f)));
         self
     }
@@ -178,7 +182,7 @@ impl<W> Plan<W> {
 
     /// Appends a boxed effect in place (allocates the box; arena bodies
     /// should prefer [`Plan::push_effect_ref`]).
-    pub fn push_effect(&mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_>) + Send + 'static) {
+    pub fn push_effect(&mut self, f: impl FnMut(&mut W, &mut EffectCtx<'_, W>) + Send + 'static) {
         self.steps.push_back(Step::Effect(Box::new(f)));
     }
 
@@ -305,9 +309,12 @@ pub trait TaskBody<W>: Send {
     fn plan_into(&mut self, now: Instant, world: &W, out: &mut Plan<W>);
 
     /// Executes the effect identified by `token` (planned as
-    /// [`Step::EffectRef`]). The default implementation panics: a body that
-    /// plans effect references must override this.
-    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_>) {
+    /// [`Step::EffectRef`]). The kernel invokes this **in place** on the
+    /// body stored in the TCB (no move out/back per effect) with a
+    /// kernel-backed [`EffectCtx`] through which OS services execute
+    /// directly. The default implementation panics: a body that plans
+    /// effect references must override this.
+    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_, W>) {
         let _ = (world, ctx);
         panic!(
             "task body `{}` planned Step::EffectRef({token}) without implementing run_effect",
@@ -341,6 +348,12 @@ where
 
 /// OS service requests an effect can issue; applied by the kernel right
 /// after the effect returns (still at the same simulated instant).
+#[deprecated(
+    since = "0.1.0",
+    note = "effects call OS services directly on `EffectCtx` \
+            (`activate_task`/`set_event`/`cancel_alarm`); the request queue \
+            remains only as the detached-context testing seam"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceRequest {
     /// Activate a task.
@@ -351,22 +364,221 @@ pub enum ServiceRequest {
     CancelAlarm(u32),
 }
 
-/// Context handed to [`Effect`]s: current time, the trace, and a queue of
-/// OS service requests.
-pub struct EffectCtx<'a> {
+/// Kernel-side supplier of OS services to a running effect.
+///
+/// The kernel's scheduler core implements this trait; [`KernelServices`]
+/// wraps a `&mut dyn ServiceCore<W>` and is what effects see. The trait is
+/// public so tests and benches can drive [`TaskBody::run_effect`] against a
+/// mock kernel — see the example on [`KernelServices`].
+pub trait ServiceCore<W> {
+    /// `ActivateTask`, executed synchronously at the current instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's activation errors (unknown id, activation
+    /// queue full).
+    fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError>;
+
+    /// `SetEvent`, executed synchronously at the current instant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's event errors (unknown id, basic task,
+    /// suspended task).
+    fn set_event(&mut self, task: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError>;
+
+    /// `CancelAlarm` on the alarm with the given raw id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's alarm errors (unknown id, not armed).
+    fn cancel_alarm_raw(&mut self, raw_alarm_id: u32) -> Result<(), OsError>;
+
+    /// State of a task (for effects that branch on readiness).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for an unknown id.
+    fn task_state(&self, task: TaskId) -> Result<TaskState, OsError>;
+
+    /// The kernel trace recorder.
+    fn trace_mut(&mut self) -> &mut TraceRecorder;
+
+    /// Whether trace records are retained.
+    fn trace_enabled(&self) -> bool;
+}
+
+/// The split-borrow service view a dispatched effect holds on the kernel.
+///
+/// The kernel factors its state so that the task bodies, the plan arena and
+/// the scheduler core (trace, timer queue, ready queue, task metadata) are
+/// *disjoint* borrows: while [`TaskBody::run_effect`] executes in place on
+/// the body, the effect's [`EffectCtx`] carries a `KernelServices` view of
+/// the core, so `ActivateTask`/`SetEvent`/`CancelAlarm` run **directly and
+/// synchronously** — no deferred request queue, no aliasing of the TCB.
+///
+/// # Examples
+///
+/// Driving a body's effect against a mock kernel (the same mechanism the
+/// real kernel uses, minus the scheduler):
+///
+/// ```
+/// use easis_osek::error::OsError;
+/// use easis_osek::plan::{EffectCtx, KernelServices, ServiceCore};
+/// use easis_osek::task::{EventMask, TaskId, TaskState};
+/// use easis_sim::time::Instant;
+/// use easis_sim::trace::TraceRecorder;
+///
+/// struct MockCore {
+///     activated: Vec<TaskId>,
+///     trace: TraceRecorder,
+/// }
+///
+/// impl ServiceCore<u32> for MockCore {
+///     fn activate_task(&mut self, task: TaskId, _world: &mut u32) -> Result<(), OsError> {
+///         self.activated.push(task);
+///         Ok(())
+///     }
+///     fn set_event(&mut self, _: TaskId, _: EventMask, _: &mut u32) -> Result<(), OsError> {
+///         Ok(())
+///     }
+///     fn cancel_alarm_raw(&mut self, _raw: u32) -> Result<(), OsError> {
+///         Ok(())
+///     }
+///     fn task_state(&self, _: TaskId) -> Result<TaskState, OsError> {
+///         Ok(TaskState::Suspended)
+///     }
+///     fn trace_mut(&mut self) -> &mut TraceRecorder {
+///         &mut self.trace
+///     }
+///     fn trace_enabled(&self) -> bool {
+///         self.trace.is_enabled()
+///     }
+/// }
+///
+/// let mut core = MockCore { activated: Vec::new(), trace: TraceRecorder::new() };
+/// let mut world = 0u32;
+/// {
+///     let services = KernelServices::new(&mut core);
+///     let mut ctx = EffectCtx::for_kernel(Instant::from_micros(5), TaskId(0), services);
+///     // What an effect does: call the service directly.
+///     ctx.activate_task(TaskId(2), &mut world).unwrap();
+///     ctx.trace("body", "mark", "activated peer");
+/// }
+/// assert_eq!(core.activated, vec![TaskId(2)]);
+/// assert_eq!(core.trace.events().len(), 1);
+/// ```
+pub struct KernelServices<'a, W> {
+    core: &'a mut dyn ServiceCore<W>,
+}
+
+impl<'a, W> KernelServices<'a, W> {
+    /// Wraps a scheduler core (kernel-internal; public so mocks work).
+    pub fn new(core: &'a mut dyn ServiceCore<W>) -> Self {
+        KernelServices { core }
+    }
+
+    /// `ActivateTask`, executed synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's activation errors.
+    pub fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError> {
+        self.core.activate_task(task, world)
+    }
+
+    /// `SetEvent`, executed synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's event errors.
+    pub fn set_event(&mut self, task: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        self.core.set_event(task, mask, world)
+    }
+
+    /// `CancelAlarm` on the alarm with the given raw id, executed
+    /// synchronously (used by fault treatment to stop a terminated
+    /// application's activation source).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's alarm errors.
+    pub fn cancel_alarm(&mut self, raw_alarm_id: u32) -> Result<(), OsError> {
+        self.core.cancel_alarm_raw(raw_alarm_id)
+    }
+
+    /// State of a task.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::InvalidId`] for an unknown id.
+    pub fn task_state(&self, task: TaskId) -> Result<TaskState, OsError> {
+        self.core.task_state(task)
+    }
+
+    /// The kernel trace recorder.
+    pub fn trace_mut(&mut self) -> &mut TraceRecorder {
+        self.core.trace_mut()
+    }
+
+    /// Whether trace records are retained.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace_enabled()
+    }
+}
+
+impl<W> fmt::Debug for KernelServices<'_, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelServices").finish_non_exhaustive()
+    }
+}
+
+/// What backs an [`EffectCtx`]: a live kernel core, or just a trace
+/// recorder (unit tests driving bodies without an OS).
+enum Services<'a, W> {
+    Kernel(KernelServices<'a, W>),
+    Detached(&'a mut TraceRecorder),
+}
+
+/// Context handed to [`Effect`]s and [`TaskBody::run_effect`]: current
+/// time, the trace, and the OS service interface.
+///
+/// Inside the kernel the context is backed by [`KernelServices`], so
+/// [`EffectCtx::activate_task`], [`EffectCtx::set_event`] and
+/// [`EffectCtx::cancel_alarm`] execute directly and synchronously on the
+/// scheduler core. A *detached* context ([`EffectCtx::new`]) has no kernel
+/// behind it: the same calls queue as [`ServiceRequest`]s, which a unit
+/// test can inspect via the (deprecated, test-only) [`EffectCtx::take_requests`].
+#[allow(deprecated)]
+pub struct EffectCtx<'a, W> {
     now: Instant,
     task: TaskId,
-    trace: &'a mut TraceRecorder,
+    services: Services<'a, W>,
     requests: Vec<ServiceRequest>,
 }
 
-impl<'a> EffectCtx<'a> {
-    /// Creates a context (kernel-internal, public for testing bodies).
+impl<'a, W> EffectCtx<'a, W> {
+    /// Creates a *detached* context (no kernel behind it) — the seam for
+    /// unit-testing bodies without an OS. Direct service calls queue as
+    /// [`ServiceRequest`]s instead of executing.
+    #[allow(deprecated)]
     pub fn new(now: Instant, task: TaskId, trace: &'a mut TraceRecorder) -> Self {
         EffectCtx {
             now,
             task,
-            trace,
+            services: Services::Detached(trace),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Creates a kernel-backed context (kernel-internal; public so benches
+    /// and mocks can reproduce the dispatch path).
+    #[allow(deprecated)]
+    pub fn for_kernel(now: Instant, task: TaskId, services: KernelServices<'a, W>) -> Self {
+        EffectCtx {
+            now,
+            task,
+            services: Services::Kernel(services),
             requests: Vec::new(),
         }
     }
@@ -383,7 +595,11 @@ impl<'a> EffectCtx<'a> {
 
     /// Records a trace event at the current time.
     pub fn trace(&mut self, source: &str, kind: &str, detail: impl Into<String>) {
-        self.trace.record(self.now, source, kind, detail);
+        let now = self.now;
+        match &mut self.services {
+            Services::Kernel(k) => k.trace_mut().record(now, source, kind, detail),
+            Services::Detached(t) => t.record(now, source, kind, detail),
+        }
     }
 
     /// Whether trace records are retained. Effects that format an
@@ -391,28 +607,131 @@ impl<'a> EffectCtx<'a> {
     /// `false` (a disabled recorder drops the record, but only after the
     /// caller already paid for the string).
     pub fn trace_enabled(&self) -> bool {
-        self.trace.is_enabled()
+        match &self.services {
+            Services::Kernel(k) => k.trace_enabled(),
+            Services::Detached(t) => t.is_enabled(),
+        }
+    }
+
+    /// The kernel service view, when this context is kernel-backed
+    /// (`None` for detached test contexts).
+    pub fn kernel(&mut self) -> Option<&mut KernelServices<'a, W>> {
+        match &mut self.services {
+            Services::Kernel(k) => Some(k),
+            Services::Detached(_) => None,
+        }
+    }
+
+    /// `ActivateTask`, executed synchronously on the kernel. On a detached
+    /// context the call is queued as a request instead (testing seam) and
+    /// reported as `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's activation errors.
+    #[allow(deprecated)]
+    pub fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError> {
+        match &mut self.services {
+            Services::Kernel(k) => k.activate_task(task, world),
+            Services::Detached(_) => {
+                self.requests.push(ServiceRequest::ActivateTask(task));
+                Ok(())
+            }
+        }
+    }
+
+    /// `SetEvent`, executed synchronously on the kernel. On a detached
+    /// context the call is queued as a request instead (testing seam) and
+    /// reported as `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's event errors.
+    #[allow(deprecated)]
+    pub fn set_event(&mut self, task: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        match &mut self.services {
+            Services::Kernel(k) => k.set_event(task, mask, world),
+            Services::Detached(_) => {
+                self.requests.push(ServiceRequest::SetEvent(task, mask));
+                Ok(())
+            }
+        }
+    }
+
+    /// `CancelAlarm` on the alarm with the given raw id, executed
+    /// synchronously on the kernel. On a detached context the call is
+    /// queued as a request instead (testing seam) and reported as `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's alarm errors.
+    #[allow(deprecated)]
+    pub fn cancel_alarm(&mut self, raw_alarm_id: u32) -> Result<(), OsError> {
+        match &mut self.services {
+            Services::Kernel(k) => k.cancel_alarm(raw_alarm_id),
+            Services::Detached(_) => {
+                self.requests.push(ServiceRequest::CancelAlarm(raw_alarm_id));
+                Ok(())
+            }
+        }
     }
 
     /// Requests `ActivateTask(task)` once the effect returns.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EffectCtx::activate_task(task, world)` — the kernel \
+                executes it synchronously"
+    )]
+    #[allow(deprecated)]
     pub fn request_activate(&mut self, task: TaskId) {
         self.requests.push(ServiceRequest::ActivateTask(task));
     }
 
     /// Requests `SetEvent(task, mask)` once the effect returns.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EffectCtx::set_event(task, mask, world)` — the kernel \
+                executes it synchronously"
+    )]
+    #[allow(deprecated)]
     pub fn request_set_event(&mut self, task: TaskId, mask: EventMask) {
         self.requests.push(ServiceRequest::SetEvent(task, mask));
     }
 
     /// Requests `CancelAlarm` on the alarm with the given raw id once the
-    /// effect returns (used by fault treatment to stop a terminated
-    /// application's activation source).
+    /// effect returns.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `EffectCtx::cancel_alarm(raw_alarm_id)` — the kernel \
+                executes it synchronously"
+    )]
+    #[allow(deprecated)]
     pub fn request_cancel_alarm(&mut self, raw_alarm_id: u32) {
         self.requests.push(ServiceRequest::CancelAlarm(raw_alarm_id));
     }
 
-    /// Drains the queued requests (kernel-internal).
+    /// Drains the queued requests. With direct service execution the
+    /// kernel-backed queue stays empty unless a legacy `request_*` call
+    /// filled it; detached contexts still queue direct calls here.
+    #[deprecated(
+        since = "0.1.0",
+        note = "direct service calls leave nothing to drain; only detached \
+                test contexts and legacy `request_*` callers still queue"
+    )]
+    #[allow(deprecated)]
     pub fn take_requests(&mut self) -> Vec<ServiceRequest> {
+        std::mem::take(&mut self.requests)
+    }
+
+    /// `true` when legacy `request_*` calls queued anything (kernel-internal
+    /// fast path: skips the drain entirely on the common direct path).
+    pub(crate) fn has_requests(&self) -> bool {
+        !self.requests.is_empty()
+    }
+
+    /// Non-deprecated internal drain for the kernel's legacy-request shim.
+    #[allow(deprecated)]
+    pub(crate) fn take_requests_internal(&mut self) -> Vec<ServiceRequest> {
         std::mem::take(&mut self.requests)
     }
 }
@@ -456,9 +775,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn effect_ctx_queues_requests() {
         let mut trace = TraceRecorder::new();
-        let mut ctx = EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
+        let mut ctx: EffectCtx<'_, W> =
+            EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
         ctx.request_activate(TaskId(2));
         ctx.request_set_event(TaskId(3), EventMask::bit(1));
         let reqs = ctx.take_requests();
@@ -468,13 +789,119 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn detached_direct_calls_queue_as_requests() {
+        // The testing seam: without a kernel behind the context, the direct
+        // service API degrades to the request queue so body unit tests can
+        // assert what a body asked for.
+        let mut trace = TraceRecorder::new();
+        let mut ctx: EffectCtx<'_, W> =
+            EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
+        assert!(ctx.kernel().is_none());
+        let mut w: W = 0;
+        ctx.activate_task(TaskId(2), &mut w).unwrap();
+        ctx.set_event(TaskId(3), EventMask::bit(1), &mut w).unwrap();
+        ctx.cancel_alarm(7).unwrap();
+        let reqs = ctx.take_requests();
+        assert_eq!(
+            reqs,
+            vec![
+                ServiceRequest::ActivateTask(TaskId(2)),
+                ServiceRequest::SetEvent(TaskId(3), EventMask::bit(1)),
+                ServiceRequest::CancelAlarm(7),
+            ]
+        );
+    }
+
+    struct RecordingCore {
+        activated: Vec<TaskId>,
+        events: Vec<(TaskId, EventMask)>,
+        cancelled: Vec<u32>,
+        trace: TraceRecorder,
+    }
+
+    impl ServiceCore<W> for RecordingCore {
+        fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError> {
+            *world += 1;
+            self.activated.push(task);
+            Ok(())
+        }
+        fn set_event(&mut self, task: TaskId, mask: EventMask, _w: &mut W) -> Result<(), OsError> {
+            self.events.push((task, mask));
+            Ok(())
+        }
+        fn cancel_alarm_raw(&mut self, raw: u32) -> Result<(), OsError> {
+            self.cancelled.push(raw);
+            Err(OsError::AlarmNotInUse)
+        }
+        fn task_state(&self, _task: TaskId) -> Result<TaskState, OsError> {
+            Ok(TaskState::Ready)
+        }
+        fn trace_mut(&mut self) -> &mut TraceRecorder {
+            &mut self.trace
+        }
+        fn trace_enabled(&self) -> bool {
+            self.trace.is_enabled()
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn kernel_backed_direct_calls_execute_synchronously() {
+        let mut core = RecordingCore {
+            activated: Vec::new(),
+            events: Vec::new(),
+            cancelled: Vec::new(),
+            trace: TraceRecorder::new(),
+        };
+        let mut w: W = 0;
+        {
+            let mut ctx =
+                EffectCtx::for_kernel(Instant::from_micros(9), TaskId(1), KernelServices::new(&mut core));
+            assert!(ctx.kernel().is_some());
+            ctx.activate_task(TaskId(4), &mut w).unwrap();
+            ctx.set_event(TaskId(5), EventMask::bit(2), &mut w).unwrap();
+            assert_eq!(ctx.cancel_alarm(3), Err(OsError::AlarmNotInUse));
+            assert_eq!(ctx.kernel().unwrap().task_state(TaskId(0)), Ok(TaskState::Ready));
+            // Direct execution leaves the legacy queue empty…
+            assert!(ctx.take_requests().is_empty());
+            // …while the legacy request_* shim still queues.
+            ctx.request_activate(TaskId(6));
+            assert_eq!(ctx.take_requests(), vec![ServiceRequest::ActivateTask(TaskId(6))]);
+        }
+        assert_eq!(w, 1, "activation executed during the effect");
+        assert_eq!(core.activated, vec![TaskId(4)]);
+        assert_eq!(core.events, vec![(TaskId(5), EventMask::bit(2))]);
+        assert_eq!(core.cancelled, vec![3]);
+    }
+
+    #[test]
     fn effect_ctx_traces_at_current_time() {
         let mut trace = TraceRecorder::new();
         {
-            let mut ctx = EffectCtx::new(Instant::from_micros(7), TaskId(0), &mut trace);
+            let mut ctx: EffectCtx<'_, W> =
+                EffectCtx::new(Instant::from_micros(7), TaskId(0), &mut trace);
             ctx.trace("body", "mark", "x");
         }
         assert_eq!(trace.events()[0].at, Instant::from_micros(7));
+    }
+
+    #[test]
+    fn kernel_backed_trace_lands_on_the_core_recorder() {
+        let mut core = RecordingCore {
+            activated: Vec::new(),
+            events: Vec::new(),
+            cancelled: Vec::new(),
+            trace: TraceRecorder::new(),
+        };
+        {
+            let mut ctx: EffectCtx<'_, W> =
+                EffectCtx::for_kernel(Instant::from_micros(11), TaskId(0), KernelServices::new(&mut core));
+            assert!(ctx.trace_enabled());
+            ctx.trace("body", "mark", "y");
+        }
+        assert_eq!(core.trace.events()[0].at, Instant::from_micros(11));
+        assert_eq!(core.trace.events()[0].kind, "mark");
     }
 
     #[test]

@@ -233,7 +233,7 @@ impl<W: EcuWorld + 'static> TaskBody<W> for SequencedTask<W> {
 
     /// Executes runnable `token` (the declaration index planned by
     /// [`SequencedTask::plan_into`]) with its heartbeat glue.
-    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_>) {
+    fn run_effect(&mut self, token: u32, world: &mut W, ctx: &mut EffectCtx<'_, W>) {
         let def = &self.runnables[token as usize];
         let id = def.spec().id();
         // Arc refcount bump, not an allocation: the logic must outlive the

@@ -108,7 +108,7 @@ impl RunnableSpec {
 /// world, executed when the runnable's compute segment completes.
 ///
 /// Shared (`Arc`) so one logic can be planned into many activations.
-pub type RunnableLogic<W> = Arc<dyn Fn(&mut W, &mut EffectCtx<'_>) + Send + Sync>;
+pub type RunnableLogic<W> = Arc<dyn Fn(&mut W, &mut EffectCtx<'_, W>) + Send + Sync>;
 
 /// A runnable ready for task assembly: spec + logic.
 pub struct RunnableDef<W> {
@@ -137,7 +137,7 @@ impl<W> RunnableDef<W> {
     /// Pairs a spec with its logic.
     pub fn new(
         spec: RunnableSpec,
-        logic: impl Fn(&mut W, &mut EffectCtx<'_>) + Send + Sync + 'static,
+        logic: impl Fn(&mut W, &mut EffectCtx<'_, W>) + Send + Sync + 'static,
     ) -> Self {
         RunnableDef {
             spec,

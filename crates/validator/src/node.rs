@@ -399,7 +399,7 @@ impl CentralNode {
 
     fn execute_treatment(
         w: &mut CentralWorld,
-        ctx: &mut easis_osek::plan::EffectCtx<'_>,
+        ctx: &mut easis_osek::plan::EffectCtx<'_, CentralWorld>,
         treatment: &Treatment,
     ) {
         match treatment {
@@ -418,8 +418,12 @@ impl CentralNode {
             }
             Treatment::TerminateApplication(app) => {
                 // Stop the activation source and leave supervision off.
+                // Direct synchronous cancel on the kernel core; a second
+                // terminate of an already-stopped app is a no-op, so the
+                // AlarmNotInUse error is intentionally ignored (the legacy
+                // request path swallowed it the same way).
                 if let Some(&raw) = w.app_alarms.get(app) {
-                    ctx.request_cancel_alarm(raw);
+                    let _ = ctx.cancel_alarm(raw);
                 }
             }
             Treatment::EcuReset => {
@@ -535,7 +539,7 @@ impl TaskBody<CentralWorld> for WatchdogTaskBody {
         out.push_effect_ref(0);
     }
 
-    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_>) {
+    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_, CentralWorld>) {
         let now = ctx.now();
         let report = w.watchdog.run_cycle(now);
         if ctx.trace_enabled() {
@@ -592,7 +596,7 @@ impl TaskBody<CentralWorld> for HwKickBody {
         out.push_effect_ref(0);
     }
 
-    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_>) {
+    fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_, CentralWorld>) {
         let _ = w.hw_watchdog.kick(ctx.now());
     }
 

@@ -202,19 +202,23 @@ pub fn campaign_node_config() -> NodeConfig {
 /// with their latencies relative to the injection start.
 pub fn run_trial(spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
     let mut node = CentralNode::build(campaign_node_config());
-    run_trial_on(&mut node, spec, horizon)
+    let mut injector = Injector::new([spec.injection.clone()]);
+    run_trial_on(&mut node, &mut injector, spec, horizon)
 }
 
 thread_local! {
-    /// Per-worker pooled node, tagged with the blueprint stamp it was
-    /// built from. One pooled world per worker thread covers a whole
-    /// campaign: trials reset it instead of rebuilding it.
-    static NODE_POOL: std::cell::RefCell<Option<(u64, CentralNode)>> =
+    /// Per-worker pooled node and injector, tagged with the blueprint
+    /// stamp the node was built from. One pooled world per worker thread
+    /// covers a whole campaign: trials reset the node and reload the
+    /// injector instead of rebuilding either.
+    static NODE_POOL: std::cell::RefCell<Option<(u64, CentralNode, Injector)>> =
         const { std::cell::RefCell::new(None) };
 }
 
 /// Runs one campaign trial on this worker's pooled node, building it from
 /// `blueprint` on first use and [`CentralNode::reset`]ting it afterwards.
+/// The worker's pooled [`Injector`] is [`Injector::reload`]ed with this
+/// trial's injection, so steady-state trials reuse its arming buffer too.
 /// The reset≡fresh property test pins that the outcome is byte-identical
 /// to [`run_trial`] on a fresh build.
 pub fn run_trial_pooled(
@@ -225,28 +229,38 @@ pub fn run_trial_pooled(
     NODE_POOL.with(|pool| {
         let mut slot = pool.borrow_mut();
         match slot.as_mut() {
-            Some((stamp, node)) if *stamp == blueprint.stamp() => node.reset(),
+            Some((stamp, node, injector)) if *stamp == blueprint.stamp() => {
+                node.reset();
+                injector.reload([spec.injection.clone()]);
+            }
             _ => {
                 *slot = Some((
                     blueprint.stamp(),
                     CentralNode::build_from_blueprint(blueprint),
+                    Injector::new([spec.injection.clone()]),
                 ));
             }
         }
-        let (_, node) = slot.as_mut().expect("pool populated above");
-        run_trial_on(node, spec, horizon)
+        let (_, node, injector) = slot.as_mut().expect("pool populated above");
+        run_trial_on(node, injector, spec, horizon)
     })
 }
 
 /// The shared trial body: starts the (fresh or just-reset) node, runs the
-/// injection to the horizon and extracts the detector outcome.
-fn run_trial_on(node: &mut CentralNode, spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
+/// already-loaded injector to the horizon and extracts the detector
+/// outcome. The outcome's class tag is the process-interned handle, so
+/// stamping it allocates nothing.
+fn run_trial_on(
+    node: &mut CentralNode,
+    injector: &mut Injector,
+    spec: &TrialSpec,
+    horizon: Instant,
+) -> TrialOutcome {
     node.start();
     let from = spec.injection.from;
-    let mut injector = Injector::new([spec.injection.clone()]);
-    node.run_until(horizon, &mut injector);
+    node.run_until(horizon, injector);
 
-    let mut outcome = TrialOutcome::new(spec.injection.class.tag());
+    let mut outcome = TrialOutcome::new(spec.injection.class.interned_tag());
     for fault in &node.world.fault_log {
         if fault.at >= from {
             outcome.record(
@@ -312,7 +326,8 @@ pub fn run_plan_fresh(
     };
     executor.run(plan, move |spec| {
         let mut node = CentralNode::build(config.clone());
-        run_trial_on(&mut node, spec, horizon)
+        let mut injector = Injector::new([spec.injection.clone()]);
+        run_trial_on(&mut node, &mut injector, spec, horizon)
     })
 }
 

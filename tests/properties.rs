@@ -682,7 +682,7 @@ fn apply_effect(
     spec: &EffectSpec,
     n_tasks: u32,
     world: &mut EquivWorld,
-    ctx: &mut easis::osek::plan::EffectCtx<'_>,
+    ctx: &mut easis::osek::plan::EffectCtx<'_, EquivWorld>,
 ) {
     use easis::osek::task::TaskId;
     world.meter.charge(7);
@@ -695,7 +695,10 @@ fn apply_effect(
             ctx.trace("equiv", "mark", format!("t{task}"));
         }
         EffectSpec::Activate(t) => {
-            ctx.request_activate(TaskId(t % n_tasks));
+            // Direct synchronous service call on the kernel core (the
+            // post-redesign style); activating an already-saturated task
+            // is spec'd as a lost activation, so errors are ignored.
+            let _ = ctx.activate_task(TaskId(t % n_tasks), world);
         }
     }
 }
@@ -727,7 +730,7 @@ impl easis::osek::plan::TaskBody<EquivWorld> for ArenaSpecBody {
         &mut self,
         token: u32,
         world: &mut EquivWorld,
-        ctx: &mut easis::osek::plan::EffectCtx<'_>,
+        ctx: &mut easis::osek::plan::EffectCtx<'_, EquivWorld>,
     ) {
         let spec = self.steps[token as usize].1.clone();
         apply_effect(self.task, &spec, self.n_tasks, world, ctx);

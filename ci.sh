@@ -35,18 +35,21 @@ for key in schema_version iterations monitored_runnables ns_per_heartbeat \
 done
 rm -rf "$hotpath_scratch"
 
-echo "==> campaign_bench smoke run (pooled vs fresh, schema + alloc gates)"
-# Reduced trial count from a scratch dir: the bit-identical pooled-vs-
-# fresh stats assertion, the steady-state allocation floor and the
-# horizon-scaling zero-alloc gate always apply; the >=2x speedup
-# assertion is skipped below the full 200 trials/class so smoke runs
-# stay timing-noise-proof, and the committed BENCH_campaign.json
-# (full-scale record) is not clobbered.
+echo "==> campaign_bench smoke run (forked vs pooled vs fresh, schema + alloc gates)"
+# Reduced trial count from a scratch dir: the bit-identical forked-vs-
+# pooled-vs-fresh stats assertions, the steady-state allocation floor,
+# the faulty-trial allocation floor and the horizon-scaling zero-alloc
+# gate always apply; the prefix-reuse (>=1.5x) and pooled-vs-fresh
+# (>=2x) speedup assertions are skipped below the full 200 trials/class
+# so smoke runs stay timing-noise-proof, and the committed
+# BENCH_campaign.json (full-scale record) is not clobbered.
 campaign_scratch="$(mktemp -d)"
 (cd "$campaign_scratch" && EASIS_WORKERS=2 "$OLDPWD/target/release/campaign_bench" 10 > /dev/null)
 for key in schema_version trials workers simulated_ms_per_trial setup \
-           pooled fresh speedup_pooled_vs_fresh steady_state \
-           clean_trial_allocs horizon_scaling_allocs worker_sweep; do
+           forked pooled fresh prefix_reuse speedup_vs_pooled \
+           speedup_pooled_vs_fresh steady_state clean_trial_allocs \
+           faulty_trial_allocs horizon_scaling_allocs worker_sweep \
+           worker_sweep_note; do
   grep -q "\"$key\"" "$campaign_scratch/BENCH_campaign.json" \
     || { echo "BENCH_campaign.json missing key: $key"; exit 1; }
 done
@@ -69,7 +72,10 @@ echo "==> soak smoke run (short horizon via EASIS_SOAK_HORIZON_MS)"
 # CI run.
 EASIS_SOAK_HORIZON_MS=60000 cargo test -q --test soak
 
-echo "==> campaign golden across worker/chunk configurations (pooled path)"
+echo "==> campaign golden across worker/chunk configurations (forked path)"
+# campaign_regression drives scenario::run_plan — the snapshot-forking
+# engine with tail collapsing — so this loop proves the prefix-reuse
+# report bytes stay identical to the golden at every worker count.
 for w in 1 2 4; do
   EASIS_WORKERS=$w EASIS_CHUNK=5 cargo test -q --test campaign_regression
 done

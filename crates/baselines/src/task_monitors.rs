@@ -72,6 +72,13 @@ impl DeadlineMonitor {
     pub fn reset(&self) {
         *self.stats.lock().expect("stats lock") = TaskMonitorStats::default();
     }
+
+    /// Overwrites the statistics in every clone of this monitor with a
+    /// previously captured snapshot ([`DeadlineMonitor::stats`] is the
+    /// capture half — campaign checkpoint support).
+    pub fn restore_stats(&self, stats: &TaskMonitorStats) {
+        self.stats.lock().expect("stats lock").clone_from(stats);
+    }
 }
 
 impl<W> HookObserver<W> for DeadlineMonitor {
@@ -104,6 +111,13 @@ impl ExecutionTimeMonitor {
     /// (world pooling support).
     pub fn reset(&self) {
         *self.stats.lock().expect("stats lock") = TaskMonitorStats::default();
+    }
+
+    /// Overwrites the statistics in every clone of this monitor with a
+    /// previously captured snapshot ([`ExecutionTimeMonitor::stats`] is
+    /// the capture half — campaign checkpoint support).
+    pub fn restore_stats(&self, stats: &TaskMonitorStats) {
+        self.stats.lock().expect("stats lock").clone_from(stats);
     }
 }
 

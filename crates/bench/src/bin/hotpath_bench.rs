@@ -17,8 +17,9 @@
 //! split-borrow `EffectRef` path (body run in place, OS services called
 //! directly on a kernel-backed `EffectCtx`) against a faithful replica of
 //! the moved-body baseline it replaced (body taken out of the TCB, effect
-//! run on a detached context, `ServiceRequest` queue drained, body put
-//! back). It also drives a full `SoftwareWatchdog` through
+//! run on a detached context, service-request queue drained, body put
+//! back — replicated locally in this bin now that the production shim is
+//! retired). It also drives a full `SoftwareWatchdog` through
 //! steady-state cycles under a counting allocator and asserts **zero**
 //! heap allocations per nominal cycle. Results land in
 //! `BENCH_hotpath.json` (stable schema, `schema_version` 2) so future PRs
@@ -286,7 +287,6 @@ impl ServiceCore<u64> for BenchCore {
 /// paper's watchdog task puts on the kernel boundary every cycle.
 struct DispatchBody {
     peer: TaskId,
-    direct: bool,
     fired: u64,
 }
 
@@ -295,15 +295,10 @@ impl TaskBody<u64> for DispatchBody {
         out.push_effect_ref(0);
     }
 
-    #[allow(deprecated)] // the baseline half still queues ServiceRequests
     fn run_effect(&mut self, _token: u32, world: &mut u64, ctx: &mut EffectCtx<'_, u64>) {
         self.fired += 1;
         *world = world.wrapping_add(self.fired);
-        if self.direct {
-            let _ = ctx.activate_task(self.peer, world);
-        } else {
-            ctx.request_activate(self.peer);
-        }
+        let _ = ctx.activate_task(self.peer, world);
     }
 
     fn name(&self) -> &str {
@@ -311,9 +306,51 @@ impl TaskBody<u64> for DispatchBody {
     }
 }
 
-#[allow(deprecated)] // replays the pre-redesign take_requests/ServiceRequest path
+// The pre-redesign moved-body machinery, replicated locally now that the
+// production `ServiceRequest` shim is gone: a detached effect context that
+// queues service requests (first push allocates — the queue is fresh per
+// effect), drained against the core after the body is put back.
+
+// Unused variants kept so the replica models the retired three-variant
+// enum's size and match shape, not a degenerate single-variant one.
+#[allow(dead_code)]
+enum BenchServiceRequest {
+    ActivateTask(TaskId),
+    SetEvent(TaskId, EventMask),
+    CancelAlarm(u32),
+}
+
+struct MovedCtx<'a> {
+    #[allow(dead_code)]
+    trace: &'a mut TraceRecorder,
+    requests: Vec<BenchServiceRequest>,
+}
+
+impl MovedCtx<'_> {
+    fn request_activate(&mut self, task: TaskId) {
+        self.requests.push(BenchServiceRequest::ActivateTask(task));
+    }
+}
+
+/// The pre-split-borrow body shape: effects see only the detached context.
+trait MovedTaskBody {
+    fn run_effect(&mut self, token: u32, world: &mut u64, ctx: &mut MovedCtx<'_>);
+}
+
+struct MovedDispatchBody {
+    peer: TaskId,
+    fired: u64,
+}
+
+impl MovedTaskBody for MovedDispatchBody {
+    fn run_effect(&mut self, _token: u32, world: &mut u64, ctx: &mut MovedCtx<'_>) {
+        self.fired += 1;
+        *world = world.wrapping_add(self.fired);
+        ctx.request_activate(self.peer);
+    }
+}
+
 fn bench_direct_dispatch(iterations: u64) -> DispatchComparison {
-    use easis_osek::plan::ServiceRequest;
     const TASKS: usize = 16;
 
     // Split-borrow path: the body runs in place and calls the service
@@ -321,7 +358,7 @@ fn bench_direct_dispatch(iterations: u64) -> DispatchComparison {
     let mut core = BenchCore::new();
     let mut bodies: Vec<Box<dyn TaskBody<u64>>> = (0..TASKS)
         .map(|i| {
-            Box::new(DispatchBody { peer: TaskId(i as u32), direct: true, fired: 0 })
+            Box::new(DispatchBody { peer: TaskId(i as u32), fired: 0 })
                 as Box<dyn TaskBody<u64>>
         })
         .collect();
@@ -344,10 +381,10 @@ fn bench_direct_dispatch(iterations: u64) -> DispatchComparison {
     // allocates — the context is fresh per effect), put the body back,
     // then replay the queued requests against the core.
     let mut core = BenchCore::new();
-    let mut slots: Vec<Option<Box<dyn TaskBody<u64>>>> = (0..TASKS)
+    let mut slots: Vec<Option<Box<dyn MovedTaskBody>>> = (0..TASKS)
         .map(|i| {
-            Some(Box::new(DispatchBody { peer: TaskId(i as u32), direct: false, fired: 0 })
-                as Box<dyn TaskBody<u64>>)
+            Some(Box::new(MovedDispatchBody { peer: TaskId(i as u32), fired: 0 })
+                as Box<dyn MovedTaskBody>)
         })
         .collect();
     let mut trace = TraceRecorder::disabled();
@@ -355,20 +392,19 @@ fn bench_direct_dispatch(iterations: u64) -> DispatchComparison {
     let mut i = 0usize;
     let moved_ns = measure(iterations, || {
         let mut body = slots[i % TASKS].take().expect("body present in slot");
-        let mut ctx: EffectCtx<'_, u64> =
-            EffectCtx::new(Instant::ZERO, TaskId((i % TASKS) as u32), &mut trace);
+        let mut ctx = MovedCtx { trace: &mut trace, requests: Vec::new() };
         body.run_effect(0, &mut world, &mut ctx);
-        let requests = ctx.take_requests();
+        let requests = ctx.requests;
         slots[i % TASKS] = Some(body);
         for request in requests {
             match request {
-                ServiceRequest::ActivateTask(t) => {
+                BenchServiceRequest::ActivateTask(t) => {
                     let _ = ServiceCore::activate_task(&mut core, t, &mut world);
                 }
-                ServiceRequest::SetEvent(t, m) => {
+                BenchServiceRequest::SetEvent(t, m) => {
                     let _ = ServiceCore::set_event(&mut core, t, m, &mut world);
                 }
-                ServiceRequest::CancelAlarm(a) => {
+                BenchServiceRequest::CancelAlarm(a) => {
                     let _ = core.cancel_alarm_raw(a);
                 }
             }

@@ -86,9 +86,8 @@ pub struct SoftwareWatchdog {
     pfc_errors: Vec<u32>,
     outbox: Vec<DetectedFault>,
     state_outbox: Vec<StateChange>,
-    /// Capacity-retained scratch for `run_cycle`'s fault list.
-    fault_scratch: Vec<DetectedFault>,
-    /// Capacity-retained scratch for TSI state changes.
+    /// Capacity-retained scratch for TSI state changes on the heartbeat
+    /// (PFC violation) path.
     change_scratch: Vec<StateChange>,
     costs: CostMeter,
     cycles_run: u64,
@@ -143,7 +142,6 @@ impl SoftwareWatchdog {
             pfc_errors,
             outbox: Vec::new(),
             state_outbox: Vec::new(),
-            fault_scratch: Vec::new(),
             change_scratch: Vec::new(),
             costs: CostMeter::new(),
             cycles_run: 0,
@@ -222,10 +220,26 @@ impl SoftwareWatchdog {
     }
 
     /// The periodic watchdog task body: advances all cycle counters,
-    /// performs the end-of-period checks, and updates the TSI unit. Runs
-    /// on capacity-retained scratch buffers: a steady-state cycle (no
-    /// faults detected) performs zero heap allocations.
+    /// performs the end-of-period checks, and updates the TSI unit.
+    /// Convenience wrapper over [`SoftwareWatchdog::run_cycle_into`]
+    /// returning an owned report; a clean cycle still performs zero heap
+    /// allocations (empty vectors never allocate). Callers on the campaign
+    /// hot path should hold a reusable [`CycleReport`] and call
+    /// `run_cycle_into` so *faulty* cycles are allocation-free too.
     pub fn run_cycle(&mut self, now: Instant) -> CycleReport {
+        let mut report = CycleReport::default();
+        self.run_cycle_into(now, &mut report);
+        report
+    }
+
+    /// [`SoftwareWatchdog::run_cycle`] writing into a caller-owned,
+    /// capacity-retained report buffer (cleared first). With a reused
+    /// buffer, a cycle allocates nothing once the buffer has grown to the
+    /// fault-burst high-water mark — the faulty-trial half of the
+    /// campaign's allocation-free contract.
+    pub fn run_cycle_into(&mut self, now: Instant, report: &mut CycleReport) {
+        report.faults.clear();
+        report.state_changes.clear();
         self.cycles_run += 1;
         self.obs.record(
             now,
@@ -234,16 +248,13 @@ impl SoftwareWatchdog {
             },
         );
         let cycles_before = self.costs.total_cycles();
-        let mut faults = std::mem::take(&mut self.fault_scratch);
-        let mut state_changes = std::mem::take(&mut self.change_scratch);
-        faults.clear();
-        state_changes.clear();
         self.heartbeat_unit
-            .end_of_cycle_into(now, &mut self.costs, &mut faults);
-        for &fault in &faults {
-            let start = state_changes.len();
-            self.tsi_unit.record_into(fault, &mut state_changes);
-            self.apply_state_changes(&state_changes[start..]);
+            .end_of_cycle_into(now, &mut self.costs, &mut report.faults);
+        for i in 0..report.faults.len() {
+            let fault = report.faults[i];
+            let start = report.state_changes.len();
+            self.tsi_unit.record_into(fault, &mut report.state_changes);
+            self.apply_state_changes(&report.state_changes[start..]);
         }
         if self.obs.is_enabled() {
             let spent = self.costs.total_cycles() - cycles_before;
@@ -256,20 +267,11 @@ impl SoftwareWatchdog {
             now,
             ObsEvent::CycleCheckEnd {
                 cycle: self.cycles_run,
-                faults: faults.len() as u32,
+                faults: report.faults.len() as u32,
             },
         );
-        self.outbox.extend_from_slice(&faults);
-        self.state_outbox.extend_from_slice(&state_changes);
-        // Cloning empty vectors does not allocate, so the steady state
-        // stays allocation-free while fault cycles pay one clone each.
-        let report = CycleReport {
-            faults: faults.clone(),
-            state_changes: state_changes.clone(),
-        };
-        self.fault_scratch = faults;
-        self.change_scratch = state_changes;
-        report
+        self.outbox.extend_from_slice(&report.faults);
+        self.state_outbox.extend_from_slice(&report.state_changes);
     }
 
     /// Honour `deactivate_on_faulty_task` (clear the AS of every runnable
@@ -368,6 +370,21 @@ impl SoftwareWatchdog {
         std::mem::take(&mut self.state_outbox)
     }
 
+    /// Drains pending faults into `out` (appending), retaining the outbox
+    /// allocation — the allocation-free alternative to
+    /// [`SoftwareWatchdog::take_faults`] for the campaign hot path.
+    pub fn drain_faults_into(&mut self, out: &mut Vec<DetectedFault>) {
+        out.extend_from_slice(&self.outbox);
+        self.outbox.clear();
+    }
+
+    /// Drains pending state changes into `out` (appending), retaining the
+    /// outbox allocation.
+    pub fn drain_state_changes_into(&mut self, out: &mut Vec<StateChange>) {
+        out.extend_from_slice(&self.state_outbox);
+        self.state_outbox.clear();
+    }
+
     /// Number of pending (undrained) faults.
     pub fn pending_faults(&self) -> usize {
         self.outbox.len()
@@ -409,17 +426,70 @@ impl SoftwareWatchdog {
         self.pfc_errors.fill(0);
         self.outbox.clear();
         self.state_outbox.clear();
-        self.fault_scratch.clear();
         self.change_scratch.clear();
         self.costs = CostMeter::new();
         self.cycles_run = 0;
         self.last_heartbeat_now = Instant::ZERO;
     }
 
+    /// Captures every piece of watchdog runtime state — monitor counters,
+    /// PFC positions, TSI verdicts, outboxes, cost meter — into a
+    /// deterministic snapshot. The compiled configuration, slot scope and
+    /// observability sink are static and stay out of it.
+    pub fn snapshot(&self) -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            heartbeat_unit: self.heartbeat_unit.clone(),
+            pfc_units: self.pfc_units.clone(),
+            tsi_unit: self.tsi_unit.clone(),
+            task_faulty: self.task_faulty.clone(),
+            pfc_errors: self.pfc_errors.clone(),
+            outbox: self.outbox.clone(),
+            state_outbox: self.state_outbox.clone(),
+            costs: self.costs,
+            cycles_run: self.cycles_run,
+            last_heartbeat_now: self.last_heartbeat_now,
+        }
+    }
+
+    /// Restores runtime state captured by [`SoftwareWatchdog::snapshot`];
+    /// afterwards the service replays exactly like the snapshotted one.
+    /// Buffers restore in place (`clone_from`) so capacity is retained.
+    pub fn restore_from(&mut self, snap: &WatchdogSnapshot) {
+        self.heartbeat_unit.clone_from(&snap.heartbeat_unit);
+        self.pfc_units.clone_from(&snap.pfc_units);
+        self.tsi_unit.clone_from(&snap.tsi_unit);
+        self.task_faulty.copy_from_slice(&snap.task_faulty);
+        self.pfc_errors.copy_from_slice(&snap.pfc_errors);
+        self.outbox.clear();
+        self.outbox.extend_from_slice(&snap.outbox);
+        self.state_outbox.clear();
+        self.state_outbox.extend_from_slice(&snap.state_outbox);
+        self.change_scratch.clear();
+        self.costs = snap.costs;
+        self.cycles_run = snap.cycles_run;
+        self.last_heartbeat_now = snap.last_heartbeat_now;
+    }
+
     /// The TSI unit (read access for reports).
     pub fn tsi(&self) -> &TaskStateIndication {
         &self.tsi_unit
     }
+}
+
+/// A deterministic capture of watchdog runtime state — see
+/// [`SoftwareWatchdog::snapshot`] / [`SoftwareWatchdog::restore_from`].
+#[derive(Debug, Clone)]
+pub struct WatchdogSnapshot {
+    heartbeat_unit: HeartbeatMonitor,
+    pfc_units: Vec<ProgramFlowChecker>,
+    tsi_unit: TaskStateIndication,
+    task_faulty: Vec<bool>,
+    pfc_errors: Vec<u32>,
+    outbox: Vec<DetectedFault>,
+    state_outbox: Vec<StateChange>,
+    costs: CostMeter,
+    cycles_run: u64,
+    last_heartbeat_now: Instant,
 }
 
 impl HeartbeatSink for SoftwareWatchdog {

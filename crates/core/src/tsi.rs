@@ -71,11 +71,23 @@ impl TaskStateIndication {
     }
 
     /// Resets every error vector and verdict to the just-built state,
-    /// keeping the mapping and thresholds (world pooling support).
+    /// keeping the mapping and thresholds (world pooling support). Counts
+    /// and states are zeroed **in place** — the map nodes stay allocated,
+    /// so a pooled world's next faulty trial re-increments existing
+    /// entries instead of rebuilding the trees (a zero count is
+    /// observably identical to an absent entry).
     pub fn reset(&mut self) {
-        self.vectors.clear();
-        self.task_states.clear();
-        self.app_states.clear();
+        for vector in self.vectors.values_mut() {
+            for count in vector.values_mut() {
+                *count = 0;
+            }
+        }
+        for state in self.task_states.values_mut() {
+            *state = HealthState::Ok;
+        }
+        for state in self.app_states.values_mut() {
+            *state = HealthState::Ok;
+        }
         self.ecu_state = HealthState::Ok;
     }
 
@@ -183,7 +195,13 @@ impl TaskStateIndication {
     /// Clears a task's error vector and verdict after fault treatment
     /// (restart), re-deriving application and ECU states.
     pub fn reset_task(&mut self, task: TaskId) {
-        self.vectors.remove(&task);
+        if let Some(vector) = self.vectors.get_mut(&task) {
+            // Zero in place (see `reset`): restart treatments recur on a
+            // pooled world, so keep the vector's nodes allocated.
+            for count in vector.values_mut() {
+                *count = 0;
+            }
+        }
         self.task_states.insert(task, HealthState::Ok);
         // Re-derive the application containing it.
         if let Some(app) = self.mapping.app_of(task) {
@@ -235,11 +253,16 @@ impl TaskStateIndication {
     }
 
     /// The error indication vector of a task, as a flat snapshot.
+    /// Zero-count elements (left behind by the in-place [`reset`]) are
+    /// indistinguishable from never-reported ones and stay out.
+    ///
+    /// [`reset`]: TaskStateIndication::reset
     pub fn error_vector(&self, task: TaskId) -> Vec<ErrorIndication> {
         self.vectors
             .get(&task)
             .map(|v| {
                 v.iter()
+                    .filter(|(_, &count)| count > 0)
                     .map(|(&(runnable, kind), &count)| ErrorIndication {
                         runnable,
                         kind,

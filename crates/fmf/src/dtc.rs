@@ -117,6 +117,13 @@ pub struct DtcStore {
     codes: BTreeMap<DtcCode, DtcRecord>,
     confirm_threshold: u32,
     aging_cycles: u32,
+    /// Retired records (cleared or aged out), recycled by the next insert
+    /// so its freeze-frame buffer is rewritten in place instead of cloned
+    /// — a pooled world re-records the same codes trial after trial.
+    spare: Vec<DtcRecord>,
+    /// Scratch for codes that age out in one healthy cycle (reused, so
+    /// aging never allocates).
+    aged_scratch: Vec<DtcCode>,
 }
 
 impl DtcStore {
@@ -134,23 +141,54 @@ impl DtcStore {
             codes: BTreeMap::new(),
             confirm_threshold,
             aging_cycles,
+            spare: Vec::new(),
+            aged_scratch: Vec::new(),
         }
     }
 
     /// Records a fault occurrence; the freeze frame is kept only for the
     /// first occurrence. Returns the code.
     pub fn record(&mut self, fault: DetectedFault, freeze_frame: FreezeFrame) -> DtcCode {
+        self.record_ref(fault, &freeze_frame)
+    }
+
+    /// [`DtcStore::record`] borrowing the freeze frame: the frame is cloned
+    /// only when a *new* code is inserted, so re-occurrences — the common
+    /// case on a faulty campaign trial, which ingests the same code every
+    /// cycle — never copy conditions. Callers can keep one reusable frame
+    /// buffer alive across the whole trial.
+    pub fn record_ref(&mut self, fault: DetectedFault, freeze_frame: &FreezeFrame) -> DtcCode {
         let code = DtcCode::of(fault.runnable, fault.kind);
         let threshold = self.confirm_threshold;
-        let record = self.codes.entry(code).or_insert_with(|| DtcRecord {
-            code,
-            first_seen: fault.at,
-            last_seen: fault.at,
-            occurrences: 0,
-            status: DtcStatus::Pending,
-            freeze_frame,
-            healthy_cycles: 0,
-        });
+        let record = match self.codes.entry(code) {
+            std::collections::btree_map::Entry::Occupied(entry) => entry.into_mut(),
+            std::collections::btree_map::Entry::Vacant(entry) => {
+                // Recycle a retired record if one is pooled: its freeze
+                // frame is overwritten in place (`clone_from` reuses the
+                // conditions buffer), so re-recording a cleared code
+                // allocates nothing beyond the map node.
+                let mut record = self.spare.pop().unwrap_or_else(|| DtcRecord {
+                    code,
+                    first_seen: fault.at,
+                    last_seen: fault.at,
+                    occurrences: 0,
+                    status: DtcStatus::Pending,
+                    freeze_frame: FreezeFrame::default(),
+                    healthy_cycles: 0,
+                });
+                record.code = code;
+                record.first_seen = fault.at;
+                record.last_seen = fault.at;
+                record.occurrences = 0;
+                record.status = DtcStatus::Pending;
+                record
+                    .freeze_frame
+                    .conditions
+                    .clone_from(&freeze_frame.conditions);
+                record.healthy_cycles = 0;
+                entry.insert(record)
+            }
+        };
         record.occurrences += 1;
         record.last_seen = fault.at;
         record.healthy_cycles = 0;
@@ -161,26 +199,44 @@ impl DtcStore {
     }
 
     /// Marks one healthy operating cycle: pending codes age and eventually
-    /// drop out; confirmed codes persist.
+    /// drop out; confirmed codes persist. Aged-out records retire to the
+    /// spare pool for recycling.
     pub fn healthy_cycle(&mut self) {
         let aging = self.aging_cycles;
-        self.codes.retain(|_, rec| {
+        for (code, rec) in self.codes.iter_mut() {
             if rec.status == DtcStatus::Confirmed {
-                return true;
+                continue;
             }
             rec.healthy_cycles += 1;
-            rec.healthy_cycles < aging
-        });
+            if rec.healthy_cycles >= aging {
+                self.aged_scratch.push(*code);
+            }
+        }
+        while let Some(code) = self.aged_scratch.pop() {
+            if let Some(record) = self.codes.remove(&code) {
+                self.spare.push(record);
+            }
+        }
     }
 
     /// Clears one code (tester "clear DTC"). Returns `true` if it existed.
     pub fn clear(&mut self, code: DtcCode) -> bool {
-        self.codes.remove(&code).is_some()
+        match self.codes.remove(&code) {
+            Some(record) => {
+                self.spare.push(record);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Clears the whole memory.
+    /// Clears the whole memory, retiring every record to the spare pool
+    /// (world pooling support: the next trial's inserts rewrite the
+    /// pooled freeze-frame buffers instead of cloning fresh ones).
     pub fn clear_all(&mut self) {
-        self.codes.clear();
+        while let Some((_, record)) = self.codes.pop_first() {
+            self.spare.push(record);
+        }
     }
 
     /// Looks up a record.

@@ -62,21 +62,24 @@ impl FaultManagementFramework {
 
     /// Records a detected fault in the log and the DTC memory.
     pub fn ingest_fault(&mut self, fault: DetectedFault) {
-        self.ingest_fault_with_conditions(fault, FreezeFrame::default());
+        self.ingest_fault_with_conditions(fault, &FreezeFrame::default());
     }
 
     /// Records a detected fault with freeze-frame conditions (captured by
     /// the platform at detection time, e.g. the current vehicle speed).
+    /// Borrows the frame: it is cloned only when the fault's DTC first
+    /// occurs, so a caller-held reusable frame buffer makes repeated
+    /// ingestion of the same code allocation-free.
     pub fn ingest_fault_with_conditions(
         &mut self,
         fault: DetectedFault,
-        freeze_frame: FreezeFrame,
+        freeze_frame: &FreezeFrame,
     ) {
         self.log.push(FaultRecord {
             fault,
             severity: self.severity_map.classify(fault.kind),
         });
-        self.dtc.record(fault, freeze_frame);
+        self.dtc.record_ref(fault, freeze_frame);
     }
 
     /// Marks one healthy operating cycle for DTC aging (call it e.g. once
@@ -179,6 +182,14 @@ impl FaultManagementFramework {
         std::mem::take(&mut self.actions)
     }
 
+    /// Drains decided actions into `out` (appending), retaining the queue
+    /// allocation — the allocation-free alternative to
+    /// [`FaultManagementFramework::take_actions`] for the campaign hot
+    /// path.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<TreatmentAction>) {
+        out.append(&mut self.actions);
+    }
+
     /// Number of queued, unexecuted actions.
     pub fn pending_actions(&self) -> usize {
         self.actions.len()
@@ -223,15 +234,56 @@ impl FaultManagementFramework {
 
     /// Full reset to the just-built state — log, DTC memory, queued
     /// actions, budgets and counters — keeping the severity map, policy
-    /// and observability sink (world pooling support).
+    /// and observability sink (world pooling support). Clears in place:
+    /// buffer capacity and DTC thresholds survive, so a pooled world's
+    /// reset allocates nothing.
     pub fn reset(&mut self) {
         self.log.clear();
-        self.dtc = DtcStore::default();
+        self.dtc.clear_all();
         self.actions.clear();
         self.app_restarts.clear();
         self.terminated_apps.clear();
         self.ecu_resets = 0;
     }
+
+    /// Captures the framework's runtime state — fault log, DTC memory,
+    /// queued actions, restart budgets, reset counter — into a
+    /// deterministic snapshot. The severity map, policy, observability
+    /// sink and the interned-reason cache are static (the cache affects
+    /// only allocation identity, never rendered content) and stay out.
+    pub fn snapshot(&self) -> FmfSnapshot {
+        FmfSnapshot {
+            log: self.log.clone(),
+            dtc: self.dtc.clone(),
+            actions: self.actions.clone(),
+            app_restarts: self.app_restarts.clone(),
+            terminated_apps: self.terminated_apps.clone(),
+            ecu_resets: self.ecu_resets,
+        }
+    }
+
+    /// Restores runtime state captured by
+    /// [`FaultManagementFramework::snapshot`].
+    pub fn restore_from(&mut self, snap: &FmfSnapshot) {
+        self.log.clone_from(&snap.log);
+        self.dtc.clone_from(&snap.dtc);
+        self.actions.clone_from(&snap.actions);
+        self.app_restarts.clone_from(&snap.app_restarts);
+        self.terminated_apps.clone_from(&snap.terminated_apps);
+        self.ecu_resets = snap.ecu_resets;
+    }
+}
+
+/// A deterministic capture of FMF runtime state — see
+/// [`FaultManagementFramework::snapshot`].
+#[derive(Debug, Clone)]
+pub struct FmfSnapshot {
+    log: Vec<FaultRecord>,
+    dtc: DtcStore,
+    actions: Vec<TreatmentAction>,
+    app_restarts: BTreeMap<ApplicationId, u32>,
+    terminated_apps: Vec<ApplicationId>,
+    ecu_resets: u32,
 }
 
 impl Default for FaultManagementFramework {

@@ -11,11 +11,21 @@
 //! bit-identical to a serial run regardless of worker count, chunk size
 //! or thread scheduling.
 //!
-//! The work queue is **batched**: workers pull contiguous chunks of trial
-//! indices (one channel receive per chunk instead of per trial), which
-//! keeps channel traffic negligible when trials are cheap while still
-//! load-balancing dynamically — an expensive trial only pins the rest of
-//! its own chunk, not a statically assigned shard.
+//! Work distribution is **statically striped**: the plan's chunks are
+//! assigned round-robin to workers up front, so a worker owns its whole
+//! stripe from the moment it spawns — no shared work queue, no channel
+//! receive per chunk. Each worker sends its results exactly once, when its
+//! stripe is done, so channel traffic is one message per worker regardless
+//! of plan size. (The earlier shared-queue design paid one channel
+//! round-trip per chunk, which on a single-core host was enough
+//! synchronization to make two workers *slower* than one.) Campaign trials
+//! are near-uniform in cost, so dynamic rebalancing buys nothing here.
+//!
+//! [`CampaignExecutor::run_chunked`] exposes the chunk boundary to the
+//! runner: the whole contiguous chunk of specs is handed over in one call,
+//! so a runner can amortize per-chunk work — the validator's forked
+//! campaign runner sorts each chunk by injection time and forks trials
+//! from golden-prefix snapshots instead of re-simulating the prefix.
 //!
 //! ```
 //! use easis_injection::campaign::CampaignBuilder;
@@ -154,40 +164,70 @@ impl CampaignExecutor {
     where
         F: Fn(&TrialSpec) -> TrialOutcome + Sync,
     {
+        self.run_chunked(plan, |specs, _base| specs.iter().map(&runner).collect())
+    }
+
+    /// Like [`CampaignExecutor::run`], but hands the runner a whole
+    /// contiguous **chunk** of trial specs at once together with the index
+    /// of its first trial, and expects one outcome per spec, in spec
+    /// order. A chunk runner may reorder the trials *internally* (e.g. by
+    /// injection time, to share golden-prefix snapshots) as long as the
+    /// returned vector lines up with the input slice.
+    ///
+    /// Chunks are striped round-robin across the worker pool before any
+    /// thread spawns; each worker walks its own stripe without touching a
+    /// shared queue and sends all its results in a single channel message
+    /// at the end. Outcomes are merged by trial index, so the stats are
+    /// bit-identical across worker counts and chunk sizes for any pure
+    /// runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runner returns the wrong number of outcomes for a
+    /// chunk, and propagates runner panics.
+    pub fn run_chunked<F>(&self, plan: &CampaignPlan, chunk_runner: F) -> CampaignStats
+    where
+        F: Fn(&[TrialSpec], usize) -> Vec<TrialOutcome> + Sync,
+    {
         let trials = plan.trials();
         if self.workers == 1 || trials.len() <= 1 {
+            let outcomes = chunk_runner(trials, 0);
+            assert_eq!(
+                outcomes.len(),
+                trials.len(),
+                "chunk runner must return one outcome per spec"
+            );
             let mut stats = CampaignStats::new();
-            for trial in trials {
-                stats.push(runner(trial));
+            for outcome in outcomes {
+                stats.push(outcome);
             }
             return stats;
         }
 
-        // Batched work queue of trial-index ranges; workers pull chunks as
-        // they free up, so an expensive trial (a CPU-saturating slowdown)
-        // stalls at most the remainder of its own chunk.
         let chunk = self.effective_chunk(trials.len());
-        let (work_tx, work_rx) = channel::unbounded::<Range<usize>>();
-        let mut start = 0;
-        while start < trials.len() {
-            let end = (start + chunk).min(trials.len());
-            work_tx.send(start..end).expect("work queue open");
-            start = end;
-        }
-        drop(work_tx);
-
-        let (done_tx, done_rx) = channel::unbounded::<(usize, Vec<TrialOutcome>)>();
-        let runner = &runner;
+        let workers = self.workers.min(trials.len());
+        let (done_tx, done_rx) = channel::unbounded::<Vec<(usize, Vec<TrialOutcome>)>>();
+        let chunk_runner = &chunk_runner;
         crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers.min(trials.len()) {
-                let work_rx = work_rx.clone();
+            for worker in 0..workers {
                 let done_tx = done_tx.clone();
                 scope.spawn(move || {
-                    for range in work_rx.iter() {
-                        let outcomes: Vec<TrialOutcome> =
-                            trials[range.clone()].iter().map(runner).collect();
-                        done_tx.send((range.start, outcomes)).expect("results open");
+                    // This worker's stripe: chunks worker, worker+W, … —
+                    // known entirely up front, no shared queue.
+                    let mut produced: Vec<(usize, Vec<TrialOutcome>)> = Vec::new();
+                    let mut start = worker * chunk;
+                    while start < trials.len() {
+                        let range: Range<usize> = start..(start + chunk).min(trials.len());
+                        let outcomes = chunk_runner(&trials[range.clone()], range.start);
+                        assert_eq!(
+                            outcomes.len(),
+                            range.len(),
+                            "chunk runner must return one outcome per spec"
+                        );
+                        produced.push((range.start, outcomes));
+                        start += chunk * workers;
                     }
+                    done_tx.send(produced).expect("results open");
                 });
             }
         })
@@ -196,10 +236,16 @@ impl CampaignExecutor {
 
         // Merge by trial index: completion order is scheduling noise.
         let mut slots: Vec<Option<TrialOutcome>> = vec![None; trials.len()];
-        for (start, outcomes) in done_rx.iter() {
-            for (offset, outcome) in outcomes.into_iter().enumerate() {
-                debug_assert!(slots[start + offset].is_none(), "trial {} ran twice", start + offset);
-                slots[start + offset] = Some(outcome);
+        for produced in done_rx.iter() {
+            for (start, outcomes) in produced {
+                for (offset, outcome) in outcomes.into_iter().enumerate() {
+                    debug_assert!(
+                        slots[start + offset].is_none(),
+                        "trial {} ran twice",
+                        start + offset
+                    );
+                    slots[start + offset] = Some(outcome);
+                }
             }
         }
         let mut stats = CampaignStats::new();
@@ -271,6 +317,33 @@ mod tests {
         for (trial, outcome) in plan.trials().iter().zip(stats.trials()) {
             assert_eq!(trial.injection.class.tag(), &*outcome.class);
         }
+    }
+
+    #[test]
+    fn run_chunked_matches_run_for_any_worker_count() {
+        let plan = plan();
+        let serial = CampaignExecutor::serial().run(&plan, synthetic);
+        for workers in [1, 2, 4, 8] {
+            let chunked = CampaignExecutor::new(workers).run_chunked(&plan, |specs, base| {
+                // Process the chunk back-to-front internally; return in
+                // spec order — the contract run_chunked requires.
+                let mut out: Vec<Option<TrialOutcome>> = specs.iter().map(|_| None).collect();
+                for (i, spec) in specs.iter().enumerate().rev() {
+                    assert!(base + i < plan.len(), "base index out of range");
+                    out[i] = Some(synthetic(spec));
+                }
+                out.into_iter().map(Option::unwrap).collect()
+            });
+            assert_eq!(serial, chunked, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one outcome per spec")]
+    fn run_chunked_rejects_short_outcome_vectors() {
+        let plan = plan();
+        let _ = CampaignExecutor::serial()
+            .run_chunked(&plan, |specs, _| specs.iter().skip(1).map(synthetic).collect());
     }
 
     #[test]

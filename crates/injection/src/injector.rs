@@ -19,7 +19,11 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 /// The classes of injected errors.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Ord` make the class usable as (part of) a lookup key: the
+/// campaign runner collapses trials whose class and effective arming
+/// ticks coincide, because such trials are behaviorally identical.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ErrorClass {
     /// Stretch a runnable's execution time (the "time scalar" slider);
     /// `scale_ppm` = parts-per-million of nominal, e.g. `4_000_000` = 4×.

@@ -120,6 +120,32 @@ impl Alarm {
             Duration::from_micros(us.max(1))
         })
     }
+
+    /// Captures the runtime portion of the alarm's state. Name and action
+    /// are static configuration and stay out of the snapshot.
+    pub fn runtime(&self) -> AlarmRuntime {
+        AlarmRuntime {
+            cycle: self.cycle,
+            cycle_scale_ppm: self.cycle_scale_ppm,
+            armed: self.armed,
+        }
+    }
+
+    /// Restores runtime state previously captured with [`Alarm::runtime`].
+    pub fn restore_runtime(&mut self, rt: AlarmRuntime) {
+        self.cycle = rt.cycle;
+        self.cycle_scale_ppm = rt.cycle_scale_ppm;
+        self.armed = rt.armed;
+    }
+}
+
+/// The armed/cycle/scale portion of an [`Alarm`] — everything a kernel
+/// snapshot needs to restore an alarm without touching its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlarmRuntime {
+    cycle: Option<Duration>,
+    cycle_scale_ppm: u64,
+    armed: bool,
 }
 
 #[cfg(test)]

@@ -29,15 +29,16 @@
 //! synchronously** — no `Option::take`/restore of the body, no deferred
 //! request queue on the hot path.
 
-use crate::alarm::{Alarm, AlarmAction, AlarmId};
+use crate::alarm::{Alarm, AlarmAction, AlarmId, AlarmRuntime};
 use crate::error::OsError;
 use crate::hooks::{HookEvent, HookObserver};
 use crate::plan::{
-    EffectCtx, KernelServices, PlanArena, ResourceId, ServiceCore, Step, TaskBody,
+    EffectCtx, KernelServices, PlanArena, PlanArenaSnapshot, ResourceId, ServiceCore, Step,
+    TaskBody,
 };
 use crate::resource::{HeldResources, Resource};
 use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
-use easis_sim::event::EventQueue;
+use easis_sim::event::{EventQueue, EventQueueSnapshot};
 use easis_sim::time::{Duration, Instant};
 use easis_sim::trace::TraceRecorder;
 use std::collections::VecDeque;
@@ -424,6 +425,119 @@ impl<W> Os<W> {
         self.arena.reset();
     }
 
+    /// Captures every piece of kernel *runtime* state into a deterministic
+    /// snapshot: TCB runtime fields, alarm arming/cycle scales, resource
+    /// holders, pending timers, the ready queue and scheduling keys, the
+    /// clock, the busy meter, the trace, and the plan arena (in-flight
+    /// plans). Static configuration (task/alarm/resource tables), task
+    /// bodies and hook observers are *not* captured: bodies must keep all
+    /// replay-relevant state in their arena plans, and observers snapshot
+    /// their own state at the node level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any in-flight plan holds a boxed [`Step::Effect`] closure
+    /// (see [`PlanArena::snapshot`]).
+    pub fn snapshot(&self) -> OsSnapshot<W> {
+        OsSnapshot {
+            tasks: self
+                .core
+                .tasks
+                .iter()
+                .map(|t| TcbSnapshot {
+                    state: t.state,
+                    planned: t.planned,
+                    current_priority: t.current_priority,
+                    set_events: t.set_events,
+                    waiting_for: t.waiting_for,
+                    held: t.held.clone(),
+                    issued: t.issued,
+                    completed: t.completed,
+                    exec_time: t.exec_time,
+                    budget_reported: t.budget_reported,
+                    ready_key: t.ready_key,
+                })
+                .collect(),
+            alarms: self.core.alarms.iter().map(Alarm::runtime).collect(),
+            resource_holders: self.core.resources.iter().map(Resource::holder).collect(),
+            timers: self.core.timers.snapshot(),
+            now: self.core.now,
+            running: self.core.running,
+            trace: self.core.trace.clone(),
+            started: self.core.started,
+            next_back_key: self.core.next_back_key,
+            next_front_key: self.core.next_front_key,
+            ready_bits: self.core.ready.bits,
+            ready_bands: self.core.ready.bands.clone(),
+            arena: self.arena.snapshot(),
+            busy: self.core.busy,
+        }
+    }
+
+    /// Restores runtime state captured by [`Os::snapshot`], after which the
+    /// OS replays exactly like the snapshotted one. Buffers (timer wheel
+    /// slots, ready bands, arena plan slots) are restored in place with
+    /// their capacity retained, so a restore on the campaign hot path is
+    /// allocation-free once buffers have reached steady-state size.
+    ///
+    /// The snapshot must come from an identically configured OS (same
+    /// task/alarm/resource tables) — normally the same instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table sizes disagree with the snapshot.
+    pub fn restore_from(&mut self, snap: &OsSnapshot<W>) {
+        assert_eq!(
+            self.core.tasks.len(),
+            snap.tasks.len(),
+            "snapshot belongs to an OS with a different task table"
+        );
+        assert_eq!(self.core.alarms.len(), snap.alarms.len());
+        assert_eq!(self.core.resources.len(), snap.resource_holders.len());
+        for (tcb, s) in self.core.tasks.iter_mut().zip(&snap.tasks) {
+            tcb.state = s.state;
+            tcb.planned = s.planned;
+            tcb.current_priority = s.current_priority;
+            tcb.set_events = s.set_events;
+            tcb.waiting_for = s.waiting_for;
+            tcb.held.clone_from(&s.held);
+            tcb.issued = s.issued;
+            tcb.completed = s.completed;
+            tcb.exec_time = s.exec_time;
+            tcb.budget_reported = s.budget_reported;
+            tcb.ready_key = s.ready_key;
+        }
+        for (alarm, rt) in self.core.alarms.iter_mut().zip(&snap.alarms) {
+            alarm.restore_runtime(*rt);
+        }
+        for (resource, holder) in self.core.resources.iter_mut().zip(&snap.resource_holders) {
+            resource.release();
+            if let Some(task) = holder {
+                resource.occupy(*task);
+            }
+        }
+        self.core.timers.restore_from(&snap.timers);
+        self.core.now = snap.now;
+        self.core.running = snap.running;
+        self.core.trace.clone_from(&snap.trace);
+        self.core.started = snap.started;
+        self.core.next_back_key = snap.next_back_key;
+        self.core.next_front_key = snap.next_front_key;
+        self.core.ready.bits = snap.ready_bits;
+        let bands = &mut self.core.ready.bands;
+        if bands.len() < snap.ready_bands.len() {
+            bands.resize_with(snap.ready_bands.len(), VecDeque::new);
+        }
+        for (i, band) in bands.iter_mut().enumerate() {
+            match snap.ready_bands.get(i) {
+                Some(src) => band.clone_from(src),
+                None => band.clear(),
+            }
+        }
+        self.arena.restore_from(&snap.arena);
+        self.core.busy = snap.busy;
+    }
+
     /// `ActivateTask`: moves a suspended task to ready or queues an extra
     /// activation.
     ///
@@ -590,13 +704,6 @@ impl<W> Os<W> {
                     let now = self.core.now;
                     let mut ctx = EffectCtx::for_kernel(now, id, KernelServices::new(&mut self.core));
                     f(world, &mut ctx);
-                    // Legacy `request_*` shim: drain and replay through the
-                    // same direct service entry points, still at this
-                    // instant. Empty (and skipped) on the direct-call path.
-                    if ctx.has_requests() {
-                        let requests = ctx.take_requests_internal();
-                        self.core.apply_requests(requests, world);
-                    }
                 }
                 Step::EffectRef(token) => {
                     // In-place dispatch: the body stays in `bodies` while
@@ -605,10 +712,6 @@ impl<W> Os<W> {
                     let now = self.core.now;
                     let mut ctx = EffectCtx::for_kernel(now, id, KernelServices::new(&mut self.core));
                     self.bodies[id.index()].run_effect(token, world, &mut ctx);
-                    if ctx.has_requests() {
-                        let requests = ctx.take_requests_internal();
-                        self.core.apply_requests(requests, world);
-                    }
                 }
                 Step::ActivateTask(t) => {
                     let _ = self.core.activate_task(t, world);
@@ -1093,29 +1196,6 @@ impl<W> Core<W> {
         self.best_eligible()
     }
 
-    /// Replays legacy queued service requests through the direct service
-    /// entry points — the deprecated-shim half of the redesign: a
-    /// `request_*` call and its direct counterpart go through the same
-    /// kernel code, only at slightly different instants within the same
-    /// simulated time.
-    #[allow(deprecated)]
-    fn apply_requests(&mut self, requests: Vec<crate::plan::ServiceRequest>, world: &mut W) {
-        use crate::plan::ServiceRequest;
-        for req in requests {
-            match req {
-                ServiceRequest::ActivateTask(t) => {
-                    let _ = self.activate_task(t, world);
-                }
-                ServiceRequest::SetEvent(t, m) => {
-                    let _ = self.set_event(t, m, world);
-                }
-                ServiceRequest::CancelAlarm(a) => {
-                    let _ = self.cancel_alarm(AlarmId(a));
-                }
-            }
-        }
-    }
-
     fn report_error(&mut self, err: OsError, world: &mut W) {
         self.trace
             .record(self.now, TRACE_SOURCE, "os_error", err.to_string());
@@ -1175,6 +1255,60 @@ impl<W> std::fmt::Debug for Os<W> {
             .field("alarms", &self.core.alarms.len())
             .field("resources", &self.core.resources.len())
             .field("running", &self.core.running)
+            .finish()
+    }
+}
+
+/// Runtime fields of one [`Tcb`], as captured by [`Os::snapshot`].
+#[derive(Debug, Clone)]
+struct TcbSnapshot {
+    state: TaskState,
+    planned: bool,
+    current_priority: Priority,
+    set_events: EventMask,
+    waiting_for: EventMask,
+    held: HeldResources,
+    issued: u64,
+    completed: u64,
+    exec_time: Duration,
+    budget_reported: bool,
+    ready_key: i64,
+}
+
+/// A deterministic capture of kernel runtime state — see [`Os::snapshot`]
+/// and [`Os::restore_from`]. Opaque: only meaningful to the OS that (or an
+/// identically configured OS to the one that) produced it.
+pub struct OsSnapshot<W> {
+    tasks: Vec<TcbSnapshot>,
+    alarms: Vec<AlarmRuntime>,
+    resource_holders: Vec<Option<TaskId>>,
+    timers: EventQueueSnapshot<KernelEvent>,
+    now: Instant,
+    running: Option<TaskId>,
+    trace: TraceRecorder,
+    started: bool,
+    next_back_key: i64,
+    next_front_key: i64,
+    ready_bits: [u64; 4],
+    ready_bands: Vec<VecDeque<(i64, TaskId)>>,
+    arena: PlanArenaSnapshot<W>,
+    busy: Duration,
+}
+
+impl<W> OsSnapshot<W> {
+    /// The simulated instant at which the snapshot was taken.
+    pub fn taken_at(&self) -> Instant {
+        self.now
+    }
+}
+
+impl<W> std::fmt::Debug for OsSnapshot<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsSnapshot")
+            .field("now", &self.now)
+            .field("tasks", &self.tasks.len())
+            .field("running", &self.running)
+            .field("started", &self.started)
             .finish()
     }
 }
@@ -1574,30 +1708,66 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn effect_requested_activation_takes_effect_immediately() {
+    fn snapshot_restore_replays_identically() {
+        // Run a preemption-heavy scene to 5 ms, snapshot, run to 20 ms;
+        // then restore and re-run: world effects and the kernel trace must
+        // replay byte-for-byte, including mid-flight plans and timers.
+        // Bodies use arena EffectRef tokens — boxed-closure plans cannot be
+        // snapshotted (arena_snapshot_rejects_boxed_effects pins that).
+        struct RefLogBody {
+            label: &'static str,
+            cost: Duration,
+        }
+        impl TaskBody<W> for RefLogBody {
+            fn plan_into(&mut self, _now: Instant, _w: &W, out: &mut Plan<W>) {
+                out.push_compute(self.cost);
+                out.push_effect_ref(0);
+            }
+            fn run_effect(&mut self, _token: u32, w: &mut W, ctx: &mut EffectCtx<'_, W>) {
+                w.push(format!("{}@{}", self.label, ctx.now().as_micros()));
+            }
+            fn name(&self) -> &str {
+                self.label
+            }
+        }
         let mut os: Os<W> = Os::new();
-        let b = os.add_task(TaskConfig::new("b", Priority(9)), log_body("b", ms(1)));
-        let a = os.add_task(TaskConfig::new("a", Priority(1)), move |_n: Instant, _w: &W| {
-            Plan::new()
-                .effect(move |_w: &mut W, ctx| ctx.request_activate(b))
-                .compute(ms(5))
-                .effect(|w: &mut W, ctx| w.push(format!("a@{}", ctx.now().as_micros())))
-        });
+        let hi = os.add_task(
+            TaskConfig::new("hi", Priority(9)),
+            RefLogBody { label: "hi", cost: ms(1) },
+        );
+        let lo = os.add_task(
+            TaskConfig::new("lo", Priority(1)),
+            RefLogBody { label: "lo", cost: ms(4) },
+        );
+        let a_hi = os.add_alarm("a_hi", AlarmAction::ActivateTask(hi));
+        let a_lo = os.add_alarm("a_lo", AlarmAction::ActivateTask(lo));
         let mut w = W::new();
         os.start(&mut w);
-        os.activate_task(a, &mut w).unwrap();
-        os.run_until(Instant::from_millis(10), &mut w);
-        // b (priority 9) preempts a right after the effect, so b logs first.
-        assert_eq!(w, vec!["b@1000".to_string(), "a@6000".to_string()]);
+        os.set_rel_alarm(a_hi, ms(3), Some(ms(3))).unwrap();
+        os.set_rel_alarm(a_lo, ms(2), Some(ms(7))).unwrap();
+        os.run_until(Instant::from_millis(5), &mut w);
+        let snap = os.snapshot();
+        let world_mark = w.len();
+        os.run_until(Instant::from_millis(20), &mut w);
+        let tail: Vec<String> = w[world_mark..].to_vec();
+        let trace_once = format!("{:?}", os.trace());
+
+        // The kernel does not own the world; the caller restores it (here:
+        // truncate back to the snapshot point).
+        os.restore_from(&snap);
+        assert_eq!(os.now(), Instant::from_millis(5));
+        let mut w2: W = w[..world_mark].to_vec();
+        os.run_until(Instant::from_millis(20), &mut w2);
+        assert_eq!(&w2[world_mark..], &tail[..], "world effects diverge after restore");
+        assert_eq!(format!("{:?}", os.trace()), trace_once, "trace diverges after restore");
     }
 
     #[test]
     fn effect_direct_activation_matches_legacy_request_semantics() {
-        // Same scenario as the deprecated-shim test above, but through the
-        // direct-call API: the activation executes synchronously inside the
-        // effect, and the scheduling outcome is identical (preemption only
-        // materialises at the next scheduling decision, after the step).
+        // Through the direct-call API the activation executes synchronously
+        // inside the effect; preemption by the higher-priority peer only
+        // materialises at the next scheduling decision, after the step —
+        // the same observable outcome the retired request-queue shim had.
         let mut os: Os<W> = Os::new();
         let b = os.add_task(TaskConfig::new("b", Priority(9)), log_body("b", ms(1)));
         let a = os.add_task(TaskConfig::new("a", Priority(1)), move |_n: Instant, _w: &W| {

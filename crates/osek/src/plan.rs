@@ -69,6 +69,35 @@ pub enum Step<W> {
     Schedule,
 }
 
+impl<W> Step<W> {
+    /// Clones a plain-data step for a state snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Step::Effect`]: a boxed closure cannot be duplicated,
+    /// so plans containing one are not snapshottable. Arena-backed bodies
+    /// plan [`Step::EffectRef`] tokens instead, which snapshot fine — the
+    /// campaign node stack is EffectRef-only by construction.
+    fn clone_data(&self) -> Step<W> {
+        match self {
+            Step::Compute(d) => Step::Compute(*d),
+            Step::Effect(_) => panic!(
+                "Step::Effect (boxed closure) cannot be snapshotted; \
+                 plan EffectRef tokens for snapshot/restore support"
+            ),
+            Step::EffectRef(tok) => Step::EffectRef(*tok),
+            Step::ActivateTask(t) => Step::ActivateTask(*t),
+            Step::SetEvent(t, m) => Step::SetEvent(*t, *m),
+            Step::WaitEvent(m) => Step::WaitEvent(*m),
+            Step::ClearEvent(m) => Step::ClearEvent(*m),
+            Step::GetResource(r) => Step::GetResource(*r),
+            Step::ReleaseResource(r) => Step::ReleaseResource(*r),
+            Step::ChainTask(t) => Step::ChainTask(*t),
+            Step::Schedule => Step::Schedule,
+        }
+    }
+}
+
 impl<W> fmt::Debug for Step<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -278,6 +307,51 @@ impl<W> PlanArena<W> {
     pub fn total_capacity(&self) -> usize {
         self.slots.iter().map(Plan::capacity).sum()
     }
+
+    /// Captures every slot's remaining steps. At a snapshot instant some
+    /// slots may hold in-flight plans (a preempted `Compute` remainder, an
+    /// unexecuted tail); all of that is plain data and clones freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot holds a [`Step::Effect`] (boxed closure) — see
+    /// [`Step`] docs; arena bodies plan `EffectRef` tokens, which snapshot.
+    pub fn snapshot(&self) -> PlanArenaSnapshot<W> {
+        PlanArenaSnapshot {
+            slots: self
+                .slots
+                .iter()
+                .map(|p| p.steps.iter().map(Step::clone_data).collect())
+                .collect(),
+        }
+    }
+
+    /// Restores every slot to the snapshot's steps, retaining each slot's
+    /// allocated capacity (clear + extend, no buffer replacement).
+    pub fn restore_from(&mut self, snap: &PlanArenaSnapshot<W>) {
+        self.grow_to(snap.slots.len());
+        for (slot, src) in self.slots.iter_mut().zip(&snap.slots) {
+            slot.steps.clear();
+            slot.steps.extend(src.iter().map(Step::clone_data));
+        }
+        for slot in self.slots.iter_mut().skip(snap.slots.len()) {
+            slot.steps.clear();
+        }
+    }
+}
+
+/// The remaining steps of every [`PlanArena`] slot at snapshot time
+/// (see [`PlanArena::snapshot`]).
+pub struct PlanArenaSnapshot<W> {
+    slots: Vec<Vec<Step<W>>>,
+}
+
+impl<W> fmt::Debug for PlanArenaSnapshot<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanArenaSnapshot")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
 }
 
 impl<W> FromIterator<Step<W>> for Plan<W> {
@@ -344,24 +418,6 @@ where
     fn plan_into(&mut self, now: Instant, world: &W, out: &mut Plan<W>) {
         out.append(&mut self(now, world));
     }
-}
-
-/// OS service requests an effect can issue; applied by the kernel right
-/// after the effect returns (still at the same simulated instant).
-#[deprecated(
-    since = "0.1.0",
-    note = "effects call OS services directly on `EffectCtx` \
-            (`activate_task`/`set_event`/`cancel_alarm`); the request queue \
-            remains only as the detached-context testing seam"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServiceRequest {
-    /// Activate a task.
-    ActivateTask(TaskId),
-    /// Set events on an extended task.
-    SetEvent(TaskId, EventMask),
-    /// Cancel an alarm by raw id (see `Os::set_rel_alarm`).
-    CancelAlarm(u32),
 }
 
 /// Kernel-side supplier of OS services to a running effect.
@@ -547,39 +603,34 @@ enum Services<'a, W> {
 /// [`EffectCtx::activate_task`], [`EffectCtx::set_event`] and
 /// [`EffectCtx::cancel_alarm`] execute directly and synchronously on the
 /// scheduler core. A *detached* context ([`EffectCtx::new`]) has no kernel
-/// behind it: the same calls queue as [`ServiceRequest`]s, which a unit
-/// test can inspect via the (deprecated, test-only) [`EffectCtx::take_requests`].
-#[allow(deprecated)]
+/// behind it: the same calls record an `os-call` trace event instead of
+/// executing, so a body unit test can assert what the body asked for by
+/// reading the trace.
 pub struct EffectCtx<'a, W> {
     now: Instant,
     task: TaskId,
     services: Services<'a, W>,
-    requests: Vec<ServiceRequest>,
 }
 
 impl<'a, W> EffectCtx<'a, W> {
     /// Creates a *detached* context (no kernel behind it) — the seam for
-    /// unit-testing bodies without an OS. Direct service calls queue as
-    /// [`ServiceRequest`]s instead of executing.
-    #[allow(deprecated)]
+    /// unit-testing bodies without an OS. Direct service calls record
+    /// `os-call` trace events instead of executing.
     pub fn new(now: Instant, task: TaskId, trace: &'a mut TraceRecorder) -> Self {
         EffectCtx {
             now,
             task,
             services: Services::Detached(trace),
-            requests: Vec::new(),
         }
     }
 
     /// Creates a kernel-backed context (kernel-internal; public so benches
     /// and mocks can reproduce the dispatch path).
-    #[allow(deprecated)]
     pub fn for_kernel(now: Instant, task: TaskId, services: KernelServices<'a, W>) -> Self {
         EffectCtx {
             now,
             task,
             services: Services::Kernel(services),
-            requests: Vec::new(),
         }
     }
 
@@ -623,116 +674,57 @@ impl<'a, W> EffectCtx<'a, W> {
     }
 
     /// `ActivateTask`, executed synchronously on the kernel. On a detached
-    /// context the call is queued as a request instead (testing seam) and
-    /// reported as `Ok`.
+    /// context the call records an `os-call` trace event instead (testing
+    /// seam) and reports `Ok`.
     ///
     /// # Errors
     ///
     /// Propagates the kernel's activation errors.
-    #[allow(deprecated)]
     pub fn activate_task(&mut self, task: TaskId, world: &mut W) -> Result<(), OsError> {
+        let now = self.now;
         match &mut self.services {
             Services::Kernel(k) => k.activate_task(task, world),
-            Services::Detached(_) => {
-                self.requests.push(ServiceRequest::ActivateTask(task));
+            Services::Detached(t) => {
+                t.record(now, "detached", "os-call", format!("ActivateTask({task})"));
                 Ok(())
             }
         }
     }
 
     /// `SetEvent`, executed synchronously on the kernel. On a detached
-    /// context the call is queued as a request instead (testing seam) and
-    /// reported as `Ok`.
+    /// context the call records an `os-call` trace event instead (testing
+    /// seam) and reports `Ok`.
     ///
     /// # Errors
     ///
     /// Propagates the kernel's event errors.
-    #[allow(deprecated)]
     pub fn set_event(&mut self, task: TaskId, mask: EventMask, world: &mut W) -> Result<(), OsError> {
+        let now = self.now;
         match &mut self.services {
             Services::Kernel(k) => k.set_event(task, mask, world),
-            Services::Detached(_) => {
-                self.requests.push(ServiceRequest::SetEvent(task, mask));
+            Services::Detached(t) => {
+                t.record(now, "detached", "os-call", format!("SetEvent({task}, {mask})"));
                 Ok(())
             }
         }
     }
 
     /// `CancelAlarm` on the alarm with the given raw id, executed
-    /// synchronously on the kernel. On a detached context the call is
-    /// queued as a request instead (testing seam) and reported as `Ok`.
+    /// synchronously on the kernel. On a detached context the call records
+    /// an `os-call` trace event instead (testing seam) and reports `Ok`.
     ///
     /// # Errors
     ///
     /// Propagates the kernel's alarm errors.
-    #[allow(deprecated)]
     pub fn cancel_alarm(&mut self, raw_alarm_id: u32) -> Result<(), OsError> {
+        let now = self.now;
         match &mut self.services {
             Services::Kernel(k) => k.cancel_alarm(raw_alarm_id),
-            Services::Detached(_) => {
-                self.requests.push(ServiceRequest::CancelAlarm(raw_alarm_id));
+            Services::Detached(t) => {
+                t.record(now, "detached", "os-call", format!("CancelAlarm({raw_alarm_id})"));
                 Ok(())
             }
         }
-    }
-
-    /// Requests `ActivateTask(task)` once the effect returns.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EffectCtx::activate_task(task, world)` — the kernel \
-                executes it synchronously"
-    )]
-    #[allow(deprecated)]
-    pub fn request_activate(&mut self, task: TaskId) {
-        self.requests.push(ServiceRequest::ActivateTask(task));
-    }
-
-    /// Requests `SetEvent(task, mask)` once the effect returns.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EffectCtx::set_event(task, mask, world)` — the kernel \
-                executes it synchronously"
-    )]
-    #[allow(deprecated)]
-    pub fn request_set_event(&mut self, task: TaskId, mask: EventMask) {
-        self.requests.push(ServiceRequest::SetEvent(task, mask));
-    }
-
-    /// Requests `CancelAlarm` on the alarm with the given raw id once the
-    /// effect returns.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `EffectCtx::cancel_alarm(raw_alarm_id)` — the kernel \
-                executes it synchronously"
-    )]
-    #[allow(deprecated)]
-    pub fn request_cancel_alarm(&mut self, raw_alarm_id: u32) {
-        self.requests.push(ServiceRequest::CancelAlarm(raw_alarm_id));
-    }
-
-    /// Drains the queued requests. With direct service execution the
-    /// kernel-backed queue stays empty unless a legacy `request_*` call
-    /// filled it; detached contexts still queue direct calls here.
-    #[deprecated(
-        since = "0.1.0",
-        note = "direct service calls leave nothing to drain; only detached \
-                test contexts and legacy `request_*` callers still queue"
-    )]
-    #[allow(deprecated)]
-    pub fn take_requests(&mut self) -> Vec<ServiceRequest> {
-        std::mem::take(&mut self.requests)
-    }
-
-    /// `true` when legacy `request_*` calls queued anything (kernel-internal
-    /// fast path: skips the drain entirely on the common direct path).
-    pub(crate) fn has_requests(&self) -> bool {
-        !self.requests.is_empty()
-    }
-
-    /// Non-deprecated internal drain for the kernel's legacy-request shim.
-    #[allow(deprecated)]
-    pub(crate) fn take_requests_internal(&mut self) -> Vec<ServiceRequest> {
-        std::mem::take(&mut self.requests)
     }
 }
 
@@ -775,42 +767,30 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn effect_ctx_queues_requests() {
-        let mut trace = TraceRecorder::new();
-        let mut ctx: EffectCtx<'_, W> =
-            EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
-        ctx.request_activate(TaskId(2));
-        ctx.request_set_event(TaskId(3), EventMask::bit(1));
-        let reqs = ctx.take_requests();
-        assert_eq!(reqs.len(), 2);
-        assert_eq!(reqs[0], ServiceRequest::ActivateTask(TaskId(2)));
-        assert!(ctx.take_requests().is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn detached_direct_calls_queue_as_requests() {
+    fn detached_direct_calls_record_trace_events() {
         // The testing seam: without a kernel behind the context, the direct
-        // service API degrades to the request queue so body unit tests can
-        // assert what a body asked for.
+        // service API records what the body asked for on the trace so body
+        // unit tests can assert on it.
         let mut trace = TraceRecorder::new();
-        let mut ctx: EffectCtx<'_, W> =
-            EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
-        assert!(ctx.kernel().is_none());
-        let mut w: W = 0;
-        ctx.activate_task(TaskId(2), &mut w).unwrap();
-        ctx.set_event(TaskId(3), EventMask::bit(1), &mut w).unwrap();
-        ctx.cancel_alarm(7).unwrap();
-        let reqs = ctx.take_requests();
+        {
+            let mut ctx: EffectCtx<'_, W> =
+                EffectCtx::new(Instant::from_micros(5), TaskId(0), &mut trace);
+            assert!(ctx.kernel().is_none());
+            let mut w: W = 0;
+            ctx.activate_task(TaskId(2), &mut w).unwrap();
+            ctx.set_event(TaskId(3), EventMask::bit(1), &mut w).unwrap();
+            ctx.cancel_alarm(7).unwrap();
+        }
+        let calls: Vec<&str> = trace.of_kind("os-call").map(|e| e.detail.as_str()).collect();
         assert_eq!(
-            reqs,
+            calls,
             vec![
-                ServiceRequest::ActivateTask(TaskId(2)),
-                ServiceRequest::SetEvent(TaskId(3), EventMask::bit(1)),
-                ServiceRequest::CancelAlarm(7),
+                "ActivateTask(T2)",
+                "SetEvent(T3, 0b00000010)",
+                "CancelAlarm(7)",
             ]
         );
+        assert!(trace.events().iter().all(|e| e.source == "detached"));
     }
 
     struct RecordingCore {
@@ -846,7 +826,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn kernel_backed_direct_calls_execute_synchronously() {
         let mut core = RecordingCore {
             activated: Vec::new(),
@@ -863,11 +842,6 @@ mod tests {
             ctx.set_event(TaskId(5), EventMask::bit(2), &mut w).unwrap();
             assert_eq!(ctx.cancel_alarm(3), Err(OsError::AlarmNotInUse));
             assert_eq!(ctx.kernel().unwrap().task_state(TaskId(0)), Ok(TaskState::Ready));
-            // Direct execution leaves the legacy queue empty…
-            assert!(ctx.take_requests().is_empty());
-            // …while the legacy request_* shim still queues.
-            ctx.request_activate(TaskId(6));
-            assert_eq!(ctx.take_requests(), vec![ServiceRequest::ActivateTask(TaskId(6))]);
         }
         assert_eq!(w, 1, "activation executed during the effect");
         assert_eq!(core.activated, vec![TaskId(4)]);
@@ -986,6 +960,31 @@ mod tests {
             }
         }
         assert_eq!(arena.total_capacity(), cap);
+    }
+
+    #[test]
+    fn arena_snapshot_restores_in_flight_plans() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        arena.grow_to(2);
+        arena.slot_mut(0).push_compute(Duration::from_micros(7));
+        arena.slot_mut(0).push_effect_ref(3);
+        let snap = arena.snapshot();
+        arena.slot_mut(0).clear();
+        arena.slot_mut(1).push_back(Step::Schedule);
+        arena.restore_from(&snap);
+        assert_eq!(arena.slot_mut(0).len(), 2);
+        assert!(matches!(arena.slot_mut(0).pop(), Some(Step::Compute(d)) if d == Duration::from_micros(7)));
+        assert!(matches!(arena.slot_mut(0).pop(), Some(Step::EffectRef(3))));
+        assert!(arena.slot_mut(1).is_empty(), "restore clears divergent slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be snapshotted")]
+    fn arena_snapshot_rejects_boxed_effects() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        arena.grow_to(1);
+        arena.slot_mut(0).push_effect(|_, _| {});
+        let _ = arena.snapshot();
     }
 
     #[test]

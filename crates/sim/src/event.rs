@@ -52,6 +52,22 @@ enum Loc {
     Overflow { key: u64, idx: usize },
 }
 
+/// The pending state of an [`EventQueue`] captured by
+/// [`EventQueue::snapshot`]. Opaque: its only consumer is
+/// [`EventQueue::restore_from`] on a queue of the same payload type.
+#[derive(Debug, Clone)]
+pub struct EventQueueSnapshot<E> {
+    cursor: u64,
+    slots: Vec<Vec<(u64, u64, E)>>,
+    occupied: [u64; LEVELS],
+    overflow: BTreeMap<u64, Vec<(u64, u64, E)>>,
+    past: Vec<(u64, u64, E)>,
+    head: Option<(u64, u64)>,
+    next_seq: u64,
+    live: usize,
+    cancelled: HashSet<u64>,
+}
+
 /// A time-ordered queue of simulation events with stable tie-breaking.
 ///
 /// # Examples
@@ -233,6 +249,56 @@ impl<E> EventQueue<E> {
     #[allow(clippy::wrong_self_convention)]
     pub fn is_empty(&mut self) -> bool {
         self.peek_time().is_none()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures the queue's complete pending state — cursor, every wheel
+    /// bucket, overflow windows, behind-cursor entries, the head cache and
+    /// the sequence/cancellation bookkeeping — so a later
+    /// [`EventQueue::restore_from`] resumes scheduling and popping exactly
+    /// where the snapshot was taken (same ids, same order). The cascade
+    /// scratch buffer is transient (empty between operations) and is not
+    /// part of the snapshot.
+    pub fn snapshot(&self) -> EventQueueSnapshot<E>
+    where
+        E: Clone,
+    {
+        EventQueueSnapshot {
+            cursor: self.cursor,
+            slots: self.slots.clone(),
+            occupied: self.occupied,
+            overflow: self.overflow.clone(),
+            past: self.past.clone(),
+            head: self.head,
+            next_seq: self.next_seq,
+            live: self.live,
+            cancelled: self.cancelled.clone(),
+        }
+    }
+
+    /// Restores the queue to a previously captured snapshot. Bucket vectors
+    /// are overwritten in place via `clone_from`, so restoring onto a warm
+    /// queue retains its slot capacity — the campaign engine restores the
+    /// same pooled queue thousands of times without regrowing it.
+    pub fn restore_from(&mut self, snap: &EventQueueSnapshot<E>)
+    where
+        E: Clone,
+    {
+        self.cursor = snap.cursor;
+        debug_assert_eq!(self.slots.len(), snap.slots.len());
+        for (bucket, src) in self.slots.iter_mut().zip(&snap.slots) {
+            bucket.clone_from(src);
+        }
+        self.occupied = snap.occupied;
+        self.overflow.clone_from(&snap.overflow);
+        self.past.clone_from(&snap.past);
+        self.head = snap.head;
+        self.next_seq = snap.next_seq;
+        self.live = snap.live;
+        self.cancelled.clone_from(&snap.cancelled);
     }
 
     // ------------------------------------------------------------------
@@ -546,6 +612,34 @@ mod tests {
         assert_eq!(q.pop(), Some((t(20), "y")));
         assert_eq!(q.pop(), Some((t(30), "x")));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        // Build a queue with entries in every region: wheel, overflow,
+        // behind-cursor, plus a pending cancellation.
+        let mut q = EventQueue::new();
+        q.schedule(t(1_000), "first");
+        q.schedule(t(50_000), "later");
+        q.schedule(t(1 << 26), "overflow");
+        let doomed = q.schedule(t(2_000), "doomed");
+        assert_eq!(q.pop(), Some((t(1_000), "first")));
+        q.schedule(t(900), "behind-cursor");
+        q.cancel(doomed);
+
+        let snap = q.snapshot();
+        fn drain(q: &mut EventQueue<&'static str>) -> Vec<(u64, &'static str)> {
+            std::iter::from_fn(|| q.pop().map(|(at, e)| (at.as_micros(), e))).collect()
+        }
+        let reference = drain(&mut q);
+        q.restore_from(&snap);
+        assert_eq!(drain(&mut q), reference);
+        // Restored queues also continue identically after new activity.
+        q.restore_from(&snap);
+        let a = q.schedule(t(700), "new");
+        assert_eq!(a.raw(), snap.next_seq);
+        assert_eq!(q.pop(), Some((t(700), "new")));
+        assert_eq!(drain(&mut q), reference);
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::world::CentralWorld;
 use easis_apps::bundle::AppBundle;
 use easis_apps::{lightctl, safelane, safespeed, steer};
 use easis_baselines::task_monitors::{DeadlineMonitor, ExecutionTimeMonitor};
-use easis_fmf::framework::FaultManagementFramework;
-use easis_fmf::policy::{Treatment, TreatmentPolicy};
+use easis_fmf::dtc::FreezeFrame;
+use easis_fmf::framework::{FaultManagementFramework, FmfSnapshot};
+use easis_fmf::policy::{Treatment, TreatmentAction, TreatmentPolicy};
 use easis_fmf::record::SeverityMap;
 use easis_injection::injector::Injector;
 use easis_osek::alarm::{AlarmAction, AlarmId};
@@ -26,9 +27,13 @@ use easis_rte::mapping::{ApplicationId, SystemMapping};
 use easis_rte::runnable::{RunnableId, RunnableRegistry};
 use easis_rte::signal::{SignalDb, SignalId};
 use easis_sim::time::{Duration, Instant};
+use easis_baselines::task_monitors::TaskMonitorStats;
+use easis_osek::kernel::OsSnapshot;
+use easis_rte::control::RunnableControls;
 use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
-use easis_watchdog::report::RunnableCounters;
-use easis_watchdog::SoftwareWatchdog;
+use easis_watchdog::report::{DetectedFault, RunnableCounters, StateChange};
+use easis_watchdog::{CycleReport, SoftwareWatchdog, WatchdogSnapshot};
+use easis_baselines::hw_watchdog::HardwareWatchdog;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -337,11 +342,22 @@ impl CentralNode {
             .iter()
             .filter_map(|&name| world.signals.id_of(name).map(|id| (Arc::from(name), id)))
             .collect();
+        let freeze = FreezeFrame {
+            conditions: freeze_conditions
+                .iter()
+                .map(|(name, _)| (Arc::clone(name), 0.0))
+                .collect(),
+        };
         let wd_task = os.add_task(
             TaskConfig::new("SoftwareWatchdogTask", Priority(10)),
             WatchdogTaskBody {
                 cost: wd_cost,
                 freeze_conditions,
+                freeze,
+                report: CycleReport::default(),
+                faults: Vec::new(),
+                changes: Vec::new(),
+                actions: Vec::new(),
             },
         );
         let wd_alarm = os.add_alarm("WatchdogCycle", AlarmAction::ActivateTask(wd_task));
@@ -486,6 +502,68 @@ impl CentralNode {
         self.started = false;
     }
 
+    /// Captures a deterministic checkpoint of the started node: kernel
+    /// (tasks, timers, plans, alarms, trace), world (signals, controls,
+    /// watchdog, FMF, hardware watchdog, logs) and the baseline-monitor
+    /// statistics. See [`NodeSnapshot`] for what is deliberately excluded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never started, or if an in-flight plan holds
+    /// a boxed `Step::Effect` closure (node bodies only use `EffectRef`
+    /// tokens, so this cannot happen for nodes built here).
+    pub fn snapshot(&self) -> NodeSnapshot {
+        assert!(self.started, "snapshot a started node");
+        NodeSnapshot {
+            os: self.os.snapshot(),
+            signals: self.world.signals.clone(),
+            controls: self.world.controls.clone(),
+            watchdog: self.world.watchdog.snapshot(),
+            fmf: self.world.fmf.snapshot(),
+            hw_watchdog: self.world.hw_watchdog.clone(),
+            treatments: self.world.treatments.clone(),
+            ecu_resets: self.world.ecu_resets,
+            fault_log: self.world.fault_log.clone(),
+            rx_mailbox: self.world.rx_mailbox.clone(),
+            deadline_stats: self.deadline_monitor.stats(),
+            exec_stats: self.exec_monitor.stats(),
+        }
+    }
+
+    /// Restores the node to a previously captured checkpoint. Only valid
+    /// on the node the snapshot was taken from or a structurally identical
+    /// one (same blueprint); the kernel layer asserts the table shapes it
+    /// can check cheaply. Vector state is written back with `clone_from`,
+    /// so a pooled node's capacity survives repeated restores.
+    pub fn restore_from(&mut self, snap: &NodeSnapshot) {
+        self.os.restore_from(&snap.os);
+        self.world.signals.clone_from(&snap.signals);
+        self.world.controls.clone_from(&snap.controls);
+        self.world.watchdog.restore_from(&snap.watchdog);
+        self.world.fmf.restore_from(&snap.fmf);
+        self.world.hw_watchdog.clone_from(&snap.hw_watchdog);
+        self.world.treatments.clone_from(&snap.treatments);
+        self.world.ecu_resets = snap.ecu_resets;
+        self.world.fault_log.clone_from(&snap.fault_log);
+        self.world.rx_mailbox.clone_from(&snap.rx_mailbox);
+        self.deadline_monitor.restore_stats(&snap.deadline_stats);
+        self.exec_monitor.restore_stats(&snap.exec_stats);
+        self.started = true;
+    }
+
+    /// Runs the kernel until `end` in one uninterrupted span, without any
+    /// injector ticking. The forked campaign runner
+    /// ([`crate::scenario::run_plan`]) uses this between injection
+    /// boundaries, where `Injector::tick` is provably a no-op (nothing to
+    /// arm or disarm): chopping the simulation at exactly the arm/disarm
+    /// instants reproduces the per-millisecond tick loop of
+    /// [`CentralNode::run_until`] bit-identically while skipping ~1500
+    /// redundant kernel re-entries per trial.
+    pub fn run_span(&mut self, end: Instant) {
+        assert!(self.started, "call start() first");
+        self.os.run_until(end, &mut self.world);
+    }
+
     /// Runs the node until `end`, ticking the injector once per
     /// millisecond (the injection granularity of the experiments). The
     /// injector inherits the node's observability sink, so arm/disarm
@@ -523,14 +601,64 @@ impl CentralNode {
     }
 }
 
+/// A deterministic checkpoint of a started [`CentralNode`] at one instant:
+/// the campaign prefix-reuse primitive. Trials sharing an injection point
+/// fork from the snapshot taken there instead of re-simulating the golden
+/// prefix ([`crate::scenario::run_plan`]).
+///
+/// Static structure is deliberately excluded — the runnable registry, the
+/// compiled watchdog configuration, task bodies (their buffers are
+/// per-cycle scratch), the deployment tables, the node configuration and
+/// the observability sink are not captured. A snapshot therefore only
+/// restores onto the node it was taken from, or a structurally identical
+/// one built from the same blueprint.
+#[derive(Debug)]
+pub struct NodeSnapshot {
+    os: OsSnapshot<CentralWorld>,
+    signals: SignalDb,
+    controls: RunnableControls,
+    watchdog: WatchdogSnapshot,
+    fmf: FmfSnapshot,
+    hw_watchdog: HardwareWatchdog,
+    treatments: Vec<TreatmentAction>,
+    ecu_resets: u32,
+    fault_log: Vec<DetectedFault>,
+    rx_mailbox: Vec<(u16, Vec<u8>)>,
+    deadline_stats: TaskMonitorStats,
+    exec_stats: TaskMonitorStats,
+}
+
+impl NodeSnapshot {
+    /// The simulated instant at which the snapshot was taken.
+    pub fn taken_at(&self) -> Instant {
+        self.os.taken_at()
+    }
+}
+
 /// Arena body of the watchdog task: plans `Compute(cost) + EffectRef(0)`
 /// into the kernel's retained buffer; the effect runs the cycle check and
-/// the FMF integration of §4.4. Holding the interned freeze-frame condition
-/// names (with their pre-resolved signal ids) in the body makes a faulty
-/// cycle's frame capture string-allocation-free.
+/// the FMF integration of §4.4.
+///
+/// Every buffer the effect needs lives in the body and is reused across
+/// cycles: the cycle report (`run_cycle_into` target), the outbox drain
+/// vectors, the decided-action queue, and the freeze frame itself — its
+/// condition names are interned at build time and a faulty cycle only
+/// rewrites the `f64` values in place before lending the frame to the FMF
+/// by reference. A fault-detecting cycle therefore allocates only where
+/// genuinely new state is born (first occurrence of a DTC code, growth of
+/// the world's fault/treatment logs past their pooled capacity).
+///
+/// All of these are per-cycle scratch — cleared or overwritten before each
+/// use — so they carry no state across cycles and are deliberately outside
+/// [`NodeSnapshot`].
 struct WatchdogTaskBody {
     cost: Duration,
     freeze_conditions: Vec<(Arc<str>, SignalId)>,
+    freeze: FreezeFrame,
+    report: CycleReport,
+    faults: Vec<DetectedFault>,
+    changes: Vec<StateChange>,
+    actions: Vec<TreatmentAction>,
 }
 
 impl TaskBody<CentralWorld> for WatchdogTaskBody {
@@ -541,42 +669,45 @@ impl TaskBody<CentralWorld> for WatchdogTaskBody {
 
     fn run_effect(&mut self, _token: u32, w: &mut CentralWorld, ctx: &mut EffectCtx<'_, CentralWorld>) {
         let now = ctx.now();
-        let report = w.watchdog.run_cycle(now);
+        w.watchdog.run_cycle_into(now, &mut self.report);
         if ctx.trace_enabled() {
-            for fault in &report.faults {
+            for fault in &self.report.faults {
                 ctx.trace("watchdog", "fault", fault.to_string());
             }
         }
         if w.hw_watchdog.poll(now) {
             ctx.trace("hw_wd", "hw_expired", "");
         }
-        let faults = w.watchdog.take_faults();
-        let changes = w.watchdog.take_state_changes();
-        w.fault_log.extend(faults.iter().copied());
-        if faults.is_empty() {
+        self.faults.clear();
+        self.changes.clear();
+        w.watchdog.drain_faults_into(&mut self.faults);
+        w.watchdog.drain_state_changes_into(&mut self.changes);
+        w.fault_log.extend_from_slice(&self.faults);
+        if self.faults.is_empty() {
             w.fmf.healthy_cycle(); // DTC aging
-        }
-        if !faults.is_empty() {
+        } else {
             // Freeze frame: the operating conditions at detection (the
-            // signals a tester would want). Built only when a fault is
-            // actually ingested; the names are interned, so the build costs
-            // one Vec, no strings.
-            let freeze = easis_fmf::dtc::FreezeFrame {
-                conditions: self
-                    .freeze_conditions
-                    .iter()
-                    .map(|(name, id)| (Arc::clone(name), w.signals.read(*id)))
-                    .collect(),
-            };
-            for fault in faults {
-                w.fmf.ingest_fault_with_conditions(fault, freeze.clone());
+            // signals a tester would want). Refreshed only when a fault is
+            // actually ingested; the names are interned and the frame is
+            // lent by reference, so the capture allocates nothing.
+            for (slot, (name, id)) in
+                self.freeze.conditions.iter_mut().zip(&self.freeze_conditions)
+            {
+                debug_assert!(Arc::ptr_eq(&slot.0, name));
+                slot.1 = w.signals.read(*id);
+            }
+            for &fault in &self.faults {
+                w.fmf.ingest_fault_with_conditions(fault, &self.freeze);
             }
         }
-        for change in changes {
+        for &change in &self.changes {
             w.fmf.ingest_state_change(change);
         }
-        for action in w.fmf.take_actions() {
-            ctx.trace("fmf", "treatment", action.treatment.to_string());
+        w.fmf.drain_actions_into(&mut self.actions);
+        for action in self.actions.drain(..) {
+            if ctx.trace_enabled() {
+                ctx.trace("fmf", "treatment", action.treatment.to_string());
+            }
             CentralNode::execute_treatment(w, ctx, &action.treatment);
             w.treatments.push(action);
         }
@@ -665,6 +796,42 @@ mod tests {
             CentralNode::hypothesis_shape(Duration::from_millis(10), Duration::from_millis(10), 4),
             (4, 4)
         );
+    }
+
+    #[test]
+    fn snapshot_restore_replays_a_faulty_run_identically() {
+        use easis_injection::injector::{ErrorClass, Injection};
+        let mut node = CentralNode::build(NodeConfig::safespeed_only());
+        node.start();
+        let mut pre = Injector::none();
+        node.run_until(ms(200), &mut pre);
+        let snap = node.snapshot();
+        assert_eq!(snap.taken_at(), ms(200));
+        let run_tail = |node: &mut CentralNode| {
+            let target = node.runnable("SAFE_CC_process");
+            let mut injector = Injector::new([Injection::new(
+                ErrorClass::SkipRunnable { runnable: target },
+                ms(250),
+                ms(400),
+            )]);
+            node.run_until(ms(1_000), &mut injector);
+            (
+                node.world.fault_log.clone(),
+                node.world.treatments.clone(),
+                format!("{:?}", node.os.trace()),
+                node.world.watchdog.cycles_run(),
+            )
+        };
+        let first = run_tail(&mut node);
+        assert!(!first.0.is_empty(), "tail must detect the injected fault");
+        node.restore_from(&snap);
+        assert_eq!(node.os.now(), ms(200));
+        assert!(node.world.fault_log.is_empty());
+        let second = run_tail(&mut node);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1, second.1);
+        assert_eq!(first.2, second.2);
+        assert_eq!(first.3, second.3);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! tests described in prose, and the campaign trial runner behind the
 //! coverage/latency/granularity tables of the outlook.
 
-use crate::node::{CentralNode, NodeBlueprint, NodeConfig};
+use crate::node::{CentralNode, NodeBlueprint, NodeConfig, NodeSnapshot};
 use easis_injection::campaign::TrialSpec;
 use easis_injection::injector::{ErrorClass, Injection, Injector};
 use easis_injection::stats::{DetectorId, TrialOutcome};
@@ -248,8 +248,7 @@ pub fn run_trial_pooled(
 
 /// The shared trial body: starts the (fresh or just-reset) node, runs the
 /// already-loaded injector to the horizon and extracts the detector
-/// outcome. The outcome's class tag is the process-interned handle, so
-/// stamping it allocates nothing.
+/// outcome.
 fn run_trial_on(
     node: &mut CentralNode,
     injector: &mut Injector,
@@ -257,9 +256,16 @@ fn run_trial_on(
     horizon: Instant,
 ) -> TrialOutcome {
     node.start();
-    let from = spec.injection.from;
     node.run_until(horizon, injector);
+    extract_outcome(node, spec)
+}
 
+/// Reads the detector outcome of a finished trial off the node's fault
+/// log, hardware watchdog and baseline-monitor statistics. The outcome's
+/// class tag is the process-interned handle, so stamping it allocates
+/// nothing.
+fn extract_outcome(node: &CentralNode, spec: &TrialSpec) -> TrialOutcome {
+    let from = spec.injection.from;
     let mut outcome = TrialOutcome::new(spec.injection.class.interned_tag());
     for fault in &node.world.fault_log {
         if fault.at >= from {
@@ -293,13 +299,248 @@ fn run_trial_on(
     outcome
 }
 
-/// Runs every trial of `plan` on the given executor. The watchdog
-/// configuration is compiled once into a [`NodeBlueprint`] and each
-/// worker pools one node built from it, resetting it between trials
-/// ([`run_trial_pooled`]). Trials stay hermetic — `reset()` restores the
-/// exact fresh-build state — so any worker count produces stats
-/// bit-identical to a serial run.
+/// The first instant at which the baseline per-millisecond tick loop of
+/// [`CentralNode::run_until`] would call `Injector::tick` with `now >= at`
+/// — ticks land on every whole millisecond up to and including the
+/// (whole-millisecond) horizon.
+fn ceil_to_tick(at: Instant) -> Instant {
+    Instant::from_micros(at.as_micros().div_ceil(1_000) * 1_000)
+}
+
+/// The fork point of a trial: the tick instant at which the baseline loop
+/// would arm its injection, clamped to the horizon (an injection past the
+/// horizon never arms — golden trials fork at the horizon itself).
+/// Everything before the fork is injection-independent golden prefix.
+fn fork_instant(spec: &TrialSpec, horizon: Instant) -> Instant {
+    ceil_to_tick(spec.injection.from).min(horizon)
+}
+
+/// The tick instant at which the baseline loop would disarm the
+/// injection: the first tick at or after `to` that comes *after* the
+/// arming tick (one `Injector::tick` call performs at most one phase
+/// transition per injection). `None` when the injection stays armed to
+/// the horizon (or never arms).
+fn disarm_instant(spec: &TrialSpec, fork: Instant, horizon: Instant) -> Option<Instant> {
+    if ceil_to_tick(spec.injection.from) > horizon {
+        return None; // never armed
+    }
+    let step = Duration::from_millis(1);
+    let disarm = ceil_to_tick(spec.injection.to).max(fork + step);
+    (disarm <= horizon).then_some(disarm)
+}
+
+/// Key identifying a trial's *effective* tail behavior: the error class
+/// plus the tick instants at which the baseline loop would arm and disarm
+/// it. `Injector::tick` only acts on whole-tick phase edges and the node
+/// never reads a trial's seed or raw (sub-tick) window bounds, so two
+/// trials with equal keys simulate identically from the fork onward —
+/// only the latency baseline (`injection.from`) differs between them.
+type TailKey = (ErrorClass, Instant, Option<Instant>);
+
+/// `true` when no detector has fired on `node` yet — i.e. the golden
+/// prefix up to the current instant is detection-free. Only then may a
+/// trial tail be memoized: every detection instant of such a tail is at
+/// or after the fork tick, hence at or after *any* sub-tick `from` that
+/// maps to this fork, so [`extract_outcome`]'s `at >= from` filter is
+/// vacuous and its latencies are a constant offset of the absolute
+/// instants cached by [`absolute_detections`].
+fn prefix_is_detection_free(node: &CentralNode) -> bool {
+    node.world.fault_log.is_empty()
+        && node.world.hw_watchdog.first_expiry().is_none()
+        && node.deadline_monitor.stats().first_detection().is_none()
+        && node.exec_monitor.stats().first_detection().is_none()
+}
+
+/// The per-detector *first* detection instants of a finished trial, in
+/// absolute simulated time. This is [`extract_outcome`] before the
+/// subtraction of the injection start: `TrialOutcome::record` keeps the
+/// earliest latency per detector, and subtracting a constant commutes
+/// with taking the minimum, so replaying this list through
+/// [`outcome_from_cached`] reproduces the extracted outcome exactly.
+fn absolute_detections(node: &CentralNode) -> Vec<(DetectorId, Instant)> {
+    let mut firsts: std::collections::BTreeMap<DetectorId, Instant> =
+        std::collections::BTreeMap::new();
+    let mut note = |detector: DetectorId, at: Instant| {
+        firsts
+            .entry(detector)
+            .and_modify(|first| {
+                if at < *first {
+                    *first = at;
+                }
+            })
+            .or_insert(at);
+    };
+    for fault in &node.world.fault_log {
+        note(detector_of(fault.kind), fault.at);
+    }
+    if let Some(expiry) = node.world.hw_watchdog.first_expiry() {
+        note(DetectorId::HwWatchdog, expiry);
+    }
+    if let Some((_, at)) = node.deadline_monitor.stats().first_detection() {
+        note(DetectorId::DeadlineMonitor, at);
+    }
+    if let Some((_, at)) = node.exec_monitor.stats().first_detection() {
+        note(DetectorId::ExecTimeMonitor, at);
+    }
+    firsts.into_iter().collect()
+}
+
+/// Rebuilds a [`TrialOutcome`] for `spec` from the cached absolute
+/// detection instants of a behaviorally identical trial.
+fn outcome_from_cached(cached: &[(DetectorId, Instant)], spec: &TrialSpec) -> TrialOutcome {
+    let from = spec.injection.from;
+    let mut outcome = TrialOutcome::new(spec.injection.class.interned_tag());
+    for &(detector, at) in cached {
+        outcome.record(detector, at.saturating_duration_since(from));
+    }
+    outcome
+}
+
+/// Runs one trial's tail on a node already restored to this trial's fork
+/// instant, with `injector` freshly loaded: ticks once at the fork (the
+/// arming tick), runs uninterrupted to the disarm tick, ticks, then runs
+/// uninterrupted to the horizon. Exactly three kernel re-entries replace
+/// the baseline's ~one-per-millisecond, and every skipped tick is provably
+/// a no-op (`Injector::tick` only acts on the Pending→Armed and
+/// Armed→Done edges), so the outcome is bit-identical to
+/// [`CentralNode::run_until`] over the same window.
+fn run_trial_tail(
+    node: &mut CentralNode,
+    injector: &mut Injector,
+    spec: &TrialSpec,
+    horizon: Instant,
+) -> TrialOutcome {
+    injector.attach_obs(node.world.obs.clone());
+    let fork = node.os.now();
+    injector.tick(fork, &mut node.world.controls, &mut node.os);
+    if let Some(disarm) = disarm_instant(spec, fork, horizon) {
+        node.run_span(disarm);
+        injector.tick(disarm, &mut node.world.controls, &mut node.os);
+    }
+    if node.os.now() < horizon {
+        node.run_span(horizon);
+        injector.tick(horizon, &mut node.world.controls, &mut node.os);
+    }
+    extract_outcome(node, spec)
+}
+
+/// Runs one contiguous chunk of campaign trials on this worker's pooled
+/// node with **golden-run prefix checkpointing**: the chunk is processed
+/// in injection-time order, the pooled node is advanced once along the
+/// golden (injection-free) prefix, and a [`NodeSnapshot`] is taken at each
+/// distinct fork instant; every trial forks from its snapshot instead of
+/// re-simulating the prefix. Outcomes are returned in spec order, so the
+/// merged stats are bit-identical to the per-trial runners.
+///
+/// On top of checkpointing, the chunk performs **equivalence collapsing**
+/// (the fault-list collapsing of hardware fault-injection campaigns):
+/// trials that share a [`TailKey`] — same error class, same arming tick,
+/// same disarm tick — are simulated once; later twins synthesize their
+/// outcome from the cached per-detector detection instants. The cache is
+/// only fed while the golden prefix is detection-free (see
+/// [`prefix_is_detection_free`]), which makes the synthesis provably
+/// exact, and a campaign whose parameters never repeat simply never hits.
+fn run_chunk_forked(
+    blueprint: &NodeBlueprint,
+    specs: &[TrialSpec],
+    horizon: Instant,
+) -> Vec<TrialOutcome> {
+    NODE_POOL.with(|pool| {
+        let mut slot = pool.borrow_mut();
+        match slot.as_mut() {
+            Some((stamp, node, _)) if *stamp == blueprint.stamp() => {
+                node.reset();
+            }
+            _ => {
+                *slot = Some((
+                    blueprint.stamp(),
+                    CentralNode::build_from_blueprint(blueprint),
+                    Injector::none(),
+                ));
+            }
+        }
+        let (_, node, injector) = slot.as_mut().expect("pool populated above");
+        node.start();
+
+        // Group trials by fork instant (stable within a fork, so equal
+        // forks replay in spec order — not that order could matter: each
+        // trial starts from the same restored snapshot).
+        let mut order: Vec<usize> = (0..specs.len()).collect();
+        order.sort_by_key(|&i| fork_instant(&specs[i], horizon));
+
+        let mut outcomes: Vec<Option<TrialOutcome>> = specs.iter().map(|_| None).collect();
+        let mut checkpoint: Option<NodeSnapshot> = None;
+        let mut fork_clean = false;
+        let mut memo: std::collections::HashMap<TailKey, Vec<(DetectorId, Instant)>> =
+            std::collections::HashMap::new();
+        for &i in &order {
+            let spec = &specs[i];
+            let fork = fork_instant(spec, horizon);
+            let key: TailKey = (
+                spec.injection.class.clone(),
+                fork,
+                disarm_instant(spec, fork, horizon),
+            );
+            // A behaviorally identical trial already ran: synthesize the
+            // outcome without touching the node.
+            if let Some(cached) = memo.get(&key) {
+                outcomes[i] = Some(outcome_from_cached(cached, spec));
+                continue;
+            }
+            // Rewind to the last checkpoint (or stay cold on the first
+            // trial), then extend the golden prefix to this fork if it
+            // moved — forks are visited in ascending order, so the golden
+            // run is simulated exactly once per chunk.
+            let extend = match &checkpoint {
+                Some(snap) => {
+                    node.restore_from(snap);
+                    snap.taken_at() != fork
+                }
+                None => true,
+            };
+            if extend {
+                node.run_span(fork);
+                checkpoint = Some(node.snapshot());
+                fork_clean = prefix_is_detection_free(node);
+            }
+            injector.reload([spec.injection.clone()]);
+            let outcome = run_trial_tail(node, injector, spec, horizon);
+            if fork_clean {
+                memo.insert(key, absolute_detections(node));
+            }
+            outcomes[i] = Some(outcome);
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every ordered index ran"))
+            .collect()
+    })
+}
+
+/// Runs every trial of `plan` on the given executor with golden-run
+/// prefix checkpointing (`run_chunk_forked`): the watchdog configuration
+/// is compiled once into a [`NodeBlueprint`], each worker pools one node
+/// built from it, and within each chunk the injection-free prefix is
+/// simulated once and snapshot-forked per trial. Restore is exact — the
+/// prefix-reuse≡pooled property test and the campaign golden pin that any
+/// worker count produces stats bit-identical to a serial per-trial run.
 pub fn run_plan(
+    plan: &easis_injection::campaign::CampaignPlan,
+    horizon: Instant,
+    executor: &easis_injection::executor::CampaignExecutor,
+) -> easis_injection::stats::CampaignStats {
+    let blueprint = NodeBlueprint::compile(campaign_node_config());
+    executor.run_chunked(plan, |specs, _base| {
+        run_chunk_forked(&blueprint, specs, horizon)
+    })
+}
+
+/// Runs every trial of `plan` with per-worker node pooling but without
+/// prefix checkpointing: every trial re-simulates its golden prefix under
+/// the baseline per-millisecond tick loop ([`run_trial_pooled`]). This is
+/// the engine [`run_plan`] is measured against in `campaign_bench`'s
+/// `prefix_reuse` probe; outcomes are bit-identical.
+pub fn run_plan_pooled(
     plan: &easis_injection::campaign::CampaignPlan,
     horizon: Instant,
     executor: &easis_injection::executor::CampaignExecutor,
@@ -442,6 +683,55 @@ mod tests {
         assert!(!outcome.detected_by(DetectorId::HwWatchdog));
         assert!(!outcome.detected_by(DetectorId::DeadlineMonitor));
         assert!(!outcome.detected_by(DetectorId::ExecTimeMonitor));
+    }
+
+    #[test]
+    fn forked_pooled_and_fresh_runners_agree() {
+        use easis_injection::campaign::CampaignBuilder;
+        use easis_injection::executor::CampaignExecutor;
+        let horizon = ms(700);
+        let plan =
+            CampaignBuilder::new(23, (3..6).map(easis_rte::runnable::RunnableId).collect())
+                .loop_targets(vec![easis_rte::runnable::RunnableId(4)])
+                .trials_per_class(2)
+                .window(ms(200), easis_sim::time::Duration::from_millis(200))
+                .with_horizon(horizon)
+                .build();
+        let exec = CampaignExecutor::serial();
+        let forked = run_plan(&plan, horizon, &exec);
+        let pooled = run_plan_pooled(&plan, horizon, &exec);
+        let fresh = run_plan_fresh(&plan, horizon, &exec);
+        assert_eq!(forked, pooled);
+        assert_eq!(forked, fresh);
+    }
+
+    #[test]
+    fn forked_runner_handles_window_edges_like_the_baseline() {
+        use easis_injection::campaign::CampaignPlan;
+        use easis_injection::executor::CampaignExecutor;
+        let horizon = ms(600);
+        let target = easis_rte::runnable::RunnableId(4);
+        let mk = |from_us: u64, to_us: u64| TrialSpec {
+            seed: 5,
+            injection: Injection::new(
+                ErrorClass::HeartbeatLoss { runnable: target },
+                Instant::from_micros(from_us),
+                Instant::from_micros(to_us),
+            ),
+        };
+        let plan = CampaignPlan::from_trials(vec![
+            mk(300_500, 300_900), // sub-millisecond window between ticks
+            mk(250_000, 250_001), // disarm lands on the tick after arming
+            mk(400_000, 900_000), // stays armed through the horizon
+            mk(599_500, 800_000), // arms on the final tick
+            mk(700_000, 800_000), // entirely past the horizon (golden)
+            mk(250_000, 450_000), // plain whole-millisecond window
+        ]);
+        let exec = CampaignExecutor::serial();
+        assert_eq!(
+            run_plan(&plan, horizon, &exec),
+            run_plan_pooled(&plan, horizon, &exec)
+        );
     }
 
     #[test]

@@ -931,4 +931,38 @@ proptest! {
             "JSON bytes diverged"
         );
     }
+
+    /// Golden-run prefix checkpointing is invisible: a random campaign run
+    /// through the snapshot-forking engine (`run_plan` — golden prefix
+    /// simulated once, every trial restored from a fork-point
+    /// `NodeSnapshot`, behavior-identical tails collapsed) produces stats
+    /// byte-identical to per-trial fresh builds and to the pooled
+    /// per-trial engine, at any worker count. Few cases: every case
+    /// simulates a whole (small) campaign three times over.
+    #[test]
+    fn forked_snapshot_replay_equals_fresh_and_pooled_runs(
+        seed in any::<u64>(),
+        trials_per_class in 1usize..3,
+        workers in 1usize..=4,
+    ) {
+        use easis::validator::scenario::{run_plan, run_plan_pooled, run_trial};
+        let horizon = Instant::from_millis(700);
+        let plan = CampaignBuilder::new(seed, (0..9).map(RunnableId).collect())
+            .loop_targets(vec![RunnableId(4), RunnableId(7)])
+            .trials_per_class(trials_per_class)
+            .window(Instant::from_millis(200), Duration::from_millis(200))
+            .with_horizon(horizon)
+            .build();
+        let fresh = CampaignExecutor::serial().run(&plan, |spec| run_trial(spec, horizon));
+        let executor = CampaignExecutor::new(workers);
+        let forked = run_plan(&plan, horizon, &executor);
+        let pooled = run_plan_pooled(&plan, horizon, &executor);
+        prop_assert_eq!(&fresh, &forked, "forked diverged from fresh at {} workers", workers);
+        prop_assert_eq!(&fresh, &pooled, "pooled diverged from fresh");
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&fresh).unwrap(),
+            serde_json::to_string_pretty(&forked).unwrap(),
+            "JSON bytes diverged"
+        );
+    }
 }

@@ -385,6 +385,62 @@ fn central_node_detects_and_treats_fault_across_cascade_boundary() {
     assert!(node.world.watchdog.cycles_run() >= horizon_ms / 10 - 2);
 }
 
+/// The detection pipeline is rotation-boundary independent: a
+/// heartbeat-loss window of identical shape, aligned to the node's 20 ms
+/// hyperperiod so the phase between injection start and the next watchdog
+/// check is the same every time, is swept across three consecutive
+/// top-level timer-wheel rotation boundaries (2^24 µs apart), straddling
+/// each. The overflow cascade that re-files long-horizon events at every
+/// boundary must neither delay nor advance detection: the first-detection
+/// latency has to come out bit-identical at all three boundaries.
+#[test]
+fn heartbeat_loss_latency_is_rotation_boundary_independent() {
+    use easis::injection::{ErrorClass, Injection};
+
+    let mut latencies = Vec::new();
+    for rotation in 1..=3u64 {
+        let boundary_us = rotation * WHEEL_HORIZON_US;
+        // Align the window start to the 20 ms hyperperiod grid (watchdog
+        // cycle 10 ms, app periods 5/10/20 ms), 80 ms before the boundary;
+        // the 200 ms window then straddles the cascade crossing.
+        let from_ms = (boundary_us / 1_000 / 20) * 20 - 80;
+        let from = Instant::from_millis(from_ms);
+        let to = from + Duration::from_millis(200);
+        let horizon = Instant::from_millis(from_ms + 1_000);
+
+        let mut node = CentralNode::build(NodeConfig {
+            kernel_trace: false,
+            ..NodeConfig::default()
+        });
+        node.start();
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::HeartbeatLoss {
+                runnable: RunnableId(4), // SAFE_CC in the full node
+            },
+            from,
+            to,
+        )]);
+        node.run_until(horizon, &mut injector);
+
+        let first = node
+            .world
+            .fault_log
+            .first()
+            .unwrap_or_else(|| panic!("loss undetected at rotation {rotation}"));
+        assert!(
+            first.at >= from && first.at <= to + Duration::from_millis(500),
+            "rotation {rotation}: detection at {} outside the injection window",
+            first.at
+        );
+        latencies.push(first.at.saturating_duration_since(from));
+    }
+
+    assert!(
+        latencies.windows(2).all(|pair| pair[0] == pair[1]),
+        "detection latency varies across rotation boundaries: {latencies:?}"
+    );
+}
+
 #[test]
 #[ignore = "minutes-long campaign; run with --ignored"]
 fn large_campaign_soak() {

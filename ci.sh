@@ -39,20 +39,29 @@ echo "==> campaign_bench smoke run (forked vs pooled vs fresh, schema + alloc ga
 # Reduced trial count from a scratch dir: the bit-identical forked-vs-
 # pooled-vs-fresh stats assertions, the steady-state allocation floor,
 # the faulty-trial allocation floor and the horizon-scaling zero-alloc
-# gate always apply; the prefix-reuse (>=1.5x) and pooled-vs-fresh
-# (>=2x) speedup assertions are skipped below the full 200 trials/class
-# so smoke runs stay timing-noise-proof, and the committed
-# BENCH_campaign.json (full-scale record) is not clobbered.
+# gate always apply, as do the snapshot-probe gates (warm capture
+# allocation floor, clean-tail dirty fraction < 1.0); the prefix-reuse
+# (>=1.5x) and pooled-vs-fresh (>=2x) speedup assertions are skipped
+# below the full 200 trials/class so smoke runs stay timing-noise-proof,
+# and the committed BENCH_campaign.json (full-scale record) is not
+# clobbered.
 campaign_scratch="$(mktemp -d)"
 (cd "$campaign_scratch" && EASIS_WORKERS=2 "$OLDPWD/target/release/campaign_bench" 10 > /dev/null)
 for key in schema_version trials workers simulated_ms_per_trial setup \
            forked pooled fresh prefix_reuse speedup_vs_pooled \
            speedup_pooled_vs_fresh steady_state clean_trial_allocs \
-           faulty_trial_allocs horizon_scaling_allocs worker_sweep \
-           worker_sweep_note; do
+           faulty_trial_allocs horizon_scaling_allocs snapshot \
+           capture_ns restore_ns restore_dirty_fraction snapshot_allocs \
+           worker_sweep worker_sweep_note host_cores; do
   grep -q "\"$key\"" "$campaign_scratch/BENCH_campaign.json" \
     || { echo "BENCH_campaign.json missing key: $key"; exit 1; }
 done
+# The bench asserts dirty fraction < 1.0 itself; re-check the emitted
+# record here so a report written by a stale binary cannot slip through.
+dirty="$(grep '"restore_dirty_fraction"' "$campaign_scratch/BENCH_campaign.json" \
+  | head -n1 | sed 's/[^0-9.]//g')"
+awk -v d="$dirty" 'BEGIN { exit !(d < 1.0) }' \
+  || { echo "restore_dirty_fraction is $dirty (must be < 1.0): delta restore regressed to a full copy"; exit 1; }
 rm -rf "$campaign_scratch"
 
 echo "==> effect dispatch stays move-free (split-borrow kernel invariant)"

@@ -45,8 +45,23 @@
 //! [`FAULTY_TRIAL_ALLOC_FLOOR`] blocks (asserted; the residue is the
 //! outcome's detection map plus first-occurrence DTC inserts). A
 //! per-worker-count trials/sec sweep over 1/2/4/8 workers records how
-//! the forked path scales. Results land in `BENCH_campaign.json`
-//! (stable schema, `schema_version` 3).
+//! the forked path scales.
+//!
+//! Since the delta-snapshot protocol landed (`easis_sim::snap`), the
+//! `snapshot` probe measures the checkpoint machinery itself on a
+//! standalone node: a warm capacity-retained capture
+//! ([`CentralNode::snapshot_into`]), a delta restore after a clean
+//! (injection-free) tail run to the horizon, the dirty fraction that
+//! restore reported, and the heap allocations of a warmed capture. Two
+//! gates are asserted at every size: a warmed capture allocates at most
+//! [`SNAPSHOT_ALLOC_FLOOR`] blocks, and the clean-tail restore's dirty
+//! fraction is **< 1.0** — the epoch stamps must prune regions the tail
+//! never touched, or delta restore has regressed to a full copy.
+//!
+//! Results land in `BENCH_campaign.json` (stable schema,
+//! `schema_version` 4; `host_cores` records the recording host's
+//! available parallelism next to the sweep so readers can tell scaling
+//! from oversubscription).
 //!
 //! Usage: `campaign_bench [trials_per_class]` (default 200 → 1000 trials
 //! over the 5 error classes; the speedup assertions are skipped below
@@ -65,7 +80,8 @@ use easis_injection::executor::CampaignExecutor;
 use easis_injection::injector::{ErrorClass, Injection};
 use easis_rte::runnable::RunnableId;
 use easis_sim::time::{Duration, Instant};
-use easis_validator::node::{CentralNode, NodeBlueprint};
+use easis_sim::snap::RestoreStats;
+use easis_validator::node::{CentralNode, NodeBlueprint, NodeSnapshot};
 use easis_validator::scenario::{
     campaign_node_config, run_plan, run_plan_fresh, run_plan_pooled, run_trial_pooled,
 };
@@ -131,6 +147,13 @@ const HORIZON: Instant = Instant::from_millis(1_500);
 /// allocation through.
 const STEADY_STATE_ALLOC_FLOOR: u64 = 1;
 
+/// Maximum heap blocks a warmed `CentralNode::snapshot_into` capture may
+/// allocate. Every snapshot buffer is capacity-retained, so a warm
+/// capture measures 0; one block of slack absorbs collection
+/// growth-point jitter without letting a real per-capture allocation
+/// through.
+const SNAPSHOT_ALLOC_FLOOR: u64 = 1;
+
 /// Maximum heap blocks a *fault-detecting* pooled trial may allocate on
 /// a warmed node. Fault records, state changes, treatment actions and
 /// the DTC freeze frame are pooled/rewritten in place; what remains is
@@ -163,7 +186,7 @@ fn best_of<F: FnMut()>(reps: u32, mut op: F) -> f64 {
 }
 
 // ---------------------------------------------------------------------
-// Report schema (schema_version 3 — keep stable, future PRs diff this).
+// Report schema (schema_version 4 — keep stable, future PRs diff this).
 // ---------------------------------------------------------------------
 
 /// One campaign execution path, full-plan wall clock and derived rates.
@@ -230,6 +253,23 @@ struct PrefixReuseProbe {
     speedup_vs_pooled: f64,
 }
 
+/// Delta-snapshot probe on a standalone node: what one capture and one
+/// clean-tail restore cost, and how much state the restore really moves.
+#[derive(Serialize)]
+struct SnapshotProbe {
+    /// Warm `CentralNode::snapshot_into` into a capacity-retained buffer.
+    capture_ns: f64,
+    /// Delta `restore_from` after a clean (injection-free) tail run from
+    /// the fork instant to the horizon.
+    restore_ns: f64,
+    /// Regions copied / regions examined by that restore. Asserted
+    /// < 1.0: the epoch stamps must prune regions the tail never wrote.
+    restore_dirty_fraction: f64,
+    /// Heap allocations of a warmed capture (floor
+    /// [`SNAPSHOT_ALLOC_FLOOR`]).
+    snapshot_allocs: u64,
+}
+
 /// Forked-path throughput at one worker count (the multi-core sweep).
 #[derive(Serialize)]
 struct SweepEntry {
@@ -250,11 +290,15 @@ struct Report {
     prefix_reuse: PrefixReuseProbe,
     speedup_pooled_vs_fresh: f64,
     steady_state: AllocProbe,
+    snapshot: SnapshotProbe,
     worker_sweep: Vec<SweepEntry>,
     /// Caveat stamped next to the recorded numbers: on a host with fewer
     /// cores than workers the sweep measures thread scheduling overhead,
     /// not scaling — workers>1 can legitimately trail workers=1 there.
     worker_sweep_note: &'static str,
+    /// Available parallelism of the recording host — the sweep entries
+    /// beyond this count measure oversubscription, not scaling.
+    host_cores: u64,
 }
 
 /// Caveat recorded alongside the sweep (see [`Report::worker_sweep_note`]).
@@ -339,6 +383,47 @@ fn measure_trial_allocs(blueprint: &NodeBlueprint, spec: &TrialSpec, horizon: In
     best
 }
 
+/// Measures the delta-snapshot machinery on a standalone node (not the
+/// campaign thread pool's slot, which the headline runs must keep
+/// undisturbed): warm capture cost and allocations, then the delta
+/// restore after a clean tail run from the fork instant to the horizon —
+/// the checkpoint pattern of the forked campaign path.
+fn measure_snapshot_probe(blueprint: &NodeBlueprint) -> SnapshotProbe {
+    let fork = Instant::from_millis(300);
+    let mut node = CentralNode::build_from_blueprint(blueprint);
+    node.start();
+    node.run_span(fork);
+    let mut snap = NodeSnapshot::default();
+    // First capture grows every retained buffer to its steady size.
+    node.snapshot_into(&mut snap);
+    let mut snapshot_allocs = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        node.snapshot_into(&mut snap);
+        snapshot_allocs = snapshot_allocs.min(allocations() - before);
+    }
+    let capture_ns = best_of(SETUP_REPS, || {
+        node.snapshot_into(&mut snap);
+    });
+    // The restore is timed against a freshly dirtied clean tail each
+    // pass; the dirty set is deterministic, so the stats of any pass
+    // describe them all.
+    let mut stats = RestoreStats::default();
+    let mut restore_ns = f64::INFINITY;
+    for _ in 0..SETUP_REPS {
+        node.run_span(HORIZON);
+        let start = std::time::Instant::now();
+        stats = node.restore_from(&snap);
+        restore_ns = restore_ns.min(start.elapsed().as_nanos() as f64);
+    }
+    SnapshotProbe {
+        capture_ns,
+        restore_ns,
+        restore_dirty_fraction: stats.dirty_fraction(),
+        snapshot_allocs,
+    }
+}
+
 fn validate_emitted_json(path: &str) {
     let text = std::fs::read_to_string(path).expect("BENCH_campaign.json written");
     let value = serde_json::parse_value(&text).expect("BENCH_campaign.json parses");
@@ -357,12 +442,33 @@ fn validate_emitted_json(path: &str) {
         "prefix_reuse",
         "speedup_pooled_vs_fresh",
         "steady_state",
+        "snapshot",
         "worker_sweep",
         "worker_sweep_note",
+        "host_cores",
     ] {
         assert!(
             entries.iter().any(|(k, _)| k == key),
             "BENCH_campaign.json missing key {key:?}"
+        );
+    }
+    let snapshot = entries
+        .iter()
+        .find(|(k, _)| k == "snapshot")
+        .map(|(_, v)| v)
+        .expect("snapshot key checked above");
+    let serde::Value::Map(snapshot) = snapshot else {
+        panic!("BENCH_campaign.json `snapshot` must be a JSON object");
+    };
+    for key in [
+        "capture_ns",
+        "restore_ns",
+        "restore_dirty_fraction",
+        "snapshot_allocs",
+    ] {
+        assert!(
+            snapshot.iter().any(|(k, _)| k == key),
+            "BENCH_campaign.json snapshot probe missing key {key:?}"
         );
     }
 }
@@ -431,6 +537,33 @@ fn main() {
         "fault-detecting trial allocated {faulty_allocs} heap blocks \
          (floor {FAULTY_TRIAL_ALLOC_FLOOR}) — a per-fault allocation \
          (record, freeze frame, action) crept back in"
+    );
+
+    // Delta-snapshot probe: the checkpoint machinery the forked path is
+    // built on, measured in isolation. Both gates hold at every size —
+    // they are structural, not timing.
+    let snapshot = measure_snapshot_probe(&probe_blueprint);
+    println!(
+        "snapshot probe: capture {:.0} ns ({} allocs), clean-tail delta \
+         restore {:.0} ns, dirty fraction {:.3}",
+        snapshot.capture_ns,
+        snapshot.snapshot_allocs,
+        snapshot.restore_ns,
+        snapshot.restore_dirty_fraction,
+    );
+    assert!(
+        snapshot.snapshot_allocs <= SNAPSHOT_ALLOC_FLOOR,
+        "warmed snapshot capture allocated {} heap blocks (floor \
+         {SNAPSHOT_ALLOC_FLOOR}) — a snapshot buffer has stopped retaining \
+         its capacity",
+        snapshot.snapshot_allocs
+    );
+    assert!(
+        snapshot.restore_dirty_fraction < 1.0,
+        "clean-tail restore copied every region (dirty fraction {:.3}) — \
+         the epoch stamps have stopped pruning and delta restore has \
+         regressed to a full copy",
+        snapshot.restore_dirty_fraction
     );
 
     // Fresh first so the later paths cannot inherit any warmed-up state
@@ -555,7 +688,7 @@ fn main() {
     }
 
     let report = Report {
-        schema_version: 3,
+        schema_version: 4,
         trials,
         workers: workers as u64,
         simulated_ms_per_trial,
@@ -573,8 +706,12 @@ fn main() {
             horizon_scaling_allocs: scaling,
             faulty_trial_allocs: faulty_allocs,
         },
+        snapshot,
         worker_sweep,
         worker_sweep_note: WORKER_SWEEP_NOTE,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as u64,
     };
     let path = "BENCH_campaign.json";
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

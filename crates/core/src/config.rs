@@ -47,7 +47,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert_eq!(index.slot_of(5), None);
 /// assert_eq!(index.id_at(2), 11);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IdIndex {
     /// Slot → identifier, ascending (the slot table).
     ids: Vec<u32>,
@@ -56,6 +56,21 @@ pub struct IdIndex {
     /// [`IdIndex::DIRECT_MAP_LIMIT`]; empty otherwise (binary-search
     /// fallback).
     direct: Vec<u32>,
+}
+
+impl Clone for IdIndex {
+    fn clone(&self) -> Self {
+        IdIndex {
+            ids: self.ids.clone(),
+            direct: self.direct.clone(),
+        }
+    }
+
+    // Capacity-retained for the watchdog snapshot path.
+    fn clone_from(&mut self, source: &Self) {
+        self.ids.clone_from(&source.ids);
+        self.direct.clone_from(&source.direct);
+    }
 }
 
 impl IdIndex {

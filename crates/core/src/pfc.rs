@@ -359,6 +359,46 @@ impl ProgramFlowChecker {
     pub fn last_observed(&self) -> Option<RunnableId> {
         (self.last_slot != IdIndex::NO_SLOT).then(|| self.compiled.runnable_at(self.last_slot))
     }
+
+    /// Captures the mutable state into `snap`, retaining its buffer
+    /// capacity. The tables are static after construction and are *not*
+    /// captured — the owning service's per-unit stamps decide when a
+    /// restore copies this image back.
+    pub fn snapshot_into(&self, snap: &mut PfcSnapshot) {
+        snap.last_slot = self.last_slot;
+        snap.errors_detected = self.errors_detected;
+        snap.pending.clear();
+        snap.pending.extend_from_slice(&self.pending);
+    }
+
+    /// Restores the mutable state captured by
+    /// [`ProgramFlowChecker::snapshot_into`].
+    pub fn restore_from(&mut self, snap: &PfcSnapshot) {
+        self.last_slot = snap.last_slot;
+        self.errors_detected = snap.errors_detected;
+        self.pending.clear();
+        self.pending.extend_from_slice(&snap.pending);
+    }
+}
+
+/// Plain-data image of a [`ProgramFlowChecker`]'s mutable state (position,
+/// error count, pending buffer). The flow table itself is construction-time
+/// configuration and lives outside the snapshot.
+#[derive(Debug, Clone)]
+pub struct PfcSnapshot {
+    last_slot: u32,
+    errors_detected: u64,
+    pending: Vec<crate::report::DetectedFault>,
+}
+
+impl Default for PfcSnapshot {
+    fn default() -> Self {
+        PfcSnapshot {
+            last_slot: IdIndex::NO_SLOT,
+            errors_detected: 0,
+            pending: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -285,6 +285,82 @@ impl TaskStateIndication {
     pub fn mapping(&self) -> &SystemMapping {
         &self.mapping
     }
+
+    /// Captures the error vectors and verdicts into `snap`, retaining its
+    /// buffer capacity. The mapping and thresholds are construction-time
+    /// configuration and are not captured; the owning service's stamp
+    /// decides when a restore has to copy this image back.
+    pub fn snapshot_into(&self, snap: &mut TsiSnapshot) {
+        snap.vectors.truncate(self.vectors.len());
+        let mut live = self.vectors.iter();
+        for slot in snap.vectors.iter_mut() {
+            let (&task, vector) = live.next().expect("truncated to live length");
+            slot.0 = task;
+            slot.1.clear();
+            slot.1.extend(vector.iter().map(|(&key, &count)| (key, count)));
+        }
+        for (&task, vector) in live {
+            snap.vectors
+                .push((task, vector.iter().map(|(&key, &count)| (key, count)).collect()));
+        }
+        snap.task_states.clear();
+        snap.task_states
+            .extend(self.task_states.iter().map(|(&t, &s)| (t, s)));
+        snap.app_states.clear();
+        snap.app_states
+            .extend(self.app_states.iter().map(|(&a, &s)| (a, s)));
+        snap.ecu_state = self.ecu_state;
+    }
+
+    /// Restores the state captured by
+    /// [`TaskStateIndication::snapshot_into`]: counts and verdicts are
+    /// zeroed **in place** (keeping the map nodes allocated, like
+    /// [`TaskStateIndication::reset`]) and the snapshot's entries are
+    /// overlaid. A zero count / `Ok` verdict is observably identical to an
+    /// absent entry, so the result is exact regardless of which trials ran
+    /// in between; on a pooled world whose maps already contain the
+    /// snapshot's nodes the overlay allocates nothing.
+    pub fn restore_from(&mut self, snap: &TsiSnapshot) {
+        for vector in self.vectors.values_mut() {
+            for count in vector.values_mut() {
+                *count = 0;
+            }
+        }
+        for state in self.task_states.values_mut() {
+            *state = HealthState::Ok;
+        }
+        for state in self.app_states.values_mut() {
+            *state = HealthState::Ok;
+        }
+        for (task, vector) in &snap.vectors {
+            let live = self.vectors.entry(*task).or_default();
+            for &(key, count) in vector {
+                live.insert(key, count);
+            }
+        }
+        for &(task, state) in &snap.task_states {
+            self.task_states.insert(task, state);
+        }
+        for &(app, state) in &snap.app_states {
+            self.app_states.insert(app, state);
+        }
+        self.ecu_state = snap.ecu_state;
+    }
+}
+
+/// One captured per-task error vector: the task id plus its non-zero
+/// `((runnable, fault kind), count)` entries.
+type TaskErrorVector = (TaskId, Vec<((RunnableId, FaultKind), u32)>);
+
+/// Plain-data image of a [`TaskStateIndication`]'s error vectors and
+/// verdicts, flat `Vec`s so node-level snapshots embedding it are cheap to
+/// clone and can be shared across campaign workers.
+#[derive(Debug, Clone, Default)]
+pub struct TsiSnapshot {
+    vectors: Vec<TaskErrorVector>,
+    task_states: Vec<(TaskId, HealthState)>,
+    app_states: Vec<(ApplicationId, HealthState)>,
+    ecu_state: HealthState,
 }
 
 #[cfg(test)]
@@ -405,5 +481,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         let _ = TaskStateIndication::new(SystemMapping::new(), 0, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_overlays_exactly_onto_dirtier_state() {
+        let mut tsi = unit(2, u32::MAX);
+        tsi.record(fault(0, FaultKind::Aliveness, 1));
+        let mut snap = TsiSnapshot::default();
+        tsi.snapshot_into(&mut snap);
+        // Diverge well past the capture: threshold crossing + second app.
+        tsi.record(fault(0, FaultKind::Aliveness, 2));
+        tsi.record(fault(2, FaultKind::ProgramFlow, 3));
+        assert!(tsi.task_state(TaskId(0)).is_faulty());
+        tsi.restore_from(&snap);
+        assert_eq!(tsi.task_state(TaskId(0)), HealthState::Ok);
+        assert_eq!(tsi.total_errors(TaskId(0)), 1);
+        // The entry recorded only after the capture is zeroed, which is
+        // observably identical to never-reported.
+        assert_eq!(tsi.total_errors(TaskId(1)), 0);
+        assert!(tsi.error_vector(TaskId(1)).is_empty());
+        assert_eq!(tsi.app_state(ApplicationId(1)), HealthState::Ok);
     }
 }

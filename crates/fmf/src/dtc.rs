@@ -75,7 +75,7 @@ pub struct FreezeFrame {
 }
 
 /// One stored code.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct DtcRecord {
     /// The code.
     pub code: DtcCode,
@@ -91,6 +91,35 @@ pub struct DtcRecord {
     pub freeze_frame: FreezeFrame,
     /// Healthy operating cycles since the last occurrence (for aging).
     healthy_cycles: u32,
+}
+
+impl Clone for DtcRecord {
+    fn clone(&self) -> Self {
+        DtcRecord {
+            code: self.code,
+            first_seen: self.first_seen,
+            last_seen: self.last_seen,
+            occurrences: self.occurrences,
+            status: self.status,
+            freeze_frame: self.freeze_frame.clone(),
+            healthy_cycles: self.healthy_cycles,
+        }
+    }
+
+    // Field-wise so pooled records rewrite their freeze-frame buffer in
+    // place (condition names are `Arc<str>`s: cloning an element bumps a
+    // refcount, never re-allocates the string).
+    fn clone_from(&mut self, source: &Self) {
+        self.code = source.code;
+        self.first_seen = source.first_seen;
+        self.last_seen = source.last_seen;
+        self.occurrences = source.occurrences;
+        self.status = source.status;
+        self.freeze_frame
+            .conditions
+            .clone_from(&source.freeze_frame.conditions);
+        self.healthy_cycles = source.healthy_cycles;
+    }
 }
 
 /// The fault memory.
@@ -265,6 +294,47 @@ impl DtcStore {
     pub fn is_empty(&self) -> bool {
         self.codes.is_empty()
     }
+
+    /// Captures the stored records into `snap`, retaining the snapshot's
+    /// buffer capacity: records overwrite prior entries in place
+    /// (`clone_from` reuses each freeze-frame buffer), so repeatedly
+    /// snapshotting a faulty prefix allocates nothing once warm.
+    pub fn snapshot_into(&self, snap: &mut DtcStoreSnapshot) {
+        snap.records.truncate(self.codes.len());
+        let mut live = self.codes.values();
+        for slot in snap.records.iter_mut() {
+            slot.clone_from(live.next().expect("truncated to live length"));
+        }
+        for record in live {
+            snap.records.push(record.clone());
+        }
+    }
+
+    /// Restores the memory captured by [`DtcStore::snapshot_into`]. Live
+    /// records retire to the spare pool first, and every rebuilt record is
+    /// drawn back out of it — the same recycling path
+    /// [`DtcStore::record_ref`] uses — so restoring over a pooled world
+    /// rewrites record bodies in place instead of cloning fresh ones.
+    pub fn restore_from(&mut self, snap: &DtcStoreSnapshot) {
+        self.clear_all();
+        for record in &snap.records {
+            let pooled = match self.spare.pop() {
+                Some(mut pooled) => {
+                    pooled.clone_from(record);
+                    pooled
+                }
+                None => record.clone(),
+            };
+            self.codes.insert(pooled.code, pooled);
+        }
+    }
+}
+
+/// Plain-data image of a [`DtcStore`]'s records (sorted by code). The
+/// thresholds are construction-time configuration and live outside it.
+#[derive(Debug, Clone, Default)]
+pub struct DtcStoreSnapshot {
+    records: Vec<DtcRecord>,
 }
 
 impl Default for DtcStore {
@@ -380,5 +450,56 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         let _ = DtcStore::new(0, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_the_spare_pool() {
+        let mut store = DtcStore::new(2, 10);
+        let code = store.record(
+            fault(1, FaultKind::Aliveness, 5),
+            FreezeFrame {
+                conditions: vec![("speed".into(), 42.0)],
+            },
+        );
+        let mut snap = DtcStoreSnapshot::default();
+        store.snapshot_into(&mut snap);
+        // Diverge: confirm the code and add another.
+        store.record(fault(1, FaultKind::Aliveness, 15), FreezeFrame::default());
+        store.record(fault(2, FaultKind::ProgramFlow, 20), FreezeFrame::default());
+        assert_eq!(store.get(code).unwrap().status, DtcStatus::Confirmed);
+        store.restore_from(&snap);
+        assert_eq!(store.len(), 1);
+        let rec = store.get(code).unwrap();
+        assert_eq!(rec.status, DtcStatus::Pending);
+        assert_eq!(rec.occurrences, 1);
+        assert_eq!(rec.freeze_frame.conditions[0].1, 42.0);
+        // The displaced extra record retired to the pool: a re-insert
+        // recycles it rather than building a fresh one.
+        store.record(fault(3, FaultKind::ArrivalRate, 30), FreezeFrame::default());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn repeated_snapshot_capture_reuses_buffers() {
+        let mut store = DtcStore::new(2, 10);
+        store.record(
+            fault(1, FaultKind::Aliveness, 5),
+            FreezeFrame {
+                conditions: vec![("speed".into(), 1.0), ("rpm".into(), 2.0)],
+            },
+        );
+        let mut snap = DtcStoreSnapshot::default();
+        store.snapshot_into(&mut snap);
+        let cap_before = snap.records.capacity();
+        let ptr_before = snap.records[0].freeze_frame.conditions.as_ptr();
+        store.record(fault(1, FaultKind::Aliveness, 15), FreezeFrame::default());
+        store.snapshot_into(&mut snap);
+        assert_eq!(snap.records.capacity(), cap_before);
+        assert_eq!(
+            snap.records[0].freeze_frame.conditions.as_ptr(),
+            ptr_before,
+            "freeze-frame buffer must be rewritten in place"
+        );
+        assert_eq!(snap.records[0].occurrences, 2);
     }
 }

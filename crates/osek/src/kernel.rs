@@ -39,6 +39,7 @@ use crate::plan::{
 use crate::resource::{HeldResources, Resource};
 use crate::task::{EventMask, Priority, TaskConfig, TaskId, TaskKind, TaskState};
 use easis_sim::event::{EventQueue, EventQueueSnapshot};
+use easis_sim::snap::{next_snapshot_id, RestoreStats};
 use easis_sim::time::{Duration, Instant};
 use easis_sim::trace::TraceRecorder;
 use std::collections::VecDeque;
@@ -179,6 +180,16 @@ struct Core<W> {
     /// Priority-bitmap ready queue mirroring every `Ready` task.
     ready: ReadyQueue,
     busy: Duration,
+    /// Last-write epoch per TCB and per alarm, plus one stamp covering the
+    /// whole resource-holder table; see `easis_sim::snap` for the protocol.
+    task_stamps: Vec<u64>,
+    alarm_stamps: Vec<u64>,
+    resource_stamp: u64,
+    /// Current write stamp, bumped at every snapshot/restore boundary.
+    epoch: u64,
+    /// Id of the snapshot this state was last captured to / restored from
+    /// (0 = no lineage; restores then fall back to a full copy).
+    derived_from: u64,
 }
 
 /// The OSEK operating system model, generic over the ECU world type `W`.
@@ -246,6 +257,11 @@ impl<W> Os<W> {
                 next_front_key: -1,
                 ready: ReadyQueue::default(),
                 busy: Duration::ZERO,
+                task_stamps: Vec::new(),
+                alarm_stamps: Vec::new(),
+                resource_stamp: 0,
+                epoch: 0,
+                derived_from: 0,
             },
         }
     }
@@ -281,6 +297,7 @@ impl<W> Os<W> {
             budget_reported: false,
             ready_key: 0,
         });
+        self.core.task_stamps.push(self.core.epoch);
         self.arena.grow_to(self.core.tasks.len());
         id
     }
@@ -289,6 +306,7 @@ impl<W> Os<W> {
     pub fn add_alarm(&mut self, name: impl Into<String>, action: AlarmAction) -> AlarmId {
         let id = AlarmId(self.core.alarms.len() as u32);
         self.core.alarms.push(Alarm::new(name, action));
+        self.core.alarm_stamps.push(self.core.epoch);
         id
     }
 
@@ -296,6 +314,7 @@ impl<W> Os<W> {
     pub fn add_resource(&mut self, name: impl Into<String>, ceiling: Priority) -> ResourceId {
         let id = ResourceId(self.core.resources.len() as u32);
         self.core.resources.push(Resource::new(name, ceiling));
+        self.core.resource_stamp = self.core.epoch;
         id
     }
 
@@ -389,7 +408,12 @@ impl<W> Os<W> {
     ///
     /// Returns [`OsError::InvalidId`] for an unknown id.
     pub fn alarm_mut(&mut self, id: AlarmId) -> Result<&mut Alarm, OsError> {
-        self.core.alarms.get_mut(id.index()).ok_or(OsError::InvalidId)
+        if id.index() >= self.core.alarms.len() {
+            return Err(OsError::InvalidId);
+        }
+        // The caller may mutate the alarm through the returned reference.
+        self.core.alarm_stamps[id.index()] = self.core.epoch;
+        Ok(&mut self.core.alarms[id.index()])
     }
 
     /// Immutable access to an alarm.
@@ -438,47 +462,100 @@ impl<W> Os<W> {
     ///
     /// Panics if any in-flight plan holds a boxed [`Step::Effect`] closure
     /// (see [`PlanArena::snapshot`]).
-    pub fn snapshot(&self) -> OsSnapshot<W> {
-        OsSnapshot {
-            tasks: self
-                .core
-                .tasks
-                .iter()
-                .map(|t| TcbSnapshot {
-                    state: t.state,
-                    planned: t.planned,
-                    current_priority: t.current_priority,
-                    set_events: t.set_events,
-                    waiting_for: t.waiting_for,
-                    held: t.held.clone(),
-                    issued: t.issued,
-                    completed: t.completed,
-                    exec_time: t.exec_time,
-                    budget_reported: t.budget_reported,
-                    ready_key: t.ready_key,
-                })
-                .collect(),
-            alarms: self.core.alarms.iter().map(Alarm::runtime).collect(),
-            resource_holders: self.core.resources.iter().map(Resource::holder).collect(),
-            timers: self.core.timers.snapshot(),
-            now: self.core.now,
-            running: self.core.running,
-            trace: self.core.trace.clone(),
-            started: self.core.started,
-            next_back_key: self.core.next_back_key,
-            next_front_key: self.core.next_front_key,
-            ready_bits: self.core.ready.bits,
-            ready_bands: self.core.ready.bands.clone(),
-            arena: self.arena.snapshot(),
-            busy: self.core.busy,
+    pub fn snapshot(&mut self) -> OsSnapshot {
+        let mut snap = OsSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// [`Os::snapshot`] into a caller-owned buffer whose capacity is
+    /// retained across captures: TCB rows are updated in place, the timer
+    /// wheel, trace and arena reuse their vectors, so re-capturing into a
+    /// warm buffer is allocation-free in steady state.
+    ///
+    /// Capturing also advances the kernel's epoch and records the snapshot
+    /// as the state's lineage, enabling the O(dirty) delta path in
+    /// [`Os::restore_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any in-flight plan holds a boxed [`Step::Effect`] closure
+    /// (see [`PlanArena::snapshot`]).
+    pub fn snapshot_into(&mut self, snap: &mut OsSnapshot) {
+        let core = &mut self.core;
+        snap.tasks.truncate(core.tasks.len());
+        let filled = snap.tasks.len();
+        for (dst, src) in snap.tasks.iter_mut().zip(core.tasks.iter()) {
+            dst.state = src.state;
+            dst.planned = src.planned;
+            dst.current_priority = src.current_priority;
+            dst.set_events = src.set_events;
+            dst.waiting_for = src.waiting_for;
+            dst.held.clone_from(&src.held);
+            dst.issued = src.issued;
+            dst.completed = src.completed;
+            dst.exec_time = src.exec_time;
+            dst.budget_reported = src.budget_reported;
+            dst.ready_key = src.ready_key;
         }
+        for src in core.tasks.iter().skip(filled) {
+            snap.tasks.push(TcbSnapshot {
+                state: src.state,
+                planned: src.planned,
+                current_priority: src.current_priority,
+                set_events: src.set_events,
+                waiting_for: src.waiting_for,
+                held: src.held.clone(),
+                issued: src.issued,
+                completed: src.completed,
+                exec_time: src.exec_time,
+                budget_reported: src.budget_reported,
+                ready_key: src.ready_key,
+            });
+        }
+        snap.task_stamps.clone_from(&core.task_stamps);
+        snap.alarms.clear();
+        snap.alarms.extend(core.alarms.iter().map(Alarm::runtime));
+        snap.alarm_stamps.clone_from(&core.alarm_stamps);
+        snap.resource_holders.clear();
+        snap.resource_holders
+            .extend(core.resources.iter().map(Resource::holder));
+        snap.resource_stamp = core.resource_stamp;
+        core.timers.snapshot_into(&mut snap.timers);
+        snap.now = core.now;
+        snap.running = core.running;
+        snap.trace.clone_from(&core.trace);
+        snap.started = core.started;
+        snap.next_back_key = core.next_back_key;
+        snap.next_front_key = core.next_front_key;
+        snap.ready_bits = core.ready.bits;
+        snap.ready_bands.truncate(core.ready.bands.len());
+        let filled = snap.ready_bands.len();
+        for (dst, src) in snap.ready_bands.iter_mut().zip(core.ready.bands.iter()) {
+            dst.clone_from(src);
+        }
+        snap.ready_bands
+            .extend(core.ready.bands.iter().skip(filled).cloned());
+        self.arena.snapshot_into(&mut snap.arena);
+        snap.busy = core.busy;
+        snap.epoch = core.epoch;
+        snap.id = next_snapshot_id();
+        core.derived_from = snap.id;
+        core.epoch += 1;
     }
 
     /// Restores runtime state captured by [`Os::snapshot`], after which the
-    /// OS replays exactly like the snapshotted one. Buffers (timer wheel
-    /// slots, ready bands, arena plan slots) are restored in place with
-    /// their capacity retained, so a restore on the campaign hot path is
-    /// allocation-free once buffers have reached steady-state size.
+    /// OS replays exactly like the snapshotted one.
+    ///
+    /// When the kernel's state is still *derived from* exactly this
+    /// snapshot (captured from it, or restored from it, with no reset in
+    /// between), any TCB or alarm whose last-write stamp is at most the
+    /// snapshot's epoch provably never changed since capture and is
+    /// skipped — restore cost is O(dirty regions). Otherwise every region
+    /// is copied. Buffers (timer wheel slots, ready bands, arena plan
+    /// slots) are restored in place with their capacity retained, so a
+    /// restore on the campaign hot path is allocation-free once buffers
+    /// have reached steady-state size.
     ///
     /// The snapshot must come from an identically configured OS (same
     /// task/alarm/resource tables) — normally the same instance.
@@ -486,7 +563,7 @@ impl<W> Os<W> {
     /// # Panics
     ///
     /// Panics if the table sizes disagree with the snapshot.
-    pub fn restore_from(&mut self, snap: &OsSnapshot<W>) {
+    pub fn restore_from(&mut self, snap: &OsSnapshot) -> RestoreStats {
         assert_eq!(
             self.core.tasks.len(),
             snap.tasks.len(),
@@ -494,37 +571,65 @@ impl<W> Os<W> {
         );
         assert_eq!(self.core.alarms.len(), snap.alarms.len());
         assert_eq!(self.core.resources.len(), snap.resource_holders.len());
-        for (tcb, s) in self.core.tasks.iter_mut().zip(&snap.tasks) {
-            tcb.state = s.state;
-            tcb.planned = s.planned;
-            tcb.current_priority = s.current_priority;
-            tcb.set_events = s.set_events;
-            tcb.waiting_for = s.waiting_for;
-            tcb.held.clone_from(&s.held);
-            tcb.issued = s.issued;
-            tcb.completed = s.completed;
-            tcb.exec_time = s.exec_time;
-            tcb.budget_reported = s.budget_reported;
-            tcb.ready_key = s.ready_key;
-        }
-        for (alarm, rt) in self.core.alarms.iter_mut().zip(&snap.alarms) {
-            alarm.restore_runtime(*rt);
-        }
-        for (resource, holder) in self.core.resources.iter_mut().zip(&snap.resource_holders) {
-            resource.release();
-            if let Some(task) = holder {
-                resource.occupy(*task);
+        let mut stats = RestoreStats::default();
+        let core = &mut self.core;
+        let full = core.derived_from != snap.id;
+        for i in 0..core.tasks.len() {
+            let copy = full || core.task_stamps[i] > snap.epoch;
+            stats.region(copy);
+            if copy {
+                let tcb = &mut core.tasks[i];
+                let s = &snap.tasks[i];
+                tcb.state = s.state;
+                tcb.planned = s.planned;
+                tcb.current_priority = s.current_priority;
+                tcb.set_events = s.set_events;
+                tcb.waiting_for = s.waiting_for;
+                tcb.held.clone_from(&s.held);
+                tcb.issued = s.issued;
+                tcb.completed = s.completed;
+                tcb.exec_time = s.exec_time;
+                tcb.budget_reported = s.budget_reported;
+                tcb.ready_key = s.ready_key;
+                core.task_stamps[i] = snap.task_stamps[i];
             }
         }
-        self.core.timers.restore_from(&snap.timers);
-        self.core.now = snap.now;
-        self.core.running = snap.running;
-        self.core.trace.clone_from(&snap.trace);
-        self.core.started = snap.started;
-        self.core.next_back_key = snap.next_back_key;
-        self.core.next_front_key = snap.next_front_key;
-        self.core.ready.bits = snap.ready_bits;
-        let bands = &mut self.core.ready.bands;
+        for i in 0..core.alarms.len() {
+            let copy = full || core.alarm_stamps[i] > snap.epoch;
+            stats.region(copy);
+            if copy {
+                core.alarms[i].restore_runtime(snap.alarms[i]);
+                core.alarm_stamps[i] = snap.alarm_stamps[i];
+            }
+        }
+        {
+            let copy = full || core.resource_stamp > snap.epoch;
+            stats.region(copy);
+            if copy {
+                for (resource, holder) in
+                    core.resources.iter_mut().zip(&snap.resource_holders)
+                {
+                    resource.release();
+                    if let Some(task) = holder {
+                        resource.occupy(*task);
+                    }
+                }
+                core.resource_stamp = snap.resource_stamp;
+            }
+        }
+        stats.absorb(core.timers.restore_from(&snap.timers));
+        // Scalars, the ready queue and the trace form one always-copied
+        // header region: they change on virtually every kernel step, so
+        // dirty-tracking them would only add bookkeeping.
+        stats.region(true);
+        core.now = snap.now;
+        core.running = snap.running;
+        core.trace.clone_from(&snap.trace);
+        core.started = snap.started;
+        core.next_back_key = snap.next_back_key;
+        core.next_front_key = snap.next_front_key;
+        core.ready.bits = snap.ready_bits;
+        let bands = &mut core.ready.bands;
         if bands.len() < snap.ready_bands.len() {
             bands.resize_with(snap.ready_bands.len(), VecDeque::new);
         }
@@ -534,8 +639,11 @@ impl<W> Os<W> {
                 None => band.clear(),
             }
         }
-        self.arena.restore_from(&snap.arena);
+        stats.absorb(self.arena.restore_from(&snap.arena));
         self.core.busy = snap.busy;
+        self.core.derived_from = snap.id;
+        self.core.epoch = self.core.epoch.max(snap.epoch) + 1;
+        stats
     }
 
     /// `ActivateTask`: moves a suspended task to ready or queues an extra
@@ -658,6 +766,9 @@ impl<W> Os<W> {
         }
         let tcb = &mut self.core.tasks[id.index()];
         tcb.state = TaskState::Running;
+        // One stamp covers every TCB write this dispatch performs (the
+        // epoch cannot change mid-call).
+        self.core.task_stamps[id.index()] = self.core.epoch;
         self.core.running = Some(id);
         let name = self.core.tasks[id.index()].config.name();
         self.core
@@ -731,6 +842,7 @@ impl<W> Os<W> {
                     }
                     tcb.waiting_for = mask;
                     tcb.state = TaskState::Waiting;
+                    self.core.task_stamps[id.index()] = self.core.epoch;
                     self.core.running = None;
                     let name = self.core.tasks[id.index()].config.name();
                     self.core
@@ -742,6 +854,7 @@ impl<W> Os<W> {
                 Step::ClearEvent(mask) => {
                     let tcb = &mut self.core.tasks[id.index()];
                     tcb.set_events = tcb.set_events.clear(mask);
+                    self.core.task_stamps[id.index()] = self.core.epoch;
                 }
                 Step::GetResource(rid) => {
                     if rid.0 as usize >= self.core.resources.len() {
@@ -757,11 +870,13 @@ impl<W> Os<W> {
                     let prior = self.core.tasks[id.index()].current_priority;
                     let ceiling = self.core.resources[rid.0 as usize].ceiling();
                     self.core.resources[rid.0 as usize].occupy(id);
+                    self.core.resource_stamp = self.core.epoch;
                     let tcb = &mut self.core.tasks[id.index()];
                     tcb.held.push(rid, prior);
                     if ceiling > tcb.current_priority {
                         tcb.current_priority = ceiling;
                     }
+                    self.core.task_stamps[id.index()] = self.core.epoch;
                 }
                 Step::ReleaseResource(rid) => {
                     if rid.0 as usize >= self.core.resources.len() {
@@ -769,9 +884,11 @@ impl<W> Os<W> {
                         continue;
                     }
                     let restored = self.core.tasks[id.index()].held.pop_matching(rid);
+                    self.core.task_stamps[id.index()] = self.core.epoch;
                     match restored {
                         Some(prior) => {
                             self.core.resources[rid.0 as usize].release();
+                            self.core.resource_stamp = self.core.epoch;
                             self.core.tasks[id.index()].current_priority = prior;
                             // Dropping priority may enable preemption.
                             if self.core.pick_next() != Some(id) {
@@ -857,6 +974,8 @@ impl<W> Os<W> {
             {
                 let tcb = &mut self.core.tasks[id.index()];
                 tcb.exec_time += consumed;
+                // Also covers the `budget_reported` write below.
+                self.core.task_stamps[id.index()] = self.core.epoch;
             }
             // Budget exactly reached?
             let over = {
@@ -902,6 +1021,7 @@ impl<W> Os<W> {
     }
 
     fn terminate_running(&mut self, id: TaskId, world: &mut W) {
+        self.core.task_stamps[id.index()] = self.core.epoch;
         // OSEK: terminating with occupied resources is an error; release them.
         if !self.core.tasks[id.index()].held.is_empty() {
             self.core.report_error(OsError::ResourceOrder, world);
@@ -909,6 +1029,7 @@ impl<W> Os<W> {
             for rid in ids {
                 self.core.resources[rid.0 as usize].release();
             }
+            self.core.resource_stamp = self.core.epoch;
             self.core.tasks[id.index()].held.clear();
             let base = self.core.tasks[id.index()].config.priority();
             self.core.tasks[id.index()].current_priority = base;
@@ -991,6 +1112,12 @@ impl<W> Core<W> {
         self.next_front_key = -1;
         self.ready.clear();
         self.busy = Duration::ZERO;
+        // Stamp with the *current* epoch (never zero) and sever the
+        // lineage: a restore after a reset must take the full-copy path.
+        self.task_stamps.fill(self.epoch);
+        self.alarm_stamps.fill(self.epoch);
+        self.resource_stamp = self.epoch;
+        self.derived_from = 0;
     }
 
     fn activate_task(&mut self, id: TaskId, world: &mut W) -> Result<(), OsError> {
@@ -1005,6 +1132,7 @@ impl<W> Core<W> {
         {
             let tcb = &mut self.tasks[id.index()];
             tcb.issued += 1;
+            self.task_stamps[id.index()] = self.epoch;
         }
         let seq = self.tasks[id.index()].issued;
         // Arm the deadline check for this activation.
@@ -1034,8 +1162,12 @@ impl<W> Core<W> {
             return Err(OsError::InvalidState);
         }
         tcb.set_events = tcb.set_events.union(mask);
-        if tcb.state == TaskState::Waiting && tcb.set_events.intersects(tcb.waiting_for) {
+        let wake = tcb.state == TaskState::Waiting && tcb.set_events.intersects(tcb.waiting_for);
+        if wake {
             tcb.waiting_for = EventMask::NONE;
+        }
+        self.task_stamps[id.index()] = self.epoch;
+        if wake {
             self.make_ready(id, false);
             let name = self.tasks[id.index()].config.name();
             self.trace.record(self.now, TRACE_SOURCE, "wake", name);
@@ -1059,6 +1191,7 @@ impl<W> Core<W> {
             return Err(OsError::InvalidValue);
         }
         alarm.arm(cycle);
+        self.alarm_stamps[id.index()] = self.epoch;
         self.timers
             .schedule(self.now + offset, KernelEvent::AlarmExpiry(id));
         Ok(())
@@ -1072,6 +1205,7 @@ impl<W> Core<W> {
             return Err(OsError::AlarmNotInUse);
         }
         alarm.disarm();
+        self.alarm_stamps[id.index()] = self.epoch;
         // The pending AlarmExpiry stays queued; expiry of a disarmed alarm
         // is ignored, matching CancelAlarm semantics.
         Ok(())
@@ -1104,7 +1238,10 @@ impl<W> Core<W> {
                 self.timers
                     .schedule(self.now + cycle, KernelEvent::AlarmExpiry(id));
             }
-            None => self.alarms[id.index()].disarm(),
+            None => {
+                self.alarms[id.index()].disarm();
+                self.alarm_stamps[id.index()] = self.epoch;
+            }
         }
         match action {
             AlarmAction::ActivateTask(t) => {
@@ -1147,6 +1284,7 @@ impl<W> Core<W> {
         tcb.state = TaskState::Ready;
         tcb.ready_key = key;
         let priority = tcb.current_priority;
+        self.task_stamps[id.index()] = self.epoch;
         self.ready.push(priority, key, id, front);
     }
 
@@ -1278,10 +1416,16 @@ struct TcbSnapshot {
 /// A deterministic capture of kernel runtime state — see [`Os::snapshot`]
 /// and [`Os::restore_from`]. Opaque: only meaningful to the OS that (or an
 /// identically configured OS to the one that) produced it.
-pub struct OsSnapshot<W> {
+///
+/// Plain data (no task bodies, no closures), so node-level snapshots that
+/// embed it can be shared across campaign workers.
+pub struct OsSnapshot {
     tasks: Vec<TcbSnapshot>,
+    task_stamps: Vec<u64>,
     alarms: Vec<AlarmRuntime>,
+    alarm_stamps: Vec<u64>,
     resource_holders: Vec<Option<TaskId>>,
+    resource_stamp: u64,
     timers: EventQueueSnapshot<KernelEvent>,
     now: Instant,
     running: Option<TaskId>,
@@ -1291,24 +1435,55 @@ pub struct OsSnapshot<W> {
     next_front_key: i64,
     ready_bits: [u64; 4],
     ready_bands: Vec<VecDeque<(i64, TaskId)>>,
-    arena: PlanArenaSnapshot<W>,
+    arena: PlanArenaSnapshot,
     busy: Duration,
+    /// Kernel epoch at capture; regions stamped `<=` this are clean.
+    epoch: u64,
+    /// Process-unique snapshot id anchoring the lineage check.
+    id: u64,
 }
 
-impl<W> OsSnapshot<W> {
+impl Default for OsSnapshot {
+    fn default() -> Self {
+        OsSnapshot {
+            tasks: Vec::new(),
+            task_stamps: Vec::new(),
+            alarms: Vec::new(),
+            alarm_stamps: Vec::new(),
+            resource_holders: Vec::new(),
+            resource_stamp: 0,
+            timers: EventQueueSnapshot::default(),
+            now: Instant::ZERO,
+            running: None,
+            trace: TraceRecorder::new(),
+            started: false,
+            next_back_key: 0,
+            next_front_key: 0,
+            ready_bits: [0; 4],
+            ready_bands: Vec::new(),
+            arena: PlanArenaSnapshot::default(),
+            busy: Duration::ZERO,
+            epoch: 0,
+            id: 0,
+        }
+    }
+}
+
+impl OsSnapshot {
     /// The simulated instant at which the snapshot was taken.
     pub fn taken_at(&self) -> Instant {
         self.now
     }
 }
 
-impl<W> std::fmt::Debug for OsSnapshot<W> {
+impl std::fmt::Debug for OsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OsSnapshot")
             .field("now", &self.now)
             .field("tasks", &self.tasks.len())
             .field("running", &self.running)
             .field("started", &self.started)
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -1760,6 +1935,71 @@ mod tests {
         os.run_until(Instant::from_millis(20), &mut w2);
         assert_eq!(&w2[world_mark..], &tail[..], "world effects diverge after restore");
         assert_eq!(format!("{:?}", os.trace()), trace_once, "trace diverges after restore");
+    }
+
+    #[test]
+    fn delta_restore_skips_clean_regions_and_replays_identically() {
+        // Three tasks, but the post-snapshot tail only ever runs one of
+        // them: the delta restore must skip the untouched TCBs/alarms yet
+        // replay exactly like the full restore a fresh lineage forces.
+        // Bodies plan EffectRef tokens: boxed-closure plans cannot be
+        // snapshotted.
+        struct RefBody {
+            label: &'static str,
+            cost: Duration,
+        }
+        impl TaskBody<W> for RefBody {
+            fn plan_into(&mut self, _now: Instant, _w: &W, out: &mut Plan<W>) {
+                out.push_compute(self.cost);
+                out.push_effect_ref(0);
+            }
+            fn run_effect(&mut self, _token: u32, w: &mut W, ctx: &mut EffectCtx<'_, W>) {
+                w.push(format!("{}@{}", self.label, ctx.now().as_micros()));
+            }
+            fn name(&self) -> &str {
+                self.label
+            }
+        }
+        let body = |label, cost| RefBody { label, cost };
+        let mut os: Os<W> = Os::new();
+        let active = os.add_task(TaskConfig::new("act", Priority(5)), body("act", us(100)));
+        let _idle_a = os.add_task(TaskConfig::new("ia", Priority(1)), body("ia", us(100)));
+        let _idle_b = os.add_task(TaskConfig::new("ib", Priority(2)), body("ib", us(100)));
+        let a_act = os.add_alarm("a_act", AlarmAction::ActivateTask(active));
+        let a_idle = os.add_alarm("a_idle", AlarmAction::ActivateTask(_idle_a));
+        let mut w = W::new();
+        os.start(&mut w);
+        os.set_rel_alarm(a_act, ms(1), Some(ms(1))).unwrap();
+        let _ = a_idle; // declared but never armed: stays clean
+        os.run_until(Instant::from_millis(5), &mut w);
+        let snap = os.snapshot();
+        let world_mark = w.len();
+        os.run_until(Instant::from_millis(9), &mut w);
+        let tail: Vec<String> = w[world_mark..].to_vec();
+
+        // Same lineage: delta path skips the two idle TCBs and the idle
+        // alarm (3 task regions + 2 alarm regions + 1 resource region
+        // examined, some skipped).
+        let stats = os.restore_from(&snap);
+        assert!(
+            stats.regions_copied < stats.regions_total,
+            "delta restore should skip clean regions: {stats:?}"
+        );
+        let mut w2: W = w[..world_mark].to_vec();
+        os.run_until(Instant::from_millis(9), &mut w2);
+        assert_eq!(&w2[world_mark..], &tail[..], "delta restore diverges");
+
+        // A reset severs the lineage: the next restore copies everything,
+        // and still replays identically.
+        os.reset();
+        let stats = os.restore_from(&snap);
+        assert_eq!(
+            stats.regions_copied, stats.regions_total,
+            "restore after reset must take the full path"
+        );
+        let mut w3: W = w[..world_mark].to_vec();
+        os.run_until(Instant::from_millis(9), &mut w3);
+        assert_eq!(&w3[world_mark..], &tail[..], "full restore diverges");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::error::OsError;
 use crate::task::{EventMask, TaskId, TaskState};
+use easis_sim::snap::{next_snapshot_id, RestoreStats};
 use easis_sim::time::{Duration, Instant};
 use easis_sim::trace::TraceRecorder;
 use std::collections::VecDeque;
@@ -78,22 +79,70 @@ impl<W> Step<W> {
     /// so plans containing one are not snapshottable. Arena-backed bodies
     /// plan [`Step::EffectRef`] tokens instead, which snapshot fine — the
     /// campaign node stack is EffectRef-only by construction.
-    fn clone_data(&self) -> Step<W> {
+    fn data(&self) -> StepData {
         match self {
-            Step::Compute(d) => Step::Compute(*d),
+            Step::Compute(d) => StepData::Compute(*d),
             Step::Effect(_) => panic!(
                 "Step::Effect (boxed closure) cannot be snapshotted; \
                  plan EffectRef tokens for snapshot/restore support"
             ),
-            Step::EffectRef(tok) => Step::EffectRef(*tok),
-            Step::ActivateTask(t) => Step::ActivateTask(*t),
-            Step::SetEvent(t, m) => Step::SetEvent(*t, *m),
-            Step::WaitEvent(m) => Step::WaitEvent(*m),
-            Step::ClearEvent(m) => Step::ClearEvent(*m),
-            Step::GetResource(r) => Step::GetResource(*r),
-            Step::ReleaseResource(r) => Step::ReleaseResource(*r),
-            Step::ChainTask(t) => Step::ChainTask(*t),
-            Step::Schedule => Step::Schedule,
+            Step::EffectRef(tok) => StepData::EffectRef(*tok),
+            Step::ActivateTask(t) => StepData::ActivateTask(*t),
+            Step::SetEvent(t, m) => StepData::SetEvent(*t, *m),
+            Step::WaitEvent(m) => StepData::WaitEvent(*m),
+            Step::ClearEvent(m) => StepData::ClearEvent(*m),
+            Step::GetResource(r) => StepData::GetResource(*r),
+            Step::ReleaseResource(r) => StepData::ReleaseResource(*r),
+            Step::ChainTask(t) => StepData::ChainTask(*t),
+            Step::Schedule => StepData::Schedule,
+        }
+    }
+}
+
+/// The closure-free image of a [`Step`], used inside snapshots.
+///
+/// Snapshots must be shareable across worker threads (`Arc<NodeSnapshot>`
+/// in the campaign prefix cache), and `Step::Effect`'s boxed `FnMut` is not
+/// `Sync` — so snapshots store this plain-data mirror instead, which covers
+/// every variant except `Effect` (see [`Step`]'s snapshot panic note).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepData {
+    /// Mirror of [`Step::Compute`].
+    Compute(Duration),
+    /// Mirror of [`Step::EffectRef`].
+    EffectRef(u32),
+    /// Mirror of [`Step::ActivateTask`].
+    ActivateTask(TaskId),
+    /// Mirror of [`Step::SetEvent`].
+    SetEvent(TaskId, EventMask),
+    /// Mirror of [`Step::WaitEvent`].
+    WaitEvent(EventMask),
+    /// Mirror of [`Step::ClearEvent`].
+    ClearEvent(EventMask),
+    /// Mirror of [`Step::GetResource`].
+    GetResource(ResourceId),
+    /// Mirror of [`Step::ReleaseResource`].
+    ReleaseResource(ResourceId),
+    /// Mirror of [`Step::ChainTask`].
+    ChainTask(TaskId),
+    /// Mirror of [`Step::Schedule`].
+    Schedule,
+}
+
+impl StepData {
+    /// Re-instantiates the executable step for any world type.
+    fn to_step<W>(self) -> Step<W> {
+        match self {
+            StepData::Compute(d) => Step::Compute(d),
+            StepData::EffectRef(tok) => Step::EffectRef(tok),
+            StepData::ActivateTask(t) => Step::ActivateTask(t),
+            StepData::SetEvent(t, m) => Step::SetEvent(t, m),
+            StepData::WaitEvent(m) => Step::WaitEvent(m),
+            StepData::ClearEvent(m) => Step::ClearEvent(m),
+            StepData::GetResource(r) => Step::GetResource(r),
+            StepData::ReleaseResource(r) => Step::ReleaseResource(r),
+            StepData::ChainTask(t) => Step::ChainTask(t),
+            StepData::Schedule => Step::Schedule,
         }
     }
 }
@@ -245,6 +294,12 @@ impl<W> Plan<W> {
 /// re-growing the buffers.
 pub struct PlanArena<W> {
     slots: Vec<Plan<W>>,
+    /// Per-slot epoch of the last mutable access (delta-snapshot regions).
+    stamps: Vec<u64>,
+    /// Current write stamp; bumped by `snapshot_into`/`restore_from`.
+    epoch: u64,
+    /// Snapshot id this arena's state derives from (0 = none).
+    derived_from: u64,
 }
 
 impl<W> fmt::Debug for PlanArena<W> {
@@ -257,7 +312,12 @@ impl<W> fmt::Debug for PlanArena<W> {
 
 impl<W> Default for PlanArena<W> {
     fn default() -> Self {
-        PlanArena { slots: Vec::new() }
+        PlanArena {
+            slots: Vec::new(),
+            stamps: Vec::new(),
+            epoch: 0,
+            derived_from: 0,
+        }
     }
 }
 
@@ -267,10 +327,13 @@ impl<W> PlanArena<W> {
         PlanArena::default()
     }
 
-    /// Ensures at least `n` slots exist (one per task id).
+    /// Ensures at least `n` slots exist (one per task id). New slots are
+    /// stamped at the current epoch: a snapshot taken before the growth
+    /// cannot vouch for them.
     pub fn grow_to(&mut self, n: usize) {
         if self.slots.len() < n {
             self.slots.resize_with(n, Plan::new);
+            self.stamps.resize(n, self.epoch);
         }
     }
 
@@ -284,22 +347,28 @@ impl<W> PlanArena<W> {
         self.slots.is_empty()
     }
 
-    /// Mutable access to a task's slot.
+    /// Mutable access to a task's slot. Stamps the slot dirty at the
+    /// current epoch — this is the arena's single mutation gateway, so the
+    /// delta-restore bookkeeping lives entirely here.
     ///
     /// # Panics
     ///
     /// Panics if `idx` was never grown to (kernel bug).
     pub fn slot_mut(&mut self, idx: usize) -> &mut Plan<W> {
+        self.stamps[idx] = self.epoch;
         &mut self.slots[idx]
     }
 
     /// Clears every slot, retaining all allocated capacity. Part of the
     /// world-pooling contract: a reset arena replans exactly like a fresh
-    /// one, only without the allocations.
+    /// one, only without the allocations. Stamps every slot at the current
+    /// epoch and severs snapshot lineage (the next restore runs full).
     pub fn reset(&mut self) {
         for slot in &mut self.slots {
             slot.clear();
         }
+        self.stamps.fill(self.epoch);
+        self.derived_from = 0;
     }
 
     /// Sum of all slots' step capacities (observability for tests and
@@ -316,40 +385,81 @@ impl<W> PlanArena<W> {
     ///
     /// Panics if any slot holds a [`Step::Effect`] (boxed closure) — see
     /// [`Step`] docs; arena bodies plan `EffectRef` tokens, which snapshot.
-    pub fn snapshot(&self) -> PlanArenaSnapshot<W> {
-        PlanArenaSnapshot {
-            slots: self
-                .slots
-                .iter()
-                .map(|p| p.steps.iter().map(Step::clone_data).collect())
-                .collect(),
+    pub fn snapshot(&mut self) -> PlanArenaSnapshot {
+        let mut snap = PlanArenaSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Captures every slot into `snap`, reusing its buffers (clear +
+    /// extend — allocation-free once the snapshot is warm), records the
+    /// arena as derived from the capture and bumps the write epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Step::Effect`] slot, as for [`PlanArena::snapshot`].
+    pub fn snapshot_into(&mut self, snap: &mut PlanArenaSnapshot) {
+        snap.slots.truncate(self.slots.len());
+        while snap.slots.len() < self.slots.len() {
+            snap.slots.push(Vec::new());
         }
+        for (dst, src) in snap.slots.iter_mut().zip(&self.slots) {
+            dst.clear();
+            dst.extend(src.steps.iter().map(Step::data));
+        }
+        snap.stamps.clone_from(&self.stamps);
+        snap.epoch = self.epoch;
+        snap.id = next_snapshot_id();
+        self.derived_from = snap.id;
+        self.epoch += 1;
     }
 
     /// Restores every slot to the snapshot's steps, retaining each slot's
-    /// allocated capacity (clear + extend, no buffer replacement).
-    pub fn restore_from(&mut self, snap: &PlanArenaSnapshot<W>) {
+    /// allocated capacity (clear + extend, no buffer replacement). When the
+    /// arena still derives from exactly this snapshot, slots untouched
+    /// since the capture are skipped — O(dirty slots). Reports per-slot
+    /// region stats.
+    pub fn restore_from(&mut self, snap: &PlanArenaSnapshot) -> RestoreStats {
+        let mut stats = RestoreStats::default();
+        let full = self.derived_from != snap.id || self.slots.len() != snap.slots.len();
         self.grow_to(snap.slots.len());
-        for (slot, src) in self.slots.iter_mut().zip(&snap.slots) {
-            slot.steps.clear();
-            slot.steps.extend(src.iter().map(Step::clone_data));
+        for i in 0..snap.slots.len() {
+            let copy = full || self.stamps[i] > snap.epoch;
+            stats.region(copy);
+            if copy {
+                let slot = &mut self.slots[i];
+                slot.steps.clear();
+                slot.steps.extend(snap.slots[i].iter().map(|d| d.to_step()));
+                self.stamps[i] = snap.stamps[i];
+            }
         }
-        for slot in self.slots.iter_mut().skip(snap.slots.len()) {
-            slot.steps.clear();
+        for i in snap.slots.len()..self.slots.len() {
+            stats.region(true);
+            self.slots[i].steps.clear();
+            self.stamps[i] = self.epoch;
         }
+        self.derived_from = snap.id;
+        self.epoch = self.epoch.max(snap.epoch) + 1;
+        stats
     }
 }
 
 /// The remaining steps of every [`PlanArena`] slot at snapshot time
-/// (see [`PlanArena::snapshot`]).
-pub struct PlanArenaSnapshot<W> {
-    slots: Vec<Vec<Step<W>>>,
+/// (see [`PlanArena::snapshot`]). World-independent plain data, so node
+/// snapshots containing it are `Send + Sync` and shareable via `Arc`.
+#[derive(Default, Clone)]
+pub struct PlanArenaSnapshot {
+    slots: Vec<Vec<StepData>>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    id: u64,
 }
 
-impl<W> fmt::Debug for PlanArenaSnapshot<W> {
+impl fmt::Debug for PlanArenaSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PlanArenaSnapshot")
             .field("slots", &self.slots.len())
+            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -976,6 +1086,29 @@ mod tests {
         assert!(matches!(arena.slot_mut(0).pop(), Some(Step::Compute(d)) if d == Duration::from_micros(7)));
         assert!(matches!(arena.slot_mut(0).pop(), Some(Step::EffectRef(3))));
         assert!(arena.slot_mut(1).is_empty(), "restore clears divergent slots");
+    }
+
+    #[test]
+    fn arena_delta_restore_skips_clean_slots_and_resets_sever_lineage() {
+        let mut arena: PlanArena<W> = PlanArena::new();
+        arena.grow_to(4);
+        for i in 0..4 {
+            arena.slot_mut(i).push_effect_ref(i as u32);
+        }
+        let snap = arena.snapshot();
+        arena.slot_mut(2).push_compute(Duration::from_micros(1));
+        let stats = arena.restore_from(&snap);
+        assert_eq!(stats.regions_total, 4);
+        assert_eq!(stats.regions_copied, 1, "only the touched slot copies");
+        assert_eq!(arena.slot_mut(2).len(), 1);
+        // reset() stamps everything and severs lineage: the snapshot can no
+        // longer vouch for any slot, so the next restore copies all four.
+        arena.reset();
+        let stats = arena.restore_from(&snap);
+        assert_eq!(stats.regions_copied, 4);
+        for i in 0..4 {
+            assert_eq!(arena.slot_mut(i).len(), 1);
+        }
     }
 
     #[test]

@@ -63,9 +63,22 @@ impl Resource {
 
 /// Per-task stack of held resources, enforcing LIFO release and tracking the
 /// task's elevated priority.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HeldResources {
     stack: Vec<(ResourceIdRepr, Priority)>,
+}
+
+impl Clone for HeldResources {
+    fn clone(&self) -> Self {
+        HeldResources {
+            stack: self.stack.clone(),
+        }
+    }
+
+    // Capacity-retained for the TCB snapshot path.
+    fn clone_from(&mut self, source: &Self) {
+        self.stack.clone_from(&source.stack);
+    }
 }
 
 // ResourceId lives in plan.rs without serde; keep a raw repr for state

@@ -8,6 +8,7 @@
 //! tooling inspect everything, like ControlDesk instrumenting a Simulink
 //! model.
 
+use easis_sim::snap::{next_snapshot_id, RestoreStats};
 use easis_sim::time::Instant;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -55,6 +56,11 @@ struct Slot {
 pub struct SignalDb {
     slots: Vec<Slot>,
     by_name: BTreeMap<String, SignalId>,
+    /// Last-write epoch per signal — delta-restore bookkeeping, not part
+    /// of the observable database (see `easis_sim::snap`).
+    stamps: Vec<u64>,
+    epoch: u64,
+    derived_from: u64,
 }
 
 impl SignalDb {
@@ -75,6 +81,7 @@ impl SignalDb {
             value: initial,
             updated_at: Instant::ZERO,
         });
+        self.stamps.push(self.epoch);
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -92,6 +99,11 @@ impl SignalDb {
             slot.value = value;
             slot.updated_at = Instant::ZERO;
         }
+        // Every signal is dirty relative to any earlier snapshot, and the
+        // lineage is severed so a later restore takes the full path.
+        self.stamps.clear();
+        self.stamps.resize(self.slots.len(), self.epoch);
+        self.derived_from = 0;
     }
 
     /// Looks up a signal id by name.
@@ -122,6 +134,7 @@ impl SignalDb {
         let slot = &mut self.slots[id.index()];
         slot.value = value;
         slot.updated_at = now;
+        self.stamps[id.index()] = self.epoch;
     }
 
     /// Writes a boolean as `1.0` / `0.0`.
@@ -164,6 +177,66 @@ impl SignalDb {
             .enumerate()
             .map(|(i, s)| (SignalId(i as u32), s.name.as_str(), s.value))
     }
+
+    /// Captures every signal's `(value, updated_at)` pair into `snap`,
+    /// retaining the snapshot's buffer capacity (allocation-free once
+    /// warm). Names are declaration-time constants and stay out. Follows
+    /// the `easis_sim::snap` protocol: the capture records the lineage so
+    /// a later [`SignalDb::restore_from`] only copies the signals written
+    /// since.
+    pub fn snapshot_into(&mut self, snap: &mut SignalDbSnapshot) {
+        snap.values.clear();
+        snap.values
+            .extend(self.slots.iter().map(|s| (s.value, s.updated_at)));
+        snap.stamps.clone_from(&self.stamps);
+        snap.epoch = self.epoch;
+        snap.id = next_snapshot_id();
+        self.derived_from = snap.id;
+        self.epoch += 1;
+    }
+
+    /// Restores signal values captured by [`SignalDb::snapshot_into`],
+    /// copying only the signals written since the capture when the
+    /// lineage allows it (O(dirty)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a database with a different
+    /// signal table (the declared set is a build-time constant).
+    pub fn restore_from(&mut self, snap: &SignalDbSnapshot) -> RestoreStats {
+        assert_eq!(
+            snap.values.len(),
+            self.slots.len(),
+            "snapshot covers all signals"
+        );
+        let mut stats = RestoreStats::default();
+        let full = self.derived_from != snap.id;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let copy = full || self.stamps[i] > snap.epoch;
+            stats.region(copy);
+            if copy {
+                let (value, updated_at) = snap.values[i];
+                slot.value = value;
+                slot.updated_at = updated_at;
+                self.stamps[i] = snap.stamps[i];
+            }
+        }
+        self.derived_from = snap.id;
+        self.epoch = self.epoch.max(snap.epoch) + 1;
+        stats
+    }
+}
+
+/// A deterministic capture of signal values — see
+/// [`SignalDb::snapshot_into`]. Plain data (one `(value, updated_at)`
+/// pair per declared signal), so node-level snapshots embedding it can be
+/// shared across campaign workers.
+#[derive(Debug, Clone, Default)]
+pub struct SignalDbSnapshot {
+    values: Vec<(f64, Instant)>,
+    stamps: Vec<u64>,
+    epoch: u64,
+    id: u64,
 }
 
 #[cfg(test)]
@@ -223,5 +296,49 @@ mod tests {
     fn reading_undeclared_id_panics() {
         let db = SignalDb::new();
         let _ = db.read(SignalId(0));
+    }
+
+    #[test]
+    fn snapshot_delta_restore_copies_only_written_signals() {
+        let mut db = SignalDb::new();
+        let a = db.declare("a", 1.0);
+        let b = db.declare("b", 2.0);
+        let c = db.declare("c", 3.0);
+        db.write(a, 10.0, Instant::from_millis(1));
+        let mut snap = SignalDbSnapshot::default();
+        db.snapshot_into(&mut snap);
+
+        db.write(b, 99.0, Instant::from_millis(5));
+        let stats = db.restore_from(&snap);
+        assert_eq!(stats.regions_total, 3);
+        assert_eq!(stats.regions_copied, 1, "only `b` was written");
+        assert_eq!(db.read(a), 10.0);
+        assert_eq!(db.read(b), 2.0);
+        assert_eq!(db.read(c), 3.0);
+        assert_eq!(db.updated_at(b), Instant::ZERO);
+
+        // The pooled-world restore severs the lineage: the next restore
+        // must take the full path and still land on the snapshot exactly.
+        db.restore(&[0.0, 0.0, 0.0]);
+        let stats = db.restore_from(&snap);
+        assert_eq!(stats.regions_copied, 3);
+        assert_eq!(db.read(a), 10.0);
+        assert_eq!(db.updated_at(a), Instant::from_millis(1));
+    }
+
+    #[test]
+    fn snapshot_capture_is_capacity_retained() {
+        let mut db = SignalDb::new();
+        db.declare("x", 1.0);
+        db.declare("y", 2.0);
+        let mut snap = SignalDbSnapshot::default();
+        db.snapshot_into(&mut snap);
+        let values_ptr = snap.values.as_ptr();
+        let stamps_ptr = snap.stamps.as_ptr();
+        db.write(SignalId(0), 5.0, Instant::from_millis(2));
+        db.snapshot_into(&mut snap);
+        assert_eq!(values_ptr, snap.values.as_ptr());
+        assert_eq!(stamps_ptr, snap.stamps.as_ptr());
+        assert_eq!(snap.values[0].0, 5.0);
     }
 }

@@ -15,6 +15,7 @@
 //! binary-heap implementation (lowest sequence number first) is preserved
 //! exactly: every bucket scan resolves ties by sequence number.
 
+use crate::snap::{next_snapshot_id, RestoreStats};
 use crate::time::Instant;
 use std::collections::{BTreeMap, HashSet};
 
@@ -52,20 +53,59 @@ enum Loc {
     Overflow { key: u64, idx: usize },
 }
 
+/// One captured overflow window: the window key plus its
+/// `(time, seq, payload)` entries, exactly as the wheel stores them.
+type OverflowWindow<E> = (u64, Vec<(u64, u64, E)>);
+
 /// The pending state of an [`EventQueue`] captured by
-/// [`EventQueue::snapshot`]. Opaque: its only consumer is
-/// [`EventQueue::restore_from`] on a queue of the same payload type.
+/// [`EventQueue::snapshot`] / [`EventQueue::snapshot_into`]. Opaque: its
+/// only consumer is [`EventQueue::restore_from`] on a queue of the same
+/// payload type. Overflow windows are stored as a sorted vector (not a
+/// `BTreeMap`) so repeated captures into the same buffer reuse the window
+/// vectors instead of reallocating map nodes.
 #[derive(Debug, Clone)]
 pub struct EventQueueSnapshot<E> {
     cursor: u64,
     slots: Vec<Vec<(u64, u64, E)>>,
     occupied: [u64; LEVELS],
-    overflow: BTreeMap<u64, Vec<(u64, u64, E)>>,
+    overflow: Vec<OverflowWindow<E>>,
     past: Vec<(u64, u64, E)>,
     head: Option<(u64, u64)>,
     next_seq: u64,
     live: usize,
     cancelled: HashSet<u64>,
+    /// Per-bucket write stamps mirrored from the queue at capture time.
+    stamps: Vec<u64>,
+    past_stamp: u64,
+    overflow_stamp: u64,
+    cancelled_stamp: u64,
+    /// Queue epoch at capture: every write after the capture stamps
+    /// strictly greater, so `stamp <= epoch` proves a region unchanged.
+    epoch: u64,
+    /// Process-unique capture id checked against the queue's lineage.
+    id: u64,
+}
+
+impl<E> Default for EventQueueSnapshot<E> {
+    fn default() -> Self {
+        EventQueueSnapshot {
+            cursor: 0,
+            slots: Vec::new(),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            past: Vec::new(),
+            head: None,
+            next_seq: 0,
+            live: 0,
+            cancelled: HashSet::new(),
+            stamps: Vec::new(),
+            past_stamp: 0,
+            overflow_stamp: 0,
+            cancelled_stamp: 0,
+            epoch: 0,
+            id: 0,
+        }
+    }
 }
 
 /// A time-ordered queue of simulation events with stable tie-breaking.
@@ -105,9 +145,23 @@ pub struct EventQueue<E> {
     /// Empty, capacity-retaining buffer swapped against a slot during a
     /// cascade so draining never drops the slot's allocation.
     cascade_scratch: Vec<(u64, u64, E)>,
+    /// Retired overflow-window buffers, recycled when a new window opens or
+    /// a restore reinserts one — overflow churn stays allocation-free warm.
+    window_spare: Vec<Vec<(u64, u64, E)>>,
     next_seq: u64,
     live: usize,
     cancelled: HashSet<u64>,
+    /// Per-wheel-bucket epoch of the last write (same indexing as `slots`).
+    stamps: Vec<u64>,
+    past_stamp: u64,
+    overflow_stamp: u64,
+    cancelled_stamp: u64,
+    /// Current write stamp; bumped past the capture point by every
+    /// `snapshot_into`/`restore_from` so stamps order writes across them.
+    epoch: u64,
+    /// Id of the snapshot this queue's state is known to derive from
+    /// (0 = none); gates the delta path in [`EventQueue::restore_from`].
+    derived_from: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -129,9 +183,16 @@ impl<E> EventQueue<E> {
             past: Vec::new(),
             head: None,
             cascade_scratch: Vec::new(),
+            window_spare: Vec::new(),
             next_seq: 0,
             live: 0,
             cancelled: HashSet::new(),
+            stamps: vec![0; LEVELS * SLOTS],
+            past_stamp: 0,
+            overflow_stamp: 0,
+            cancelled_stamp: 0,
+            epoch: 0,
+            derived_from: 0,
         }
     }
 
@@ -147,15 +208,25 @@ impl<E> EventQueue<E> {
             bucket.clear();
         }
         self.occupied = [0; LEVELS];
-        // Overflow windows come and go with the simulated horizon; dropping
-        // the (typically tiny) map wholesale is simpler than retaining its
-        // per-window vectors.
-        self.overflow.clear();
+        // Retire overflow-window buffers into the spare pool so the next
+        // horizon's windows (or a later restore) reopen allocation-free.
+        while let Some((_, ring)) = self.overflow.pop_first() {
+            self.window_spare.push(ring);
+        }
         self.past.clear();
         self.head = None;
         self.next_seq = 0;
         self.live = 0;
         self.cancelled.clear();
+        // Everything changed: stamp all regions at the *current* epoch and
+        // sever lineage, forcing the next restore onto the full path.
+        // (Zeroing stamps instead would let a stale snapshot's delta path
+        // skip regions this clear just emptied.)
+        self.stamps.fill(self.epoch);
+        self.past_stamp = self.epoch;
+        self.overflow_stamp = self.epoch;
+        self.cancelled_stamp = self.epoch;
+        self.derived_from = 0;
     }
 
     /// Schedules `payload` to fire at `at`. Returns a handle for [`cancel`].
@@ -175,6 +246,7 @@ impl<E> EventQueue<E> {
         }
         if t < self.cursor {
             self.past.push((t, seq, payload));
+            self.past_stamp = self.epoch;
         } else {
             self.insert_wheel(t, seq, payload);
         }
@@ -190,6 +262,7 @@ impl<E> EventQueue<E> {
             return false;
         }
         if self.cancelled.insert(id.0) {
+            self.cancelled_stamp = self.epoch;
             // The entry may have already popped; `live` is corrected lazily in
             // `pop`, so only mark it here.
             if self.head.is_some_and(|(_, seq)| seq == id.0) {
@@ -206,6 +279,7 @@ impl<E> EventQueue<E> {
         while let Some((at, seq, payload)) = self.remove_min() {
             self.live = self.live.saturating_sub(1);
             if self.cancelled.remove(&seq) {
+                self.cancelled_stamp = self.epoch;
                 continue;
             }
             return Some((Instant::from_micros(at), payload));
@@ -223,6 +297,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.contains(&seq) {
                 self.remove_at(loc);
                 self.cancelled.remove(&seq);
+                self.cancelled_stamp = self.epoch;
                 self.live = self.live.saturating_sub(1);
                 continue;
             }
@@ -262,43 +337,164 @@ impl<E> EventQueue<E> {
     /// where the snapshot was taken (same ids, same order). The cascade
     /// scratch buffer is transient (empty between operations) and is not
     /// part of the snapshot.
-    pub fn snapshot(&self) -> EventQueueSnapshot<E>
+    pub fn snapshot(&mut self) -> EventQueueSnapshot<E>
     where
         E: Clone,
     {
-        EventQueueSnapshot {
-            cursor: self.cursor,
-            slots: self.slots.clone(),
-            occupied: self.occupied,
-            overflow: self.overflow.clone(),
-            past: self.past.clone(),
-            head: self.head,
-            next_seq: self.next_seq,
-            live: self.live,
-            cancelled: self.cancelled.clone(),
-        }
+        let mut snap = EventQueueSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
     }
 
-    /// Restores the queue to a previously captured snapshot. Bucket vectors
-    /// are overwritten in place via `clone_from`, so restoring onto a warm
-    /// queue retains its slot capacity — the campaign engine restores the
-    /// same pooled queue thousands of times without regrowing it.
-    pub fn restore_from(&mut self, snap: &EventQueueSnapshot<E>)
+    /// Captures the queue's state into `snap`, reusing every buffer the
+    /// snapshot already owns — repeated captures into the same snapshot are
+    /// allocation-free once warm. Records this queue as derived from the
+    /// capture and bumps the write epoch, enabling the delta path of
+    /// [`EventQueue::restore_from`].
+    pub fn snapshot_into(&mut self, snap: &mut EventQueueSnapshot<E>)
     where
         E: Clone,
     {
-        self.cursor = snap.cursor;
-        debug_assert_eq!(self.slots.len(), snap.slots.len());
-        for (bucket, src) in self.slots.iter_mut().zip(&snap.slots) {
-            bucket.clone_from(src);
+        snap.cursor = self.cursor;
+        if snap.slots.len() != self.slots.len() {
+            snap.slots.clear();
+            snap.slots.resize_with(self.slots.len(), Vec::new);
         }
+        for (dst, src) in snap.slots.iter_mut().zip(&self.slots) {
+            dst.clone_from(src);
+        }
+        snap.occupied = self.occupied;
+        snap.overflow.truncate(self.overflow.len());
+        while snap.overflow.len() < self.overflow.len() {
+            snap.overflow.push((0, Vec::new()));
+        }
+        for (dst, (key, ring)) in snap.overflow.iter_mut().zip(&self.overflow) {
+            dst.0 = *key;
+            dst.1.clone_from(ring);
+        }
+        snap.past.clone_from(&self.past);
+        snap.head = self.head;
+        snap.next_seq = self.next_seq;
+        snap.live = self.live;
+        snap.cancelled.clone_from(&self.cancelled);
+        snap.stamps.clone_from(&self.stamps);
+        snap.past_stamp = self.past_stamp;
+        snap.overflow_stamp = self.overflow_stamp;
+        snap.cancelled_stamp = self.cancelled_stamp;
+        snap.epoch = self.epoch;
+        snap.id = next_snapshot_id();
+        self.derived_from = snap.id;
+        self.epoch += 1;
+    }
+
+    /// Restores the queue to a previously captured snapshot and reports how
+    /// many regions (wheel buckets, the past/overflow/cancelled groups plus
+    /// one scalar header) had to be copied.
+    ///
+    /// When the queue's state still derives from exactly this snapshot, any
+    /// bucket whose write stamp is at or before the capture epoch provably
+    /// never changed and is skipped — O(dirty) instead of O(state). On a
+    /// lineage mismatch (different snapshot, an intervening [`clear`], a
+    /// shape change) everything is copied. Either way buffers are
+    /// overwritten in place (`clone_from`, spare-pool recycling for
+    /// overflow windows), so restoring onto a warm queue allocates nothing
+    /// in steady state.
+    ///
+    /// [`clear`]: EventQueue::clear
+    pub fn restore_from(&mut self, snap: &EventQueueSnapshot<E>) -> RestoreStats
+    where
+        E: Clone,
+    {
+        let mut stats = RestoreStats::default();
+        let full = self.derived_from != snap.id || self.slots.len() != snap.slots.len();
+        // Scalar header: always written back (one region).
+        self.cursor = snap.cursor;
         self.occupied = snap.occupied;
-        self.overflow.clone_from(&snap.overflow);
-        self.past.clone_from(&snap.past);
         self.head = snap.head;
         self.next_seq = snap.next_seq;
         self.live = snap.live;
-        self.cancelled.clone_from(&snap.cancelled);
+        stats.region(true);
+        if self.slots.len() != snap.slots.len() {
+            self.slots.clear();
+            self.slots.resize_with(snap.slots.len(), Vec::new);
+            self.stamps.clear();
+            self.stamps.resize(snap.slots.len(), 0);
+        }
+        for i in 0..self.slots.len() {
+            let copy = full || self.stamps[i] > snap.epoch;
+            stats.region(copy);
+            if copy {
+                self.slots[i].clone_from(&snap.slots[i]);
+                self.stamps[i] = snap.stamps[i];
+            }
+        }
+        let copy_past = full || self.past_stamp > snap.epoch;
+        stats.region(copy_past);
+        if copy_past {
+            self.past.clone_from(&snap.past);
+            self.past_stamp = snap.past_stamp;
+        }
+        let copy_cancelled = full || self.cancelled_stamp > snap.epoch;
+        stats.region(copy_cancelled);
+        if copy_cancelled {
+            self.cancelled.clone_from(&snap.cancelled);
+            self.cancelled_stamp = snap.cancelled_stamp;
+        }
+        let copy_overflow = full || self.overflow_stamp > snap.epoch;
+        stats.region(copy_overflow);
+        if copy_overflow {
+            self.restore_overflow(&snap.overflow);
+            self.overflow_stamp = snap.overflow_stamp;
+        }
+        self.derived_from = snap.id;
+        self.epoch = self.epoch.max(snap.epoch) + 1;
+        stats
+    }
+
+    /// Rebuilds the overflow map from a snapshot's sorted window list,
+    /// recycling retired window buffers through the spare pool and
+    /// overwriting surviving windows in place.
+    fn restore_overflow(&mut self, src: &[OverflowWindow<E>])
+    where
+        E: Clone,
+    {
+        let spare = &mut self.window_spare;
+        self.overflow.retain(|key, ring| {
+            if src.binary_search_by_key(key, |&(k, _)| k).is_ok() {
+                true
+            } else {
+                spare.push(std::mem::take(ring));
+                false
+            }
+        });
+        for (key, ring) in src {
+            match self.overflow.entry(*key) {
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    e.into_mut().clone_from(ring);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let mut buf = self.window_spare.pop().unwrap_or_default();
+                    buf.clear();
+                    buf.extend(ring.iter().cloned());
+                    e.insert(buf);
+                }
+            }
+        }
+    }
+
+    /// Total buffer capacity (in entries/elements) retained across the
+    /// wheel buckets, past list, overflow windows, spare pools and the
+    /// cancellation set. Steady-state workloads keep this constant across
+    /// repeated snapshot/restore cycles — the capacity-retention tests
+    /// assert on it.
+    pub fn retained_capacity(&self) -> usize {
+        self.slots.iter().map(Vec::capacity).sum::<usize>()
+            + self.past.capacity()
+            + self.cascade_scratch.capacity()
+            + self.overflow.values().map(Vec::capacity).sum::<usize>()
+            + self.window_spare.iter().map(Vec::capacity).sum::<usize>()
+            + self.window_spare.capacity()
+            + self.cancelled.capacity()
     }
 
     // ------------------------------------------------------------------
@@ -314,14 +510,23 @@ impl<E> EventQueue<E> {
             if t >> window == self.cursor >> window {
                 let slot = ((t >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
                 self.slots[level * SLOTS + slot].push((t, seq, payload));
+                self.stamps[level * SLOTS + slot] = self.epoch;
                 self.occupied[level] |= 1u64 << slot;
                 return;
             }
         }
+        let spare = &mut self.window_spare;
         self.overflow
             .entry(t >> TOP_SHIFT)
-            .or_default()
+            .or_insert_with(|| {
+                // Spare buffers may still hold the entries of the retired
+                // window they came from; only their capacity is reused.
+                let mut buf = spare.pop().unwrap_or_default();
+                buf.clear();
+                buf
+            })
             .push((t, seq, payload));
+        self.overflow_stamp = self.epoch;
     }
 
     /// Locates the earliest `(time, seq)` entry without removing it.
@@ -369,10 +574,14 @@ impl<E> EventQueue<E> {
     /// Physically removes the entry at `loc`, maintaining the bitmaps.
     fn remove_at(&mut self, loc: Loc) -> (u64, u64, E) {
         match loc {
-            Loc::Past(idx) => self.past.swap_remove(idx),
+            Loc::Past(idx) => {
+                self.past_stamp = self.epoch;
+                self.past.swap_remove(idx)
+            }
             Loc::Level { level, slot, idx } => {
                 let ring = &mut self.slots[level * SLOTS + slot];
                 let entry = ring.swap_remove(idx);
+                self.stamps[level * SLOTS + slot] = self.epoch;
                 if ring.is_empty() {
                     self.occupied[level] &= !(1u64 << slot);
                 }
@@ -381,8 +590,10 @@ impl<E> EventQueue<E> {
             Loc::Overflow { key, idx } => {
                 let ring = self.overflow.get_mut(&key).expect("overflow key present");
                 let entry = ring.swap_remove(idx);
+                self.overflow_stamp = self.epoch;
                 if ring.is_empty() {
-                    self.overflow.remove(&key);
+                    let retired = self.overflow.remove(&key).expect("ring just accessed");
+                    self.window_spare.push(retired);
                 }
                 entry
             }
@@ -421,10 +632,12 @@ impl<E> EventQueue<E> {
             return;
         }
         self.cursor = m;
-        if let Some(batch) = self.overflow.remove(&(m >> TOP_SHIFT)) {
-            for (t, seq, payload) in batch {
+        if let Some(mut batch) = self.overflow.remove(&(m >> TOP_SHIFT)) {
+            self.overflow_stamp = self.epoch;
+            for (t, seq, payload) in batch.drain(..) {
                 self.insert_wheel(t, seq, payload);
             }
+            self.window_spare.push(batch);
         }
         for level in (1..LEVELS).rev() {
             let slot = ((m >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
@@ -441,6 +654,7 @@ impl<E> EventQueue<E> {
                 &mut self.slots[level * SLOTS + slot],
                 std::mem::take(&mut self.cascade_scratch),
             );
+            self.stamps[level * SLOTS + slot] = self.epoch;
             self.occupied[level] &= !(1u64 << slot);
             for (t, seq, payload) in batch.drain(..) {
                 self.insert_wheel(t, seq, payload);
@@ -640,6 +854,97 @@ mod tests {
         assert_eq!(a.raw(), snap.next_seq);
         assert_eq!(q.pop(), Some((t(700), "new")));
         assert_eq!(drain(&mut q), reference);
+    }
+
+    #[test]
+    fn delta_restore_matches_full_restore_and_skips_clean_buckets() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..40u64 {
+                q.schedule(t(1_000 + 64 * i), i);
+            }
+            q.schedule(t(1 << 26), 900);
+            q
+        };
+        let mut q = build();
+        let mut snap = EventQueueSnapshot::default();
+        q.snapshot_into(&mut snap);
+
+        // Dirty a handful of buckets, then delta-restore.
+        for _ in 0..3 {
+            q.pop();
+        }
+        q.schedule(t(2_000), 901);
+        let delta = q.restore_from(&snap);
+        assert!(
+            delta.regions_copied < delta.regions_total / 2,
+            "delta restore copied {}/{} regions",
+            delta.regions_copied,
+            delta.regions_total
+        );
+
+        // A fresh queue has no lineage: the same snapshot restores fully.
+        let mut fresh = build();
+        let copy = fresh.restore_from(&snap);
+        assert_eq!(copy.regions_copied, copy.regions_total);
+
+        fn drain(q: &mut EventQueue<u64>) -> Vec<(u64, u64)> {
+            std::iter::from_fn(|| q.pop().map(|(at, e)| (at.as_micros(), e))).collect()
+        }
+        let via_delta = drain(&mut q);
+        let via_full = drain(&mut fresh);
+        assert_eq!(via_delta, via_full);
+    }
+
+    #[test]
+    fn repeated_restore_retains_all_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..32u64 {
+            q.schedule(t(500 + 10 * i), i);
+        }
+        // Two overflow windows plus behind-cursor and cancelled entries so
+        // every region is exercised.
+        q.schedule(t(1 << 26), 100);
+        q.schedule(t(3 << 26), 101);
+        let doomed = q.schedule(t(800), 102);
+        q.cancel(doomed);
+        q.pop();
+        q.schedule(t(400), 103);
+        let mut snap = EventQueueSnapshot::default();
+        q.snapshot_into(&mut snap);
+
+        // Cascade swaps circulate buffer capacities between wheel buckets,
+        // so the footprint needs a few churn+restore cycles to reach its
+        // fixed point; once warm, repeated restores must not grow anything.
+        let churn = |q: &mut EventQueue<u64>| {
+            for _ in 0..8 {
+                q.pop();
+            }
+            q.schedule(t(5 << 26), 200);
+            q.schedule(t(100), 201);
+            q.restore_from(&snap);
+        };
+        let signatures: Vec<usize> = (0..20)
+            .map(|_| {
+                churn(&mut q);
+                q.retained_capacity()
+            })
+            .collect();
+        let warm = *signatures.last().unwrap();
+        assert!(
+            signatures[10..].iter().all(|&s| s == warm),
+            "restore kept growing retained buffers: {signatures:?}"
+        );
+
+        // Capturing into the same snapshot buffer again is also stable.
+        let snap_cap: usize = snap.slots.iter().map(Vec::capacity).sum::<usize>()
+            + snap.overflow.iter().map(|(_, v)| v.capacity()).sum::<usize>()
+            + snap.past.capacity();
+        q.snapshot_into(&mut snap);
+        let snap_cap_after: usize = snap.slots.iter().map(Vec::capacity).sum::<usize>()
+            + snap.overflow.iter().map(|(_, v)| v.capacity()).sum::<usize>()
+            + snap.past.capacity();
+        assert_eq!(snap_cap, snap_cap_after);
     }
 
     #[test]

@@ -34,10 +34,12 @@ pub mod cpu;
 pub mod event;
 pub mod rng;
 pub mod series;
+pub mod snap;
 pub mod time;
 pub mod trace;
 
 pub use cpu::{CostMeter, CpuModel};
+pub use snap::{next_snapshot_id, RestoreStats};
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use series::{Series, SeriesSet};

@@ -25,7 +25,8 @@ use easis_osek::task::{Priority, TaskConfig, TaskId};
 use easis_rte::assembly::SequencedTask;
 use easis_rte::mapping::{ApplicationId, SystemMapping};
 use easis_rte::runnable::{RunnableId, RunnableRegistry};
-use easis_rte::signal::{SignalDb, SignalId};
+use easis_rte::signal::{SignalDb, SignalDbSnapshot, SignalId};
+use easis_sim::snap::RestoreStats;
 use easis_sim::time::{Duration, Instant};
 use easis_baselines::task_monitors::TaskMonitorStats;
 use easis_osek::kernel::OsSnapshot;
@@ -185,6 +186,11 @@ pub struct CentralNode {
     pub periods: BTreeMap<String, Duration>,
     config: NodeConfig,
     started: bool,
+    /// Monotone fork counter: bumped every time the node is restored from
+    /// a checkpoint. Component-level delta bookkeeping lives inside each
+    /// component (see `easis_sim::snap`); this counter identifies the
+    /// node's fork generation for probes and diagnostics.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for CentralNode {
@@ -388,6 +394,7 @@ impl CentralNode {
             periods,
             config,
             started: false,
+            epoch: 0,
         }
     }
 
@@ -502,32 +509,48 @@ impl CentralNode {
         self.started = false;
     }
 
-    /// Captures a deterministic checkpoint of the started node: kernel
-    /// (tasks, timers, plans, alarms, trace), world (signals, controls,
-    /// watchdog, FMF, hardware watchdog, logs) and the baseline-monitor
-    /// statistics. See [`NodeSnapshot`] for what is deliberately excluded.
+    /// Captures a deterministic checkpoint of the started node — see
+    /// [`CentralNode::snapshot_into`]. Allocates a fresh snapshot; pooled
+    /// campaign workers keep one [`NodeSnapshot`] per slot and reuse it.
     ///
     /// # Panics
     ///
     /// Panics if the node was never started, or if an in-flight plan holds
     /// a boxed `Step::Effect` closure (node bodies only use `EffectRef`
     /// tokens, so this cannot happen for nodes built here).
-    pub fn snapshot(&self) -> NodeSnapshot {
+    pub fn snapshot(&mut self) -> NodeSnapshot {
+        let mut snap = NodeSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Captures a deterministic checkpoint of the started node into
+    /// `snap`: kernel (tasks, timers, plans, alarms, trace), world
+    /// (signals, controls, watchdog, FMF, hardware watchdog, logs) and the
+    /// baseline-monitor statistics. The snapshot's buffer capacity is
+    /// retained, so re-capturing into a warm snapshot is allocation-free
+    /// in the steady state. Each component records the capture lineage
+    /// (`easis_sim::snap`), making a later [`CentralNode::restore_from`]
+    /// O(dirty). See [`NodeSnapshot`] for what is deliberately excluded.
+    ///
+    /// # Panics
+    ///
+    /// See [`CentralNode::snapshot`].
+    pub fn snapshot_into(&mut self, snap: &mut NodeSnapshot) {
         assert!(self.started, "snapshot a started node");
-        NodeSnapshot {
-            os: self.os.snapshot(),
-            signals: self.world.signals.clone(),
-            controls: self.world.controls.clone(),
-            watchdog: self.world.watchdog.snapshot(),
-            fmf: self.world.fmf.snapshot(),
-            hw_watchdog: self.world.hw_watchdog.clone(),
-            treatments: self.world.treatments.clone(),
-            ecu_resets: self.world.ecu_resets,
-            fault_log: self.world.fault_log.clone(),
-            rx_mailbox: self.world.rx_mailbox.clone(),
-            deadline_stats: self.deadline_monitor.stats(),
-            exec_stats: self.exec_monitor.stats(),
-        }
+        self.os.snapshot_into(&mut snap.os);
+        self.world.signals.snapshot_into(&mut snap.signals);
+        snap.controls.clone_from(&self.world.controls);
+        self.world.watchdog.snapshot_into(&mut snap.watchdog);
+        self.world.fmf.snapshot_into(&mut snap.fmf);
+        snap.hw_watchdog.clone_from(&self.world.hw_watchdog);
+        snap.treatments.clone_from(&self.world.treatments);
+        snap.ecu_resets = self.world.ecu_resets;
+        snap.fault_log.clear();
+        snap.fault_log.extend_from_slice(&self.world.fault_log);
+        snap.rx_mailbox.clone_from(&self.world.rx_mailbox);
+        snap.deadline_stats = self.deadline_monitor.stats();
+        snap.exec_stats = self.exec_monitor.stats();
     }
 
     /// Restores the node to a previously captured checkpoint. Only valid
@@ -535,20 +558,44 @@ impl CentralNode {
     /// one (same blueprint); the kernel layer asserts the table shapes it
     /// can check cheaply. Vector state is written back with `clone_from`,
     /// so a pooled node's capacity survives repeated restores.
-    pub fn restore_from(&mut self, snap: &NodeSnapshot) {
-        self.os.restore_from(&snap.os);
-        self.world.signals.clone_from(&snap.signals);
+    ///
+    /// When the node still descends from `snap` (nothing reset the
+    /// lineage in between), each component copies only the regions
+    /// written since the capture — restoring a clean tail touches a small
+    /// fraction of the node. The returned [`RestoreStats`] aggregate the
+    /// per-component region counts; [`RestoreStats::dirty_fraction`]
+    /// feeds the campaign bench's `restore_dirty_fraction` probe.
+    pub fn restore_from(&mut self, snap: &NodeSnapshot) -> RestoreStats {
+        let mut stats = self.os.restore_from(&snap.os);
+        stats.absorb(self.world.signals.restore_from(&snap.signals));
+        stats.absorb(self.world.watchdog.restore_from(&snap.watchdog));
+        stats.absorb(self.world.fmf.restore_from(&snap.fmf));
+        // World-level always-copied regions. Controls flip on every
+        // injection window, the hardware watchdog is kicked every cycle,
+        // and the logs/monitor stats are cheap when clean (empty
+        // `clone_from`s) — none earns per-write stamping.
+        stats.region(true);
         self.world.controls.clone_from(&snap.controls);
-        self.world.watchdog.restore_from(&snap.watchdog);
-        self.world.fmf.restore_from(&snap.fmf);
+        stats.region(true);
         self.world.hw_watchdog.clone_from(&snap.hw_watchdog);
+        stats.region(true);
         self.world.treatments.clone_from(&snap.treatments);
-        self.world.ecu_resets = snap.ecu_resets;
-        self.world.fault_log.clone_from(&snap.fault_log);
+        self.world.fault_log.clear();
+        self.world.fault_log.extend_from_slice(&snap.fault_log);
         self.world.rx_mailbox.clone_from(&snap.rx_mailbox);
+        self.world.ecu_resets = snap.ecu_resets;
+        stats.region(true);
         self.deadline_monitor.restore_stats(&snap.deadline_stats);
         self.exec_monitor.restore_stats(&snap.exec_stats);
         self.started = true;
+        self.epoch += 1;
+        stats
+    }
+
+    /// The node's fork generation: how many times it has been restored
+    /// from a checkpoint.
+    pub fn fork_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Runs the kernel until `end` in one uninterrupted span, without any
@@ -604,7 +651,10 @@ impl CentralNode {
 /// A deterministic checkpoint of a started [`CentralNode`] at one instant:
 /// the campaign prefix-reuse primitive. Trials sharing an injection point
 /// fork from the snapshot taken there instead of re-simulating the golden
-/// prefix ([`crate::scenario::run_plan`]).
+/// prefix ([`crate::scenario::run_plan`]), and a campaign publishes each
+/// golden-prefix checkpoint once behind an `Arc` so every worker forks
+/// from the same shared capture. The snapshot is plain data — no world
+/// handles, no closures — so it is `Send + Sync`.
 ///
 /// Static structure is deliberately excluded — the runnable registry, the
 /// compiled watchdog configuration, task bodies (their buffers are
@@ -614,8 +664,8 @@ impl CentralNode {
 /// one built from the same blueprint.
 #[derive(Debug)]
 pub struct NodeSnapshot {
-    os: OsSnapshot<CentralWorld>,
-    signals: SignalDb,
+    os: OsSnapshot,
+    signals: SignalDbSnapshot,
     controls: RunnableControls,
     watchdog: WatchdogSnapshot,
     fmf: FmfSnapshot,
@@ -626,6 +676,28 @@ pub struct NodeSnapshot {
     rx_mailbox: Vec<(u16, Vec<u8>)>,
     deadline_stats: TaskMonitorStats,
     exec_stats: TaskMonitorStats,
+}
+
+impl Default for NodeSnapshot {
+    fn default() -> Self {
+        NodeSnapshot {
+            os: OsSnapshot::default(),
+            signals: SignalDbSnapshot::default(),
+            controls: RunnableControls::default(),
+            watchdog: WatchdogSnapshot::default(),
+            fmf: FmfSnapshot::default(),
+            // Placeholder until the first capture `clone_from`s the real
+            // one (`HardwareWatchdog` has no Default: a zero timeout is
+            // rejected by construction).
+            hw_watchdog: HardwareWatchdog::new(Duration::from_micros(1)),
+            treatments: Vec::new(),
+            ecu_resets: 0,
+            fault_log: Vec::new(),
+            rx_mailbox: Vec::new(),
+            deadline_stats: TaskMonitorStats::default(),
+            exec_stats: TaskMonitorStats::default(),
+        }
+    }
 }
 
 impl NodeSnapshot {

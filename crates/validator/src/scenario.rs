@@ -13,6 +13,8 @@ use easis_injection::stats::{DetectorId, TrialOutcome};
 use easis_sim::series::SeriesSet;
 use easis_sim::time::{Duration, Instant};
 use easis_watchdog::report::{FaultKind, HealthState};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Sampling interval of the figure series (the paper's plots use a 10 ms
 /// scalar on the x axis).
@@ -206,14 +208,81 @@ pub fn run_trial(spec: &TrialSpec, horizon: Instant) -> TrialOutcome {
     run_trial_on(&mut node, &mut injector, spec, horizon)
 }
 
+/// One worker's pooled campaign state: the node and injector the worker
+/// reuses across trials, plus the pooled [`NodeSnapshot`] checkpoint
+/// buffer the forked runner refills via [`CentralNode::snapshot_into`] —
+/// capacity-retained, so steady-state capture allocates nothing.
+struct PoolSlot {
+    /// Blueprint stamp the node was built from; a different stamp rebuilds
+    /// the slot.
+    stamp: u64,
+    node: CentralNode,
+    injector: Injector,
+    /// Golden-prefix checkpoint buffer; contents are only meaningful when
+    /// `ckpt_at` is set.
+    ckpt: NodeSnapshot,
+    /// The fork instant `ckpt` captures, or `None` before the first
+    /// capture. The buffer always holds *golden* (injection-free) state:
+    /// it is only ever filled right after the node reached a fork along
+    /// the detector-free prefix, so it stays valid across chunks even
+    /// though each chunk resets the node (the reset severs the snapshot
+    /// lineage, which merely downgrades the next restore to the exact
+    /// full path).
+    ckpt_at: Option<Instant>,
+}
+
+impl PoolSlot {
+    fn build(blueprint: &NodeBlueprint, injector: Injector) -> Self {
+        PoolSlot {
+            stamp: blueprint.stamp(),
+            node: CentralNode::build_from_blueprint(blueprint),
+            injector,
+            ckpt: NodeSnapshot::default(),
+            ckpt_at: None,
+        }
+    }
+}
+
 thread_local! {
-    /// Per-worker pooled node and injector, tagged with the blueprint
-    /// stamp the node was built from. One pooled world per worker thread
-    /// covers a whole campaign: trials reset the node and reload the
-    /// injector instead of rebuilding either.
-    static NODE_POOL: std::cell::RefCell<Option<(u64, CentralNode, Injector)>> =
+    /// Per-worker pooled campaign state, tagged with the blueprint stamp
+    /// the node was built from. One pooled world per worker thread covers
+    /// a whole campaign: trials reset the node and reload the injector
+    /// instead of rebuilding either.
+    static NODE_POOL: std::cell::RefCell<Option<PoolSlot>> =
         const { std::cell::RefCell::new(None) };
 }
+
+/// Campaign-wide caches shared by every worker of one [`run_plan`] call.
+///
+/// * `prefix` — golden-prefix checkpoints keyed by `(blueprint stamp,
+///   fork instant)`. The first worker whose chunk has to simulate a long
+///   stretch of golden prefix publishes the resulting snapshot behind an
+///   [`Arc`]; other workers restore from it instead of re-simulating the
+///   prefix, turning N×prefix work into 1×. Publications are spaced by
+///   [`PREFIX_PUBLISH_SPACING`] so the map stays small and the lock cold.
+/// * `memo` — the equivalence-collapsing tail cache (see [`TailKey`]),
+///   formerly per-chunk, now shared so twins in different chunks collapse
+///   too.
+///
+/// Both caches only ever hold state derived from the deterministic golden
+/// run, so hits cannot change outcomes — the serial≡parallel test and the
+/// campaign golden pin that stats are bit-identical at any worker count.
+#[derive(Default)]
+struct CampaignCaches {
+    prefix: Mutex<BTreeMap<(u64, Instant), Arc<NodeSnapshot>>>,
+    memo: Mutex<HashMap<TailKey, SharedDetections>>,
+}
+
+/// Memoised tail record: per-detector first absolute detection instants
+/// (see [`absolute_detections`]), shared behind an `Arc` so a memo hit
+/// clones a pointer, not the list.
+type SharedDetections = Arc<Vec<(DetectorId, Instant)>>;
+
+/// Minimum golden-prefix gap a shared checkpoint must close before a
+/// worker consults or feeds the campaign-wide `prefix` cache. Below this,
+/// the worker's own pooled checkpoint (or a short `run_span`) is cheaper
+/// than a lock round-trip plus a full (alien-lineage) restore.
+const PREFIX_PUBLISH_SPACING: Duration = Duration::from_millis(64);
 
 /// Runs one campaign trial on this worker's pooled node, building it from
 /// `blueprint` on first use and [`CentralNode::reset`]ting it afterwards.
@@ -229,20 +298,19 @@ pub fn run_trial_pooled(
     NODE_POOL.with(|pool| {
         let mut slot = pool.borrow_mut();
         match slot.as_mut() {
-            Some((stamp, node, injector)) if *stamp == blueprint.stamp() => {
-                node.reset();
-                injector.reload([spec.injection.clone()]);
+            Some(s) if s.stamp == blueprint.stamp() => {
+                s.node.reset();
+                s.injector.reload([spec.injection.clone()]);
             }
             _ => {
-                *slot = Some((
-                    blueprint.stamp(),
-                    CentralNode::build_from_blueprint(blueprint),
+                *slot = Some(PoolSlot::build(
+                    blueprint,
                     Injector::new([spec.injection.clone()]),
                 ));
             }
         }
-        let (_, node, injector) = slot.as_mut().expect("pool populated above");
-        run_trial_on(node, injector, spec, horizon)
+        let s = slot.as_mut().expect("pool populated above");
+        run_trial_on(&mut s.node, &mut s.injector, spec, horizon)
     })
 }
 
@@ -427,52 +495,58 @@ fn run_trial_tail(
 /// Runs one contiguous chunk of campaign trials on this worker's pooled
 /// node with **golden-run prefix checkpointing**: the chunk is processed
 /// in injection-time order, the pooled node is advanced once along the
-/// golden (injection-free) prefix, and a [`NodeSnapshot`] is taken at each
-/// distinct fork instant; every trial forks from its snapshot instead of
-/// re-simulating the prefix. Outcomes are returned in spec order, so the
-/// merged stats are bit-identical to the per-trial runners.
+/// golden (injection-free) prefix, and the pooled [`NodeSnapshot`] buffer
+/// is refilled at each distinct fork instant; every trial forks from its
+/// checkpoint instead of re-simulating the prefix. Restores and captures
+/// go through the delta-snapshot protocol (`easis_sim::snap`): a trial
+/// tail only dirties the regions it actually touched, so the rewind back
+/// to the checkpoint copies O(dirty) state, not the whole node. Outcomes
+/// are returned in spec order, so the merged stats are bit-identical to
+/// the per-trial runners.
 ///
-/// On top of checkpointing, the chunk performs **equivalence collapsing**
-/// (the fault-list collapsing of hardware fault-injection campaigns):
-/// trials that share a [`TailKey`] — same error class, same arming tick,
-/// same disarm tick — are simulated once; later twins synthesize their
-/// outcome from the cached per-detector detection instants. The cache is
-/// only fed while the golden prefix is detection-free (see
-/// [`prefix_is_detection_free`]), which makes the synthesis provably
-/// exact, and a campaign whose parameters never repeat simply never hits.
+/// Two campaign-wide caches (shared across chunks and workers, see
+/// [`CampaignCaches`]) sit on top:
+///
+/// * **Shared prefix checkpoints** — when a chunk would have to simulate
+///   more than [`PREFIX_PUBLISH_SPACING`] of golden prefix, it first looks
+///   for a published checkpoint at or before the fork and restores from
+///   that (exact: an alien-lineage restore takes the full path), then
+///   publishes the checkpoint it captured so the next worker skips the
+///   same stretch.
+/// * **Equivalence collapsing** (the fault-list collapsing of hardware
+///   fault-injection campaigns): trials that share a [`TailKey`] — same
+///   error class, same arming tick, same disarm tick — are simulated
+///   once; later twins synthesize their outcome from the cached
+///   per-detector detection instants. The cache is only fed while the
+///   golden prefix is detection-free (see [`prefix_is_detection_free`]),
+///   which makes the synthesis provably exact, and a campaign whose
+///   parameters never repeat simply never hits.
 fn run_chunk_forked(
     blueprint: &NodeBlueprint,
+    caches: &CampaignCaches,
     specs: &[TrialSpec],
     horizon: Instant,
 ) -> Vec<TrialOutcome> {
     NODE_POOL.with(|pool| {
         let mut slot = pool.borrow_mut();
         match slot.as_mut() {
-            Some((stamp, node, _)) if *stamp == blueprint.stamp() => {
-                node.reset();
+            Some(s) if s.stamp == blueprint.stamp() => {
+                s.node.reset();
             }
             _ => {
-                *slot = Some((
-                    blueprint.stamp(),
-                    CentralNode::build_from_blueprint(blueprint),
-                    Injector::none(),
-                ));
+                *slot = Some(PoolSlot::build(blueprint, Injector::none()));
             }
         }
-        let (_, node, injector) = slot.as_mut().expect("pool populated above");
-        node.start();
+        let s = slot.as_mut().expect("pool populated above");
+        s.node.start();
 
         // Group trials by fork instant (stable within a fork, so equal
         // forks replay in spec order — not that order could matter: each
-        // trial starts from the same restored snapshot).
+        // trial starts from the same restored checkpoint).
         let mut order: Vec<usize> = (0..specs.len()).collect();
         order.sort_by_key(|&i| fork_instant(&specs[i], horizon));
 
         let mut outcomes: Vec<Option<TrialOutcome>> = specs.iter().map(|_| None).collect();
-        let mut checkpoint: Option<NodeSnapshot> = None;
-        let mut fork_clean = false;
-        let mut memo: std::collections::HashMap<TailKey, Vec<(DetectorId, Instant)>> =
-            std::collections::HashMap::new();
         for &i in &order {
             let spec = &specs[i];
             let fork = fork_instant(spec, horizon);
@@ -481,32 +555,78 @@ fn run_chunk_forked(
                 fork,
                 disarm_instant(spec, fork, horizon),
             );
-            // A behaviorally identical trial already ran: synthesize the
-            // outcome without touching the node.
-            if let Some(cached) = memo.get(&key) {
-                outcomes[i] = Some(outcome_from_cached(cached, spec));
+            // A behaviorally identical trial already ran (here or on
+            // another worker): synthesize the outcome without touching
+            // the node.
+            let cached = caches.memo.lock().expect("memo lock").get(&key).cloned();
+            if let Some(cached) = cached {
+                outcomes[i] = Some(outcome_from_cached(&cached, spec));
                 continue;
             }
-            // Rewind to the last checkpoint (or stay cold on the first
-            // trial), then extend the golden prefix to this fork if it
-            // moved — forks are visited in ascending order, so the golden
-            // run is simulated exactly once per chunk.
-            let extend = match &checkpoint {
-                Some(snap) => {
-                    node.restore_from(snap);
-                    snap.taken_at() != fork
+            if s.ckpt_at == Some(fork) {
+                // The common case: another trial of this fork instant just
+                // ran — rewind the dirty tail, O(dirty).
+                s.node.restore_from(&s.ckpt);
+            } else {
+                // The fork moved. Rewind to the worker's own checkpoint if
+                // it lies at or before the fork (forks ascend within a
+                // chunk, but a *new* chunk may fork earlier than the last
+                // chunk's final checkpoint — such a stale buffer must not
+                // be used as a base), and close a large remaining gap from
+                // a checkpoint another worker already published.
+                let local_at = s.ckpt_at.filter(|&at| at <= fork);
+                let gap = fork.saturating_duration_since(local_at.unwrap_or(Instant::ZERO));
+                let published = if gap > PREFIX_PUBLISH_SPACING {
+                    let prefix = caches.prefix.lock().expect("prefix lock");
+                    prefix
+                        .range((blueprint.stamp(), Instant::ZERO)..=(blueprint.stamp(), fork))
+                        .next_back()
+                        .filter(|((_, at), _)| Some(*at) > local_at)
+                        .map(|(_, snap)| Arc::clone(snap))
+                } else {
+                    None
+                };
+                match (&published, local_at) {
+                    (Some(snap), _) => {
+                        s.node.restore_from(snap);
+                    }
+                    (None, Some(_)) => {
+                        s.node.restore_from(&s.ckpt);
+                    }
+                    // Cold start: the node sits freshly started at t=0.
+                    (None, None) => {}
                 }
-                None => true,
-            };
-            if extend {
-                node.run_span(fork);
-                checkpoint = Some(node.snapshot());
-                fork_clean = prefix_is_detection_free(node);
+                let base = s.node.os.now();
+                if base < fork {
+                    s.node.run_span(fork);
+                }
+                s.node.snapshot_into(&mut s.ckpt);
+                s.ckpt_at = Some(fork);
+                // This chunk just simulated a stretch of golden prefix no
+                // published checkpoint covered — publish ours so other
+                // workers skip it. The spacing bound keeps publications
+                // rare (a handful per campaign), so the extra full
+                // capture and the lock stay off the per-trial path.
+                if fork.saturating_duration_since(base) > PREFIX_PUBLISH_SPACING {
+                    let snap = Arc::new(s.node.snapshot());
+                    caches
+                        .prefix
+                        .lock()
+                        .expect("prefix lock")
+                        .entry((blueprint.stamp(), fork))
+                        .or_insert(snap);
+                }
             }
-            injector.reload([spec.injection.clone()]);
-            let outcome = run_trial_tail(node, injector, spec, horizon);
+            let fork_clean = prefix_is_detection_free(&s.node);
+            s.injector.reload([spec.injection.clone()]);
+            let outcome = run_trial_tail(&mut s.node, &mut s.injector, spec, horizon);
             if fork_clean {
-                memo.insert(key, absolute_detections(node));
+                caches
+                    .memo
+                    .lock()
+                    .expect("memo lock")
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(absolute_detections(&s.node)));
             }
             outcomes[i] = Some(outcome);
         }
@@ -521,17 +641,20 @@ fn run_chunk_forked(
 /// prefix checkpointing (`run_chunk_forked`): the watchdog configuration
 /// is compiled once into a [`NodeBlueprint`], each worker pools one node
 /// built from it, and within each chunk the injection-free prefix is
-/// simulated once and snapshot-forked per trial. Restore is exact — the
-/// prefix-reuse≡pooled property test and the campaign golden pin that any
-/// worker count produces stats bit-identical to a serial per-trial run.
+/// simulated once and delta-snapshot-forked per trial, with golden
+/// checkpoints shared across workers through the campaign-wide caches
+/// created for this call. Restore is exact — the prefix-reuse≡pooled property
+/// test and the campaign golden pin that any worker count produces stats
+/// bit-identical to a serial per-trial run.
 pub fn run_plan(
     plan: &easis_injection::campaign::CampaignPlan,
     horizon: Instant,
     executor: &easis_injection::executor::CampaignExecutor,
 ) -> easis_injection::stats::CampaignStats {
     let blueprint = NodeBlueprint::compile(campaign_node_config());
+    let caches = CampaignCaches::default();
     executor.run_chunked(plan, |specs, _base| {
-        run_chunk_forked(&blueprint, specs, horizon)
+        run_chunk_forked(&blueprint, &caches, specs, horizon)
     })
 }
 
@@ -771,3 +894,4 @@ mod tests {
         assert!(outcome.detected_by(DetectorId::ExecTimeMonitor));
     }
 }
+

@@ -965,4 +965,59 @@ proptest! {
             "JSON bytes diverged"
         );
     }
+
+    /// Delta and full restore paths are interchangeable: the forked
+    /// engine's campaign report is byte-identical whether its restores
+    /// ride the delta path (multi-trial chunks — the worker's slot
+    /// captures at one fork epoch, restores, advances to the next fork
+    /// and captures again, so restores interleave across epochs) or
+    /// degrade to the exact full path (chunk size 1 — every trial
+    /// `reset()`s the node, severing the snapshot lineage, and shared
+    /// prefix-cache checkpoints arrive with alien lineage) — and both
+    /// equal the fresh per-trial reference, over randomized plans, fork
+    /// windows and worker counts. Few cases: every case simulates three
+    /// whole campaigns.
+    #[test]
+    fn delta_and_full_restore_paths_produce_identical_reports(
+        seed in any::<u64>(),
+        window_from_ms in 150u64..400,
+        window_len_ms in 50u64..300,
+        workers in 1usize..=4,
+        chunk in 2usize..8,
+    ) {
+        use easis::validator::scenario::{run_plan, run_trial};
+        let horizon = Instant::from_millis(700);
+        let plan = CampaignBuilder::new(seed, (0..9).map(RunnableId).collect())
+            .loop_targets(vec![RunnableId(4), RunnableId(7)])
+            .trials_per_class(2)
+            .window(
+                Instant::from_millis(window_from_ms),
+                Duration::from_millis(window_len_ms),
+            )
+            .with_horizon(horizon)
+            .build();
+        let fresh = CampaignExecutor::serial().run(&plan, |spec| run_trial(spec, horizon));
+        let delta = run_plan(
+            &plan,
+            horizon,
+            &CampaignExecutor::new(workers).with_chunk_size(chunk),
+        );
+        let full = run_plan(
+            &plan,
+            horizon,
+            &CampaignExecutor::new(workers).with_chunk_size(1),
+        );
+        prop_assert_eq!(&fresh, &delta, "delta-restore run diverged at chunk {}", chunk);
+        prop_assert_eq!(&fresh, &full, "full-restore run diverged at {} workers", workers);
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&fresh).unwrap(),
+            serde_json::to_string_pretty(&delta).unwrap(),
+            "JSON bytes diverged on the delta path"
+        );
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&fresh).unwrap(),
+            serde_json::to_string_pretty(&full).unwrap(),
+            "JSON bytes diverged on the full path"
+        );
+    }
 }

@@ -52,6 +52,8 @@ for key in schema_version trials workers simulated_ms_per_trial setup \
            speedup_pooled_vs_fresh steady_state clean_trial_allocs \
            faulty_trial_allocs horizon_scaling_allocs snapshot \
            capture_ns restore_ns restore_dirty_fraction snapshot_allocs \
+           tail_fastforward ffwd_span_fraction fallbacks certifications \
+           speedup_vs_baseline parallel_efficiency \
            worker_sweep worker_sweep_note host_cores; do
   grep -q "\"$key\"" "$campaign_scratch/BENCH_campaign.json" \
     || { echo "BENCH_campaign.json missing key: $key"; exit 1; }
@@ -62,6 +64,12 @@ dirty="$(grep '"restore_dirty_fraction"' "$campaign_scratch/BENCH_campaign.json"
   | head -n1 | sed 's/[^0-9.]//g')"
 awk -v d="$dirty" 'BEGIN { exit !(d < 1.0) }' \
   || { echo "restore_dirty_fraction is $dirty (must be < 1.0): delta restore regressed to a full copy"; exit 1; }
+# Macro-stepping must have engaged even at smoke scale: the forked path's
+# quiescent tails are hyperperiodic regardless of trial count.
+ffwd="$(grep '"ffwd_span_fraction"' "$campaign_scratch/BENCH_campaign.json" \
+  | head -n1 | sed 's/[^0-9.]//g')"
+awk -v f="$ffwd" 'BEGIN { exit !(f > 0.0) }' \
+  || { echo "ffwd_span_fraction is $ffwd (must be > 0): macro-stepping never engaged"; exit 1; }
 rm -rf "$campaign_scratch"
 
 echo "==> effect dispatch stays move-free (split-borrow kernel invariant)"
@@ -81,12 +89,17 @@ echo "==> soak smoke run (short horizon via EASIS_SOAK_HORIZON_MS)"
 # CI run.
 EASIS_SOAK_HORIZON_MS=60000 cargo test -q --test soak
 
-echo "==> campaign golden across worker/chunk configurations (forked path)"
+echo "==> campaign golden across worker/chunk/fast-forward configurations (forked path)"
 # campaign_regression drives scenario::run_plan — the snapshot-forking
 # engine with tail collapsing — so this loop proves the prefix-reuse
-# report bytes stay identical to the golden at every worker count.
-for w in 1 2 4; do
-  EASIS_WORKERS=$w EASIS_CHUNK=5 cargo test -q --test campaign_regression
+# report bytes stay identical to the golden at every worker count, with
+# hyperperiod macro-stepping enabled (the default) and disabled: the
+# certified jumps must be unobservable in the report bytes.
+for ff in 1 0; do
+  for w in 1 2 4; do
+    EASIS_FASTFORWARD=$ff EASIS_WORKERS=$w EASIS_CHUNK=5 \
+      cargo test -q --test campaign_regression
+  done
 done
 
 echo "CI green."

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Statistics collected by a task-granularity monitor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TaskMonitorStats {
     detections: BTreeMap<TaskId, u32>,
     first_detection: Option<(TaskId, Instant)>,
@@ -79,6 +79,18 @@ impl DeadlineMonitor {
     pub fn restore_stats(&self, stats: &TaskMonitorStats) {
         self.stats.lock().expect("stats lock").clone_from(stats);
     }
+
+    /// Total detections without cloning the map (detections only ever
+    /// increment, so an unchanged total proves the whole statistics
+    /// unchanged — the macro-stepping engine's allocation-free check).
+    pub fn total(&self) -> u32 {
+        self.stats.lock().expect("stats lock").total()
+    }
+
+    /// Earliest detection without cloning the map.
+    pub fn first_detection(&self) -> Option<(TaskId, Instant)> {
+        self.stats.lock().expect("stats lock").first_detection()
+    }
 }
 
 impl<W> HookObserver<W> for DeadlineMonitor {
@@ -118,6 +130,17 @@ impl ExecutionTimeMonitor {
     /// the capture half — campaign checkpoint support).
     pub fn restore_stats(&self, stats: &TaskMonitorStats) {
         self.stats.lock().expect("stats lock").clone_from(stats);
+    }
+
+    /// Total detections without cloning the map (see
+    /// [`DeadlineMonitor::total`]).
+    pub fn total(&self) -> u32 {
+        self.stats.lock().expect("stats lock").total()
+    }
+
+    /// Earliest detection without cloning the map.
+    pub fn first_detection(&self) -> Option<(TaskId, Instant)> {
+        self.stats.lock().expect("stats lock").first_detection()
     }
 }
 

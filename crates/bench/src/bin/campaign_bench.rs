@@ -58,10 +58,22 @@
 //! fraction is **< 1.0** — the epoch stamps must prune regions the tail
 //! never touched, or delta restore has regressed to a full copy.
 //!
+//! Since hyperperiod macro-stepping landed (`easis_validator::ffwd`), the
+//! `tail_fastforward` probe brackets the forked headline run with the
+//! process-wide fast-forward metrics: the fraction of forked span skipped
+//! by certified macro-jumps, the certification/fallback counts, and the
+//! speedup against the pre-macro-stepping forked baseline
+//! ([`FORKED_BASELINE_TRIALS_PER_SEC`]). At full scale the forked path
+//! must reach [`FFWD_SPEEDUP_FLOOR`]× that baseline, and the worker
+//! sweep's workers=2 entry must reach [`SWEEP_SCALING_FLOOR`]× the
+//! workers=1 rate — the latter only on hosts with more than one core,
+//! because an oversubscribed sweep measures contention, not scaling.
+//!
 //! Results land in `BENCH_campaign.json` (stable schema,
-//! `schema_version` 4; `host_cores` records the recording host's
+//! `schema_version` 5; `host_cores` records the recording host's
 //! available parallelism next to the sweep so readers can tell scaling
-//! from oversubscription).
+//! from oversubscription; each sweep entry carries its
+//! `parallel_efficiency` = trials/sec ÷ (workers × workers=1 trials/sec)).
 //!
 //! Usage: `campaign_bench [trials_per_class]` (default 200 → 1000 trials
 //! over the 5 error classes; the speedup assertions are skipped below
@@ -138,6 +150,21 @@ const SETUP_REPS: u32 = 10;
 
 /// Simulated horizon of every trial.
 const HORIZON: Instant = Instant::from_millis(1_500);
+
+/// Forked-path trials/sec of the reference T-COV campaign *before*
+/// hyperperiod macro-stepping landed (BENCH_campaign.json of the prefix-
+/// checkpointing PR, workers=1 on the single-core reference host). The
+/// tail-fastforward probe asserts the macro-stepped forked path at
+/// ≥[`FFWD_SPEEDUP_FLOOR`]× this figure at the full campaign.
+const FORKED_BASELINE_TRIALS_PER_SEC: f64 = 4_865.0;
+
+/// Required forked-path speedup over [`FORKED_BASELINE_TRIALS_PER_SEC`].
+const FFWD_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Required scaling of the forked path from one to two workers when the
+/// recording host actually has more than one core (on a single-core host
+/// the sweep measures oversubscription and the gate is skipped).
+const SWEEP_SCALING_FLOOR: f64 = 1.3;
 
 /// Maximum heap blocks a clean steady-state pooled trial may allocate.
 /// With the pooled injector (`Injector::reload`) and the interned
@@ -270,11 +297,36 @@ struct SnapshotProbe {
     snapshot_allocs: u64,
 }
 
+/// Hyperperiod macro-stepping (tail fast-forward) on the forked path:
+/// how much of the simulated span the engine skipped and what the
+/// headline throughput gained over the pre-macro-stepping baseline.
+#[derive(Serialize)]
+struct TailFastforwardProbe {
+    /// Fraction of the simulated time covered by `run_span` during the
+    /// forked headline reps that was fast-forwarded by certified
+    /// hyperperiod jumps. Asserted > 0 at the full campaign.
+    ffwd_span_fraction: f64,
+    /// Rejected certifications plus rotation-boundary crossings simulated
+    /// event-by-event during the forked headline reps.
+    fallbacks: u64,
+    /// Successful certifications during the forked headline reps.
+    certifications: u64,
+    /// The forked headline trials/sec (same figure as `forked`).
+    trials_per_sec: f64,
+    /// Forked trials/sec over [`FORKED_BASELINE_TRIALS_PER_SEC`].
+    /// Asserted ≥ [`FFWD_SPEEDUP_FLOOR`] at the full campaign.
+    speedup_vs_baseline: f64,
+}
+
 /// Forked-path throughput at one worker count (the multi-core sweep).
 #[derive(Serialize)]
 struct SweepEntry {
     workers: u64,
     trials_per_sec: f64,
+    /// `trials_per_sec / (workers × workers-1 trials_per_sec)`: 1.0 is
+    /// perfect linear scaling, values near `1/workers` mean no scaling
+    /// (expected when the host has fewer cores than workers).
+    parallel_efficiency: f64,
 }
 
 #[derive(Serialize)]
@@ -288,6 +340,7 @@ struct Report {
     pooled: PathTiming,
     fresh: PathTiming,
     prefix_reuse: PrefixReuseProbe,
+    tail_fastforward: TailFastforwardProbe,
     speedup_pooled_vs_fresh: f64,
     steady_state: AllocProbe,
     snapshot: SnapshotProbe,
@@ -443,6 +496,7 @@ fn validate_emitted_json(path: &str) {
         "speedup_pooled_vs_fresh",
         "steady_state",
         "snapshot",
+        "tail_fastforward",
         "worker_sweep",
         "worker_sweep_note",
         "host_cores",
@@ -469,6 +523,26 @@ fn validate_emitted_json(path: &str) {
         assert!(
             snapshot.iter().any(|(k, _)| k == key),
             "BENCH_campaign.json snapshot probe missing key {key:?}"
+        );
+    }
+    let tail = entries
+        .iter()
+        .find(|(k, _)| k == "tail_fastforward")
+        .map(|(_, v)| v)
+        .expect("tail_fastforward key checked above");
+    let serde::Value::Map(tail) = tail else {
+        panic!("BENCH_campaign.json `tail_fastforward` must be a JSON object");
+    };
+    for key in [
+        "ffwd_span_fraction",
+        "fallbacks",
+        "certifications",
+        "trials_per_sec",
+        "speedup_vs_baseline",
+    ] {
+        assert!(
+            tail.iter().any(|(k, _)| k == key),
+            "BENCH_campaign.json tail_fastforward probe missing key {key:?}"
         );
     }
 }
@@ -579,10 +653,15 @@ fn main() {
     let pooled_ns = best_of(CAMPAIGN_REPS, || {
         pooled_stats = Some(run_plan_pooled(&plan, HORIZON, &executor));
     });
+    // Bracket the forked headline reps with the process-wide macro-
+    // stepping counters: the span fraction is a ratio, so aggregating
+    // over all reps does not skew it.
+    easis_validator::ffwd::reset_metrics();
     let mut forked_stats = None;
     let forked_ns = best_of(CAMPAIGN_REPS, || {
         forked_stats = Some(run_plan(&plan, HORIZON, &executor));
     });
+    let ffwd_metrics = easis_validator::ffwd::metrics();
     let fresh_stats = fresh_stats.expect("fresh campaign ran");
     let pooled_stats = pooled_stats.expect("pooled campaign ran");
     let forked_stats = forked_stats.expect("forked campaign ran");
@@ -625,7 +704,23 @@ fn main() {
             name, t.elapsed_ms, t.trials_per_sec, t.ns_per_simulated_ms
         );
     }
+    let tail_fastforward = TailFastforwardProbe {
+        ffwd_span_fraction: ffwd_metrics.span_fraction(),
+        fallbacks: ffwd_metrics.fallbacks,
+        certifications: ffwd_metrics.certifications,
+        trials_per_sec: forked.trials_per_sec,
+        speedup_vs_baseline: forked.trials_per_sec / FORKED_BASELINE_TRIALS_PER_SEC,
+    };
     println!("prefix-reuse speedup (forked vs pooled): {prefix_speedup:.2}x");
+    println!(
+        "tail fast-forward: {:.1}% of forked span skipped, {} certifications, \
+         {} fallbacks, {:.2}x vs pre-macro-stepping baseline \
+         ({FORKED_BASELINE_TRIALS_PER_SEC:.0} trials/sec)",
+        tail_fastforward.ffwd_span_fraction * 100.0,
+        tail_fastforward.certifications,
+        tail_fastforward.fallbacks,
+        tail_fastforward.speedup_vs_baseline,
+    );
     println!("pooled vs fresh speedup: {speedup:.2}x");
     println!(
         "setup: blueprint compile {:.0} ns (once), fresh build {:.0} ns/trial \
@@ -643,9 +738,29 @@ fn main() {
             "prefix checkpointing must be ≥1.5× pooled trials/sec at the \
              full campaign, got {prefix_speedup:.2}×"
         );
+        assert!(
+            tail_fastforward.ffwd_span_fraction > 0.0,
+            "macro-stepping fast-forwarded nothing over the full campaign — \
+             the engine is disabled or every certification is rejected"
+        );
+        assert!(
+            tail_fastforward.fallbacks < ffwd_metrics.span_us / 1_000,
+            "{} macro-stepping fallbacks over {} simulated ms — the engine \
+             is thrashing on rejected certifications instead of standing down",
+            tail_fastforward.fallbacks,
+            ffwd_metrics.span_us / 1_000,
+        );
+        assert!(
+            tail_fastforward.speedup_vs_baseline >= FFWD_SPEEDUP_FLOOR,
+            "macro-stepped forked path must reach ≥{FFWD_SPEEDUP_FLOOR}× the \
+             pre-macro-stepping baseline of {FORKED_BASELINE_TRIALS_PER_SEC:.0} \
+             trials/sec at the full campaign, got {:.0} trials/sec ({:.2}×)",
+            tail_fastforward.trials_per_sec,
+            tail_fastforward.speedup_vs_baseline,
+        );
     } else {
         println!(
-            "(prefix-reuse assertion skipped below \
+            "(prefix-reuse and tail-fastforward assertions skipped below \
              {ASSERT_FLOOR_TRIALS_PER_CLASS} trials/class)"
         );
     }
@@ -672,23 +787,56 @@ fn main() {
     } else {
         1
     };
-    let mut worker_sweep = Vec::new();
-    println!("{:<28} {:>14}", "worker sweep (forked)", "trials/sec");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    let mut worker_sweep: Vec<SweepEntry> = Vec::new();
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "worker sweep (forked)", "trials/sec", "efficiency"
+    );
     for w in [1usize, 2, 4, 8] {
         let ex = CampaignExecutor::new(w);
         let ns = best_of(sweep_reps, || {
             black_box(run_plan(&plan, HORIZON, &ex));
         });
         let tps = trials as f64 / (ns / 1e9);
-        println!("{:<28} {:>14.0}", format!("  {w} worker(s)"), tps);
+        let w1_tps = worker_sweep
+            .first()
+            .map(|e| e.trials_per_sec)
+            .unwrap_or(tps);
+        let efficiency = tps / (w1_tps * w as f64);
+        println!(
+            "{:<28} {:>14.0} {:>12.2}",
+            format!("  {w} worker(s)"),
+            tps,
+            efficiency
+        );
         worker_sweep.push(SweepEntry {
             workers: w as u64,
             trials_per_sec: tps,
+            parallel_efficiency: efficiency,
         });
+    }
+    if trials_per_class >= ASSERT_FLOOR_TRIALS_PER_CLASS && host_cores > 1 {
+        let w1_tps = worker_sweep[0].trials_per_sec;
+        let w2_tps = worker_sweep[1].trials_per_sec;
+        assert!(
+            w2_tps >= SWEEP_SCALING_FLOOR * w1_tps,
+            "forked path must scale across workers on a multi-core host: \
+             workers=2 reached {w2_tps:.0} trials/sec, below \
+             {SWEEP_SCALING_FLOOR}× the workers=1 rate of {w1_tps:.0}"
+        );
+    } else {
+        println!(
+            "(worker-scaling assertion skipped: host has {host_cores} core(s) \
+             or reduced scale — oversubscribed sweeps measure contention, \
+             not scaling)"
+        );
     }
 
     let report = Report {
-        schema_version: 4,
+        schema_version: 5,
         trials,
         workers: workers as u64,
         simulated_ms_per_trial,
@@ -707,11 +855,10 @@ fn main() {
             faulty_trial_allocs: faulty_allocs,
         },
         snapshot,
+        tail_fastforward,
         worker_sweep,
         worker_sweep_note: WORKER_SWEEP_NOTE,
-        host_cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1) as u64,
+        host_cores,
     };
     let path = "BENCH_campaign.json";
     let json = serde_json::to_string_pretty(&report).expect("report serialises");

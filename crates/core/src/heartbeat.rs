@@ -86,6 +86,23 @@ pub struct HeartbeatSnapshot {
     id: u64,
 }
 
+impl HeartbeatSnapshot {
+    /// Content equality, ignoring lineage bookkeeping (stamps, epoch, id).
+    /// Used by the macro-stepping engine: a quiescent hyperperiod leaves
+    /// every heartbeat column exactly where it started.
+    pub fn content_eq(&self, other: &HeartbeatSnapshot) -> bool {
+        self.index == other.index
+            && self.hypotheses == other.hypotheses
+            && self.ac == other.ac
+            && self.arc == other.arc
+            && self.cca == other.cca
+            && self.ccar == other.ccar
+            && self.active == other.active
+            && self.aliveness_errors == other.aliveness_errors
+            && self.arrival_rate_errors == other.arrival_rate_errors
+    }
+}
+
 impl HeartbeatMonitor {
     /// Creates the unit from the per-runnable fault hypotheses. A later
     /// hypothesis for the same runnable replaces an earlier one.
@@ -350,6 +367,26 @@ impl HeartbeatMonitor {
         snap.id = next_snapshot_id();
         self.derived_from = snap.id;
         self.epoch += 1;
+    }
+
+    /// Captures the monitor into `snap` without participating in the
+    /// delta-restore lineage: the monitor's own epoch and `derived_from`
+    /// are untouched and the image carries `id == 0`, so an interleaved
+    /// capture (the macro-stepping engine samples between checkpoint and
+    /// restore) cannot degrade a later restore to the full-copy path.
+    pub fn image_into(&self, snap: &mut HeartbeatSnapshot) {
+        snap.index.clone_from(&self.index);
+        snap.hypotheses.clone_from(&self.hypotheses);
+        snap.ac.clone_from(&self.ac);
+        snap.arc.clone_from(&self.arc);
+        snap.cca.clone_from(&self.cca);
+        snap.ccar.clone_from(&self.ccar);
+        snap.active.clone_from(&self.active);
+        snap.aliveness_errors.clone_from(&self.aliveness_errors);
+        snap.arrival_rate_errors.clone_from(&self.arrival_rate_errors);
+        snap.stamps = self.stamps;
+        snap.epoch = self.epoch;
+        snap.id = 0;
     }
 
     /// Restores the monitor from `snap`, copying only the columns written

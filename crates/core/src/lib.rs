@@ -73,7 +73,7 @@ pub use heartbeat::HeartbeatMonitor;
 pub use pfc::{CompiledFlowTable, FlowTable, FlowVerdict, ProgramFlowChecker};
 pub use probe::ActiveProbeMonitor;
 pub use report::{DetectedFault, FaultKind, HealthState, RunnableCounters, StateChange};
-pub use service::{CycleReport, SoftwareWatchdog, WatchdogSnapshot};
+pub use service::{CycleReport, SoftwareWatchdog, WatchdogCycleDelta, WatchdogSnapshot};
 pub use unit::{MonitorEvent, MonitoringUnit};
 pub use validate::{validate, ConfigIssue};
 pub use tsi::TaskStateIndication;

@@ -383,8 +383,10 @@ impl ProgramFlowChecker {
 
 /// Plain-data image of a [`ProgramFlowChecker`]'s mutable state (position,
 /// error count, pending buffer). The flow table itself is construction-time
-/// configuration and lives outside the snapshot.
-#[derive(Debug, Clone)]
+/// configuration and lives outside the snapshot. `PartialEq` compares the
+/// full mutable state — the macro-stepping engine requires it unchanged
+/// across a quiescent hyperperiod.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PfcSnapshot {
     last_slot: u32,
     errors_detected: u64,

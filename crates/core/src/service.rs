@@ -529,6 +529,50 @@ impl SoftwareWatchdog {
         self.epoch += 1;
     }
 
+    /// Captures runtime state into `snap` without participating in the
+    /// delta-restore lineage: the service's epoch and `derived_from` are
+    /// untouched and the image carries `id == 0`. The macro-stepping engine
+    /// samples through this between a campaign checkpoint and its restore,
+    /// so an interleaved capture must not degrade the restore to the
+    /// full-copy path.
+    pub fn image_into(&self, snap: &mut WatchdogSnapshot) {
+        self.heartbeat_unit.image_into(&mut snap.heartbeat_unit);
+        snap.pfc_units
+            .resize_with(self.pfc_units.len(), PfcSnapshot::default);
+        for (unit, image) in self.pfc_units.iter().zip(snap.pfc_units.iter_mut()) {
+            unit.snapshot_into(image);
+        }
+        snap.pfc_stamps.clone_from(&self.pfc_stamps);
+        self.tsi_unit.snapshot_into(&mut snap.tsi_unit);
+        snap.tsi_stamp = self.tsi_stamp;
+        snap.task_faulty.clone_from(&self.task_faulty);
+        snap.task_faulty_stamp = self.task_faulty_stamp;
+        snap.pfc_errors.clone_from(&self.pfc_errors);
+        snap.pfc_errors_stamp = self.pfc_errors_stamp;
+        snap.outbox.clear();
+        snap.outbox.extend_from_slice(&self.outbox);
+        snap.state_outbox.clear();
+        snap.state_outbox.extend_from_slice(&self.state_outbox);
+        snap.outbox_stamp = self.outbox_stamp;
+        snap.costs = self.costs;
+        snap.cycles_run = self.cycles_run;
+        snap.last_heartbeat_now = self.last_heartbeat_now;
+        snap.epoch = self.epoch;
+        snap.id = 0;
+    }
+
+    /// Applies a certified per-hyperperiod delta `k` times in closed form.
+    /// Only the accumulator header moves (cost meter, cycle counter, last
+    /// heartbeat stamp) — everything else was proven content-equal across
+    /// the hyperperiod by [`WatchdogSnapshot::derive_cycle_delta`]. All
+    /// three fields live in the always-copied region of
+    /// [`SoftwareWatchdog::restore_from`], so no dirty stamps are needed.
+    pub fn apply_cycle_delta(&mut self, delta: &WatchdogCycleDelta, k: u64) {
+        self.costs.accumulate(&delta.d_costs, k);
+        self.cycles_run += delta.d_cycles * k;
+        self.last_heartbeat_now += delta.d_last_heartbeat * k;
+    }
+
     /// Restores runtime state captured by [`SoftwareWatchdog::snapshot`];
     /// afterwards the service replays exactly like the snapshotted one.
     /// Buffers restore in place so capacity is retained, and regions whose
@@ -615,6 +659,62 @@ pub struct WatchdogSnapshot {
     last_heartbeat_now: Instant,
     epoch: u64,
     id: u64,
+}
+
+/// The closed-form per-hyperperiod advance of a quiescent watchdog: the
+/// cost meter, cycle counter and last-heartbeat stamp move; every monitor
+/// counter, verdict and outbox was proven to return to its starting value.
+/// Derived by [`WatchdogSnapshot::derive_cycle_delta`], applied by
+/// [`SoftwareWatchdog::apply_cycle_delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogCycleDelta {
+    d_costs: CostMeter,
+    d_cycles: u64,
+    /// Shift of `last_heartbeat_now` per hyperperiod: `h` when monitored
+    /// runnables are beating, zero when none are (all deactivated).
+    d_last_heartbeat: easis_sim::time::Duration,
+}
+
+impl WatchdogSnapshot {
+    /// Derives the per-hyperperiod delta between two images taken exactly
+    /// `h` apart, writing it into `out` and returning `true` — or returns
+    /// `false` when the watchdog is not steady over the span: any monitor
+    /// counter, PFC position, TSI verdict or undrained outbox entry that
+    /// differs means detection state is still evolving and the span must
+    /// be simulated event-by-event. The hyperperiod includes every fault-
+    /// hypothesis window span, so steady-state counters land back on the
+    /// same phase and compare equal here.
+    pub fn derive_cycle_delta(
+        a: &WatchdogSnapshot,
+        b: &WatchdogSnapshot,
+        h: easis_sim::time::Duration,
+        out: &mut WatchdogCycleDelta,
+    ) -> bool {
+        let d_last_heartbeat = if b.last_heartbeat_now == a.last_heartbeat_now + h {
+            h
+        } else if b.last_heartbeat_now == a.last_heartbeat_now {
+            easis_sim::time::Duration::ZERO
+        } else {
+            return false;
+        };
+        if !a.heartbeat_unit.content_eq(&b.heartbeat_unit)
+            || a.pfc_units != b.pfc_units
+            || a.tsi_unit != b.tsi_unit
+            || a.task_faulty != b.task_faulty
+            || a.pfc_errors != b.pfc_errors
+            || a.outbox != b.outbox
+            || a.state_outbox != b.state_outbox
+            || b.cycles_run < a.cycles_run
+            || b.costs.total_cycles() < a.costs.total_cycles()
+            || b.costs.operations() < a.costs.operations()
+        {
+            return false;
+        }
+        out.d_costs = b.costs.delta_since(&a.costs);
+        out.d_cycles = b.cycles_run - a.cycles_run;
+        out.d_last_heartbeat = d_last_heartbeat;
+        true
+    }
 }
 
 impl HeartbeatSink for SoftwareWatchdog {

@@ -354,8 +354,10 @@ type TaskErrorVector = (TaskId, Vec<((RunnableId, FaultKind), u32)>);
 
 /// Plain-data image of a [`TaskStateIndication`]'s error vectors and
 /// verdicts, flat `Vec`s so node-level snapshots embedding it are cheap to
-/// clone and can be shared across campaign workers.
-#[derive(Debug, Clone, Default)]
+/// clone and can be shared across campaign workers. `PartialEq` compares
+/// the full image — a quiescent hyperperiod records no faults, so the
+/// macro-stepping engine requires two samples to compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TsiSnapshot {
     vectors: Vec<TaskErrorVector>,
     task_states: Vec<(TaskId, HealthState)>,

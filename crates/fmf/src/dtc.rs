@@ -310,6 +310,45 @@ impl DtcStore {
         }
     }
 
+    /// Applies `k` certified hyperperiods of DTC aging in closed form:
+    /// every *pending* record's healthy-cycle counter advances by `inc`
+    /// per hyperperiod (the increment [`DtcStoreSnapshot::derive_aging`]
+    /// measured). Callers must cap `k` so no record reaches the aging
+    /// horizon — crossing it removes the record, a discrete event the
+    /// closed form cannot express (see
+    /// [`DtcStore::pending_cycles_to_age_out`]).
+    pub fn apply_aging(&mut self, inc: u32, k: u64) {
+        if inc == 0 || k == 0 {
+            return;
+        }
+        let aging = self.aging_cycles;
+        let add: u32 = (inc as u64 * k)
+            .try_into()
+            .expect("aging advance fits u32 (capped below the horizon)");
+        for rec in self.codes.values_mut() {
+            if rec.status == DtcStatus::Confirmed {
+                continue;
+            }
+            rec.healthy_cycles += add;
+            debug_assert!(
+                rec.healthy_cycles < aging,
+                "aging advanced past the age-out horizon"
+            );
+        }
+    }
+
+    /// Healthy cycles until the *earliest* pending record ages out, or
+    /// `None` when nothing is aging (empty memory or all codes
+    /// confirmed). The macro-stepping engine caps its jump just short of
+    /// this and simulates the age-out event itself.
+    pub fn pending_cycles_to_age_out(&self) -> Option<u32> {
+        self.codes
+            .values()
+            .filter(|r| r.status != DtcStatus::Confirmed)
+            .map(|r| self.aging_cycles.saturating_sub(r.healthy_cycles))
+            .min()
+    }
+
     /// Restores the memory captured by [`DtcStore::snapshot_into`]. Live
     /// records retire to the spare pool first, and every rebuilt record is
     /// drawn back out of it — the same recycling path
@@ -332,9 +371,56 @@ impl DtcStore {
 
 /// Plain-data image of a [`DtcStore`]'s records (sorted by code). The
 /// thresholds are construction-time configuration and live outside it.
-#[derive(Debug, Clone, Default)]
+/// `PartialEq` compares the records including their aging counters;
+/// [`DtcStoreSnapshot::derive_aging`] relaxes exactly one axis — a
+/// uniform healthy-cycle advance on pending codes — so the macro-stepping
+/// engine can fast-forward through a draining fault memory.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DtcStoreSnapshot {
     records: Vec<DtcRecord>,
+}
+
+impl DtcStoreSnapshot {
+    /// Derives the uniform per-hyperperiod aging increment between two
+    /// images one hyperperiod apart. Succeeds (writing the increment,
+    /// possibly 0) only when the images hold the *same* records — codes,
+    /// occurrence counters, timestamps, status, freeze frames all equal —
+    /// and every pending record's healthy-cycle counter advanced by the
+    /// same amount. Anything else (a new occurrence, a confirmation, an
+    /// age-out removal) is a discrete event the closed form cannot
+    /// express, and the derivation rejects.
+    pub fn derive_aging(a: &Self, b: &Self, out: &mut u32) -> bool {
+        if a.records.len() != b.records.len() {
+            return false;
+        }
+        let mut inc: Option<u32> = None;
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            if ra.code != rb.code
+                || ra.first_seen != rb.first_seen
+                || ra.last_seen != rb.last_seen
+                || ra.occurrences != rb.occurrences
+                || ra.status != rb.status
+                || ra.freeze_frame != rb.freeze_frame
+            {
+                return false;
+            }
+            if ra.status == DtcStatus::Confirmed {
+                // Confirmed codes never age; the counter must sit still.
+                if ra.healthy_cycles != rb.healthy_cycles {
+                    return false;
+                }
+                continue;
+            }
+            let Some(step) = rb.healthy_cycles.checked_sub(ra.healthy_cycles) else {
+                return false;
+            };
+            if *inc.get_or_insert(step) != step {
+                return false;
+            }
+        }
+        *out = inc.unwrap_or(0);
+        true
+    }
 }
 
 impl Default for DtcStore {
@@ -450,6 +536,79 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_threshold_rejected() {
         let _ = DtcStore::new(0, 1);
+    }
+
+    #[test]
+    fn closed_form_aging_matches_event_level_healthy_cycles() {
+        let build = || {
+            let mut store = DtcStore::new(3, 40);
+            // One pending (1 occurrence < 3) and one confirmed code.
+            store.record(fault(1, FaultKind::Aliveness, 10), FreezeFrame::default());
+            for ms in [20, 30, 40] {
+                store.record(fault(2, FaultKind::ProgramFlow, ms), FreezeFrame::default());
+            }
+            store
+        };
+        let mut stepped = build();
+        let mut jumped = build();
+        // 6 hyperperiods of 2 healthy cycles each, still below the
+        // 40-cycle horizon.
+        for _ in 0..12 {
+            stepped.healthy_cycle();
+        }
+        jumped.apply_aging(2, 6);
+        let (mut a, mut b) = (DtcStoreSnapshot::default(), DtcStoreSnapshot::default());
+        stepped.snapshot_into(&mut a);
+        jumped.snapshot_into(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(stepped.pending_cycles_to_age_out(), Some(28));
+    }
+
+    #[test]
+    fn derive_aging_measures_pending_advance_only() {
+        let mut store = DtcStore::new(3, 40);
+        store.record(fault(1, FaultKind::Aliveness, 10), FreezeFrame::default());
+        for ms in [20, 30, 40] {
+            store.record(fault(2, FaultKind::ProgramFlow, ms), FreezeFrame::default());
+        }
+        let mut a = DtcStoreSnapshot::default();
+        let mut b = DtcStoreSnapshot::default();
+        store.snapshot_into(&mut a);
+        store.healthy_cycle();
+        store.healthy_cycle();
+        store.snapshot_into(&mut b);
+        let mut inc = 99;
+        assert!(DtcStoreSnapshot::derive_aging(&a, &b, &mut inc));
+        assert_eq!(inc, 2);
+        // At rest the increment is zero…
+        assert!(DtcStoreSnapshot::derive_aging(&a, &a, &mut inc));
+        assert_eq!(inc, 0);
+        // …a new occurrence is a discrete event and rejects…
+        store.record(fault(1, FaultKind::Aliveness, 90), FreezeFrame::default());
+        store.snapshot_into(&mut b);
+        assert!(!DtcStoreSnapshot::derive_aging(&a, &b, &mut inc));
+        // …and so does an age-out removal.
+        let mut c = DtcStoreSnapshot::default();
+        for _ in 0..40 {
+            store.healthy_cycle();
+        }
+        store.snapshot_into(&mut c);
+        assert!(!DtcStoreSnapshot::derive_aging(&b, &c, &mut inc));
+    }
+
+    #[test]
+    fn nothing_pending_means_no_age_out_horizon() {
+        let mut store = DtcStore::new(1, 10);
+        assert_eq!(store.pending_cycles_to_age_out(), None);
+        store.record(fault(1, FaultKind::Aliveness, 5), FreezeFrame::default());
+        // confirm_threshold 1: immediately confirmed, never ages.
+        assert_eq!(store.pending_cycles_to_age_out(), None);
+        store.apply_aging(2, 5); // no-op on confirmed codes
+        let mut snap = DtcStoreSnapshot::default();
+        store.snapshot_into(&mut snap);
+        let mut inc = 7;
+        assert!(DtcStoreSnapshot::derive_aging(&snap, &snap, &mut inc));
+        assert_eq!(inc, 0);
     }
 
     #[test]

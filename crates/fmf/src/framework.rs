@@ -116,6 +116,25 @@ impl FaultManagementFramework {
         &self.dtc
     }
 
+    /// Applies `k` certified hyperperiods of framework evolution in
+    /// closed form. The only state a quiescent hyperperiod moves is DTC
+    /// aging ([`FmfSnapshot::derive_cycle_delta`] rejects anything else),
+    /// so this advances the pending records' healthy-cycle counters and
+    /// stamps the DTC region dirty for the delta-restore protocol.
+    pub fn apply_cycle_delta(&mut self, delta: &FmfCycleDelta, k: u64) {
+        if delta.dtc_aging > 0 && k > 0 {
+            self.dtc.apply_aging(delta.dtc_aging, k);
+            self.dtc_stamp = self.epoch;
+        }
+    }
+
+    /// Healthy cycles until the earliest pending DTC ages out (`None`
+    /// when nothing is aging) — the macro-stepping engine's jump cap, see
+    /// [`crate::dtc::DtcStore::pending_cycles_to_age_out`].
+    pub fn pending_cycles_to_age_out(&self) -> Option<u32> {
+        self.dtc.pending_cycles_to_age_out()
+    }
+
     /// Mutable access to the DTC fault memory (tester clear operations).
     /// Conservatively stamps the DTC region dirty — the borrow can write
     /// anything.
@@ -329,6 +348,31 @@ impl FaultManagementFramework {
         self.epoch += 1;
     }
 
+    /// Captures runtime state into `snap` without participating in the
+    /// delta-restore lineage: the framework's epoch and `derived_from` are
+    /// untouched and the image carries `id == 0`, so a capture interleaved
+    /// between a campaign checkpoint and its restore (the macro-stepping
+    /// engine samples mid-span) cannot degrade the restore to the
+    /// full-copy path.
+    pub fn image_into(&self, snap: &mut FmfSnapshot) {
+        snap.log.clear();
+        snap.log.extend_from_slice(&self.log);
+        snap.log_stamp = self.log_stamp;
+        self.dtc.snapshot_into(&mut snap.dtc);
+        snap.dtc_stamp = self.dtc_stamp;
+        snap.actions.clone_from(&self.actions);
+        snap.actions_stamp = self.actions_stamp;
+        snap.app_restarts.clear();
+        snap.app_restarts
+            .extend(self.app_restarts.iter().map(|(&app, &n)| (app, n)));
+        snap.terminated_apps.clear();
+        snap.terminated_apps.extend_from_slice(&self.terminated_apps);
+        snap.budgets_stamp = self.budgets_stamp;
+        snap.ecu_resets = self.ecu_resets;
+        snap.epoch = self.epoch;
+        snap.id = 0;
+    }
+
     /// Restores runtime state captured by
     /// [`FaultManagementFramework::snapshot`], copying only the regions
     /// written since the capture when the lineage allows it (O(dirty)).
@@ -392,6 +436,45 @@ pub struct FmfSnapshot {
     ecu_resets: u32,
     epoch: u64,
     id: u64,
+}
+
+impl FmfSnapshot {
+    /// Content equality, ignoring lineage bookkeeping (stamps, epoch, id).
+    pub fn content_eq(&self, other: &FmfSnapshot) -> bool {
+        self.log == other.log
+            && self.dtc == other.dtc
+            && self.actions == other.actions
+            && self.app_restarts == other.app_restarts
+            && self.terminated_apps == other.terminated_apps
+            && self.ecu_resets == other.ecu_resets
+    }
+
+    /// Derives the closed-form per-hyperperiod framework delta between
+    /// two images one hyperperiod apart. The log, action queue, restart
+    /// budgets and reset counter must sit perfectly still — any new
+    /// record is a discrete event — but the DTC memory may *drain*: a
+    /// pending code aging toward removal advances its healthy-cycle
+    /// counter every healthy cycle, and that uniform advance is the one
+    /// motion the delta expresses (see
+    /// [`crate::dtc::DtcStoreSnapshot::derive_aging`]).
+    pub fn derive_cycle_delta(a: &Self, b: &Self, out: &mut FmfCycleDelta) -> bool {
+        a.log == b.log
+            && a.actions == b.actions
+            && a.app_restarts == b.app_restarts
+            && a.terminated_apps == b.terminated_apps
+            && a.ecu_resets == b.ecu_resets
+            && DtcStoreSnapshot::derive_aging(&a.dtc, &b.dtc, &mut out.dtc_aging)
+    }
+}
+
+/// The closed-form per-hyperperiod evolution of a quiescent
+/// [`FaultManagementFramework`]: the healthy-cycle advance of every
+/// pending DTC record. Everything else the framework owns must be at rest
+/// for [`FmfSnapshot::derive_cycle_delta`] to certify.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FmfCycleDelta {
+    /// Healthy cycles per hyperperiod added to each pending DTC record.
+    pub dtc_aging: u32,
 }
 
 impl Default for FaultManagementFramework {

@@ -34,6 +34,6 @@ pub mod policy;
 pub mod record;
 
 pub use dtc::{DtcCode, DtcRecord, DtcStatus, DtcStore, DtcStoreSnapshot, FreezeFrame};
-pub use framework::{FaultManagementFramework, FmfSnapshot};
+pub use framework::{FaultManagementFramework, FmfCycleDelta, FmfSnapshot};
 pub use policy::{Treatment, TreatmentAction, TreatmentPolicy};
 pub use record::{FaultRecord, Severity, SeverityMap};

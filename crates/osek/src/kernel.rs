@@ -646,6 +646,115 @@ impl<W> Os<W> {
         stats
     }
 
+    /// Captures the same content as [`Os::snapshot_into`] but *without*
+    /// joining the restore lineage: the kernel's epoch/`derived_from`
+    /// bookkeeping is untouched and the capture gets id 0, so it can never
+    /// enable a delta restore. The macro-stepping engine samples hyperperiod
+    /// images with this — a real snapshot per sample would sever the
+    /// campaign prefix checkpoints' lineage and force their restores onto
+    /// the full-copy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any in-flight plan holds a boxed [`Step::Effect`] closure
+    /// (see [`PlanArena::snapshot`]).
+    pub fn image_into(&self, snap: &mut OsSnapshot) {
+        let core = &self.core;
+        snap.tasks.truncate(core.tasks.len());
+        let filled = snap.tasks.len();
+        for (dst, src) in snap.tasks.iter_mut().zip(core.tasks.iter()) {
+            dst.state = src.state;
+            dst.planned = src.planned;
+            dst.current_priority = src.current_priority;
+            dst.set_events = src.set_events;
+            dst.waiting_for = src.waiting_for;
+            dst.held.clone_from(&src.held);
+            dst.issued = src.issued;
+            dst.completed = src.completed;
+            dst.exec_time = src.exec_time;
+            dst.budget_reported = src.budget_reported;
+            dst.ready_key = src.ready_key;
+        }
+        for src in core.tasks.iter().skip(filled) {
+            snap.tasks.push(TcbSnapshot {
+                state: src.state,
+                planned: src.planned,
+                current_priority: src.current_priority,
+                set_events: src.set_events,
+                waiting_for: src.waiting_for,
+                held: src.held.clone(),
+                issued: src.issued,
+                completed: src.completed,
+                exec_time: src.exec_time,
+                budget_reported: src.budget_reported,
+                ready_key: src.ready_key,
+            });
+        }
+        snap.task_stamps.clone_from(&core.task_stamps);
+        snap.alarms.clear();
+        snap.alarms.extend(core.alarms.iter().map(Alarm::runtime));
+        snap.alarm_stamps.clone_from(&core.alarm_stamps);
+        snap.resource_holders.clear();
+        snap.resource_holders
+            .extend(core.resources.iter().map(Resource::holder));
+        snap.resource_stamp = core.resource_stamp;
+        core.timers.image_into(&mut snap.timers);
+        snap.now = core.now;
+        snap.running = core.running;
+        snap.trace.clone_from(&core.trace);
+        snap.started = core.started;
+        snap.next_back_key = core.next_back_key;
+        snap.next_front_key = core.next_front_key;
+        snap.ready_bits = core.ready.bits;
+        snap.ready_bands.truncate(core.ready.bands.len());
+        let filled = snap.ready_bands.len();
+        for (dst, src) in snap.ready_bands.iter_mut().zip(core.ready.bands.iter()) {
+            dst.clone_from(src);
+        }
+        snap.ready_bands
+            .extend(core.ready.bands.iter().skip(filled).cloned());
+        self.arena.image_into(&mut snap.arena);
+        snap.busy = core.busy;
+        snap.epoch = core.epoch;
+        snap.id = 0;
+    }
+
+    /// Applies a certified [`CycleProgram`] `k` times in closed form: the
+    /// clock and busy meter advance `k` hyperperiods, per-task activation
+    /// counters and ready keys accumulate their per-hyperperiod deltas, and
+    /// the timer wheel shifts every pending entry — deadline checks carry
+    /// their task's activation-sequence shift. O(tasks + pending timers),
+    /// independent of how many events the skipped span would have fired.
+    ///
+    /// The caller (the node-level macro-stepping engine) must only apply a
+    /// program derived from *and guard-verified against* this kernel's
+    /// current state; anything else diverges silently.
+    pub fn apply_cycle_program(&mut self, program: &CycleProgram, k: u64) {
+        let core = &mut self.core;
+        let shift = program.h * k;
+        core.now += shift;
+        core.busy += program.d_busy * k;
+        core.next_back_key += program.d_back * k as i64;
+        core.next_front_key += program.d_front * k as i64;
+        for (i, d) in program.per_task.iter().enumerate() {
+            if d.d_issued == 0 && d.d_ready_key == 0 {
+                continue;
+            }
+            let tcb = &mut core.tasks[i];
+            tcb.issued += d.d_issued * k;
+            tcb.completed += d.d_issued * k;
+            tcb.ready_key += d.d_ready_key * k as i64;
+            core.task_stamps[i] = core.epoch;
+        }
+        let per_task = &program.per_task;
+        core.timers
+            .fast_forward(shift, program.d_seq * k, |ev| {
+                if let KernelEvent::DeadlineCheck { task, seq } = ev {
+                    *seq += per_task[task.index()].d_issued * k;
+                }
+            });
+    }
+
     /// `ActivateTask`: moves a suspended task to ready or queues an extra
     /// activation.
     ///
@@ -1398,7 +1507,7 @@ impl<W> std::fmt::Debug for Os<W> {
 }
 
 /// Runtime fields of one [`Tcb`], as captured by [`Os::snapshot`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TcbSnapshot {
     state: TaskState,
     planned: bool,
@@ -1474,6 +1583,198 @@ impl OsSnapshot {
     pub fn taken_at(&self) -> Instant {
         self.now
     }
+
+    /// Appends a canonical, lineage-free rendering of the captured kernel
+    /// state to `out`. Timer entries are listed in logical `(time, seq)`
+    /// pop order rather than physical wheel layout — a hyperperiod
+    /// macro-jump re-buckets the wheel relative to the jumped cursor, so
+    /// only the logical view is comparable across fast-forwarded and
+    /// event-by-event runs. Equivalence tests hash/compare this rendering.
+    pub fn canonical_fmt(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "now={} busy={} running={:?} started={} back={} front={} bits={:?}",
+            self.now,
+            self.busy,
+            self.running,
+            self.started,
+            self.next_back_key,
+            self.next_front_key,
+            self.ready_bits,
+        );
+        for (i, t) in self.tasks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "task{i} state={:?} planned={} prio={} ev={} wait={} issued={} completed={} exec={} budget={} key={}",
+                t.state,
+                t.planned,
+                t.current_priority,
+                t.set_events,
+                t.waiting_for,
+                t.issued,
+                t.completed,
+                t.exec_time,
+                t.budget_reported,
+                t.ready_key,
+            );
+        }
+        let _ = writeln!(out, "alarms={:?}", self.alarms);
+        let _ = writeln!(out, "resources={:?}", self.resource_holders);
+        let _ = writeln!(out, "bands={:?}", self.ready_bands);
+        let mut entries = Vec::new();
+        self.timers.collect_entries(&mut entries);
+        let _ = writeln!(
+            out,
+            "timers cursor={} next_seq={} entries={entries:?}",
+            self.timers.cursor_micros(),
+            self.timers.next_seq(),
+        );
+        for (i, slot) in self.arena.slots().iter().enumerate() {
+            if !slot.is_empty() {
+                let _ = writeln!(out, "plan{i}={slot:?}");
+            }
+        }
+        let _ = writeln!(out, "trace={:?}", self.trace);
+    }
+
+    /// Derives the closed-form per-hyperperiod delta between two kernel
+    /// images taken exactly `h` apart, writing it into `program` and
+    /// returning `true` — or returns `false` when the samples are not
+    /// steady-state-equivalent (a behavior-feeding field differs, an event
+    /// is pending in one but not the other, a cancellation or behind-cursor
+    /// timer entry exists, a counter moved non-uniformly). Every condition
+    /// checked here is one the closed-form application of `program` relies
+    /// on, so a `true` result plus one guard hyperperiod (derive again from
+    /// the next sample and require the identical program) certifies the
+    /// jump bit-exactly.
+    ///
+    /// Reuses `scratch`'s buffers and `program`'s vectors; steady-state
+    /// certification allocates nothing once warm.
+    pub fn derive_cycle_program(
+        a: &OsSnapshot,
+        b: &OsSnapshot,
+        h: Duration,
+        scratch: &mut CycleScratch,
+        program: &mut CycleProgram,
+    ) -> bool {
+        if !a.started
+            || !b.started
+            || a.running != b.running
+            || b.now != a.now + h
+            || a.ready_bits != [0; 4]
+            || b.ready_bits != [0; 4]
+            || !a.ready_bands.iter().all(VecDeque::is_empty)
+            || !b.ready_bands.iter().all(VecDeque::is_empty)
+            || a.trace.len() != b.trace.len()
+            || a.tasks.len() != b.tasks.len()
+            || a.alarms != b.alarms
+            || a.resource_holders != b.resource_holders
+            || !a.arena.content_eq(&b.arena)
+            || b.busy < a.busy
+        {
+            return false;
+        }
+        program.h = h;
+        program.d_busy = b.busy - a.busy;
+        program.d_back = b.next_back_key - a.next_back_key;
+        program.d_front = b.next_front_key - a.next_front_key;
+        program.per_task.clear();
+        for (ta, tb) in a.tasks.iter().zip(&b.tasks) {
+            // Monotonic counters may advance (uniformly); everything else —
+            // including the scheduling state — must be identical.
+            if tb.state != ta.state
+                || tb.planned != ta.planned
+                || tb.current_priority != ta.current_priority
+                || tb.set_events != ta.set_events
+                || tb.waiting_for != ta.waiting_for
+                || tb.held != ta.held
+                || tb.exec_time != ta.exec_time
+                || tb.budget_reported != ta.budget_reported
+                || tb.issued < ta.issued
+                || tb.issued - ta.issued != tb.completed.wrapping_sub(ta.completed)
+            {
+                return false;
+            }
+            program.per_task.push(TaskCycleDelta {
+                d_issued: tb.issued - ta.issued,
+                d_ready_key: tb.ready_key - ta.ready_key,
+            });
+        }
+        // Timer wheel: logical content must match entry-for-entry under a
+        // uniform (h, d_seq) shift, with deadline-check payloads carrying
+        // their task's activation shift. Behind-cursor entries or pending
+        // cancellations are transients (e.g. a cancelled alarm's stale
+        // expiry) — reject and let the engine back off until they drain.
+        let ta = &a.timers;
+        let tb = &b.timers;
+        if !ta.past_is_empty()
+            || !tb.past_is_empty()
+            || !ta.cancelled_is_empty()
+            || !tb.cancelled_is_empty()
+            || tb.cursor_micros() != ta.cursor_micros() + h.as_micros()
+            || tb.next_seq() < ta.next_seq()
+        {
+            return false;
+        }
+        program.d_seq = tb.next_seq() - ta.next_seq();
+        ta.collect_entries(&mut scratch.entries_a);
+        tb.collect_entries(&mut scratch.entries_b);
+        if scratch.entries_a.len() != scratch.entries_b.len() {
+            return false;
+        }
+        for (&(at, aseq, aev), &(bt, bseq, bev)) in
+            scratch.entries_a.iter().zip(&scratch.entries_b)
+        {
+            if bt != at + h.as_micros() || bseq != aseq + program.d_seq {
+                return false;
+            }
+            let payload_ok = match (aev, bev) {
+                (KernelEvent::AlarmExpiry(x), KernelEvent::AlarmExpiry(y)) => x == y,
+                (
+                    KernelEvent::DeadlineCheck { task: xt, seq: xs },
+                    KernelEvent::DeadlineCheck { task: yt, seq: ys },
+                ) => xt == yt && ys == xs + program.per_task[xt.index()].d_issued,
+                _ => false,
+            };
+            if !payload_ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-task component of a [`CycleProgram`]: the per-hyperperiod advance of
+/// the task's monotonic activation counter and ready-key cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct TaskCycleDelta {
+    d_issued: u64,
+    d_ready_key: i64,
+}
+
+/// The compiled steady-state schedule: the closed-form state delta one
+/// hyperperiod of kernel execution applies, derived by
+/// [`OsSnapshot::derive_cycle_program`] and applied k-at-a-time by
+/// [`Os::apply_cycle_program`]. Two programs comparing equal (the guard
+/// hyperperiod's requirement) proves the event stream reproduced itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CycleProgram {
+    h: Duration,
+    d_busy: Duration,
+    d_back: i64,
+    d_front: i64,
+    d_seq: u64,
+    per_task: Vec<TaskCycleDelta>,
+}
+
+/// Reusable buffers for [`OsSnapshot::derive_cycle_program`]'s logical
+/// timer-entry comparison; keep one per macro-stepping engine so warm
+/// certification attempts allocate nothing.
+#[derive(Debug, Default)]
+pub struct CycleScratch {
+    entries_a: Vec<(u64, u64, KernelEvent)>,
+    entries_b: Vec<(u64, u64, KernelEvent)>,
 }
 
 impl std::fmt::Debug for OsSnapshot {

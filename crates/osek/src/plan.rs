@@ -414,6 +414,29 @@ impl<W> PlanArena<W> {
         self.epoch += 1;
     }
 
+    /// Captures every slot's content into `snap` *without* joining the
+    /// restore lineage (capture id 0, arena bookkeeping untouched) — the
+    /// macro-stepping engine's hyperperiod sample. A real snapshot here
+    /// would sever the campaign checkpoints' lineage and force their next
+    /// restore onto the full-copy path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Step::Effect`] slot, as for [`PlanArena::snapshot`].
+    pub fn image_into(&self, snap: &mut PlanArenaSnapshot) {
+        snap.slots.truncate(self.slots.len());
+        while snap.slots.len() < self.slots.len() {
+            snap.slots.push(Vec::new());
+        }
+        for (dst, src) in snap.slots.iter_mut().zip(&self.slots) {
+            dst.clear();
+            dst.extend(src.steps.iter().map(Step::data));
+        }
+        snap.stamps.clone_from(&self.stamps);
+        snap.epoch = self.epoch;
+        snap.id = 0;
+    }
+
     /// Restores every slot to the snapshot's steps, retaining each slot's
     /// allocated capacity (clear + extend, no buffer replacement). When the
     /// arena still derives from exactly this snapshot, slots untouched
@@ -453,6 +476,20 @@ pub struct PlanArenaSnapshot {
     stamps: Vec<u64>,
     epoch: u64,
     id: u64,
+}
+
+impl PlanArenaSnapshot {
+    /// `true` if both captures hold the same remaining steps in every slot,
+    /// ignoring the delta-restore bookkeeping (stamps/epoch/id). Used by the
+    /// macro-stepping guards to prove two hyperperiod samples equivalent.
+    pub fn content_eq(&self, other: &PlanArenaSnapshot) -> bool {
+        self.slots == other.slots
+    }
+
+    /// The captured per-slot steps (slot index = task id).
+    pub fn slots(&self) -> &[Vec<StepData>] {
+        &self.slots
+    }
 }
 
 impl fmt::Debug for PlanArenaSnapshot {

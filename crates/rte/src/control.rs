@@ -78,7 +78,7 @@ pub struct TaskControl {
 /// assert_eq!(controls.runnable(RunnableId(2)).exec_scale_ppm, 3_000_000);
 /// assert!(controls.runnable(RunnableId(7)).is_nominal());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunnableControls {
     runnables: Vec<RunnableControl>,
     tasks: BTreeMap<String, TaskControl>,

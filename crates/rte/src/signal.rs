@@ -195,6 +195,32 @@ impl SignalDb {
         self.epoch += 1;
     }
 
+    /// Captures every signal's `(value, updated_at)` pair into `snap`
+    /// without participating in the delta-restore lineage: the database's
+    /// epoch and `derived_from` are untouched and the image carries
+    /// `id == 0`, so a capture interleaved between a campaign checkpoint
+    /// and its restore cannot degrade the restore to the full-copy path.
+    pub fn image_into(&self, snap: &mut SignalDbSnapshot) {
+        snap.values.clear();
+        snap.values
+            .extend(self.slots.iter().map(|s| (s.value, s.updated_at)));
+        snap.stamps.clone_from(&self.stamps);
+        snap.epoch = self.epoch;
+        snap.id = 0;
+    }
+
+    /// Shifts the `updated_at` stamp of the given slots forward by `by`,
+    /// stamping each — the closed-form application of a
+    /// [`SignalDbSnapshot::derive_shift`] result, `k` hyperperiods folded
+    /// into one `by = h * k` shift.
+    pub fn shift_updated_at(&mut self, slots: &[u32], by: easis_sim::time::Duration) {
+        for &i in slots {
+            let slot = &mut self.slots[i as usize];
+            slot.updated_at += by;
+            self.stamps[i as usize] = self.epoch;
+        }
+    }
+
     /// Restores signal values captured by [`SignalDb::snapshot_into`],
     /// copying only the signals written since the capture when the
     /// lineage allows it (O(dirty)).
@@ -237,6 +263,38 @@ pub struct SignalDbSnapshot {
     stamps: Vec<u64>,
     epoch: u64,
     id: u64,
+}
+
+impl SignalDbSnapshot {
+    /// Derives the per-hyperperiod signal delta between two images taken
+    /// exactly `h` apart: every value must be bit-identical (steady-state
+    /// plants settle to exact fixed points; comparison is on the raw f64
+    /// bits, so `NaN` and `-0.0` round-trip too) and every `updated_at`
+    /// stamp must be either untouched or shifted by exactly `h`. Writes
+    /// the shifted slot indices to `out` and returns `true`, or returns
+    /// `false` when any value moved or a stamp shifted non-uniformly.
+    pub fn derive_shift(
+        a: &SignalDbSnapshot,
+        b: &SignalDbSnapshot,
+        h: easis_sim::time::Duration,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        if a.values.len() != b.values.len() {
+            return false;
+        }
+        out.clear();
+        for (i, (&(va, ta), &(vb, tb))) in a.values.iter().zip(&b.values).enumerate() {
+            if va.to_bits() != vb.to_bits() {
+                return false;
+            }
+            if tb == ta + h {
+                out.push(i as u32);
+            } else if tb != ta {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

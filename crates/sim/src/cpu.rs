@@ -129,6 +129,26 @@ impl CostMeter {
     pub fn reset(&mut self) {
         *self = CostMeter::default();
     }
+
+    /// Per-span delta: the charges accumulated since `earlier` was sampled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually an earlier sample of this meter
+    /// (either counter would underflow).
+    pub fn delta_since(&self, earlier: &CostMeter) -> CostMeter {
+        CostMeter {
+            total_cycles: self.total_cycles - earlier.total_cycles,
+            operations: self.operations - earlier.operations,
+        }
+    }
+
+    /// Applies `delta` `k` times in closed form — the macro-stepping
+    /// engine's per-hyperperiod cost replay.
+    pub fn accumulate(&mut self, delta: &CostMeter, k: u64) {
+        self.total_cycles += delta.total_cycles * k;
+        self.operations += delta.operations * k;
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! exactly: every bucket scan resolves ties by sequence number.
 
 use crate::snap::{next_snapshot_id, RestoreStats};
-use crate::time::Instant;
+use crate::time::{Duration, Instant};
 use std::collections::{BTreeMap, HashSet};
 
 /// Handle identifying a scheduled event, usable for cancellation.
@@ -84,6 +84,49 @@ pub struct EventQueueSnapshot<E> {
     epoch: u64,
     /// Process-unique capture id checked against the queue's lineage.
     id: u64,
+}
+
+impl<E> EventQueueSnapshot<E> {
+    /// Cursor (µs of the most recently popped wheel event) at capture time.
+    pub fn cursor_micros(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Next sequence number the queue would hand out at capture time.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// `true` if no entry was scheduled behind the cursor at capture time.
+    pub fn past_is_empty(&self) -> bool {
+        self.past.is_empty()
+    }
+
+    /// `true` if no cancellation was pending at capture time.
+    pub fn cancelled_is_empty(&self) -> bool {
+        self.cancelled.is_empty()
+    }
+
+    /// Collects every pending `(time µs, seq, payload)` entry — wheel and
+    /// overflow — into `out`, sorted by `(time, seq)`, i.e. in exact pop
+    /// order. The wheel's *physical* bucket layout depends on the cursor
+    /// history and is not canonical; this logical view is what the
+    /// macro-stepping engine compares across hyperperiod samples (and what
+    /// canonical state digests hash). Reuses `out`'s capacity.
+    pub fn collect_entries(&self, out: &mut Vec<(u64, u64, E)>)
+    where
+        E: Clone,
+    {
+        out.clear();
+        for ring in &self.slots {
+            out.extend(ring.iter().cloned());
+        }
+        for (_, ring) in &self.overflow {
+            out.extend(ring.iter().cloned());
+        }
+        out.extend(self.past.iter().cloned());
+        out.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+    }
 }
 
 impl<E> Default for EventQueueSnapshot<E> {
@@ -355,6 +398,33 @@ impl<E> EventQueue<E> {
     where
         E: Clone,
     {
+        self.copy_content_into(snap);
+        snap.id = next_snapshot_id();
+        self.derived_from = snap.id;
+        self.epoch += 1;
+    }
+
+    /// Captures the queue's content into `snap` *without* joining the
+    /// restore lineage: the queue's `derived_from`/epoch bookkeeping is left
+    /// untouched and the capture gets id 0, so it can never satisfy a
+    /// [`EventQueue::restore_from`] delta check. This is the capture the
+    /// macro-stepping engine uses for its hyperperiod samples — taking a
+    /// real snapshot there would sever the campaign checkpoints' lineage
+    /// and degrade their delta restores to full copies.
+    pub fn image_into(&self, snap: &mut EventQueueSnapshot<E>)
+    where
+        E: Clone,
+    {
+        self.copy_content_into(snap);
+        snap.id = 0;
+    }
+
+    /// Shared content copy behind [`EventQueue::snapshot_into`] (which adds
+    /// the lineage tail) and [`EventQueue::image_into`] (which does not).
+    fn copy_content_into(&self, snap: &mut EventQueueSnapshot<E>)
+    where
+        E: Clone,
+    {
         snap.cursor = self.cursor;
         if snap.slots.len() != self.slots.len() {
             snap.slots.clear();
@@ -382,9 +452,6 @@ impl<E> EventQueue<E> {
         snap.overflow_stamp = self.overflow_stamp;
         snap.cancelled_stamp = self.cancelled_stamp;
         snap.epoch = self.epoch;
-        snap.id = next_snapshot_id();
-        self.derived_from = snap.id;
-        self.epoch += 1;
     }
 
     /// Restores the queue to a previously captured snapshot and reports how
@@ -480,6 +547,65 @@ impl<E> EventQueue<E> {
                 }
             }
         }
+    }
+
+    /// Shifts every pending entry `shift` later in time and `seq_shift`
+    /// higher in sequence, advances the cursor by `shift`, and lets `fixup`
+    /// rewrite each payload in place (the kernel uses this to slide
+    /// per-activation sequence numbers carried inside deadline-check
+    /// events). This is the timer-wheel half of a hyperperiod macro-jump:
+    /// after the macro-stepping engine has proved the queue's logical
+    /// content at `t` and `t + H` identical up to these shifts, applying
+    /// them advances the queue k hyperperiods in O(pending) instead of
+    /// replaying every expiry.
+    ///
+    /// The wheel buckets are drained and every entry re-inserted relative
+    /// to the new cursor, so the physical layout after a jump can differ
+    /// from the layout event-by-event simulation would have produced; pop
+    /// order is `(time, seq)`-logical, so behavior is unaffected. Touched
+    /// buckets are stamped, keeping delta restores over a jump correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is behind the cursor or a cancellation is
+    /// pending — the macro-stepping guards reject such states before
+    /// certifying a jump, so reaching here with one is a caller bug.
+    pub fn fast_forward(&mut self, shift: Duration, seq_shift: u64, mut fixup: impl FnMut(&mut E)) {
+        assert!(
+            self.past.is_empty(),
+            "fast_forward with behind-cursor entries pending"
+        );
+        assert!(
+            self.cancelled.is_empty(),
+            "fast_forward with cancellations pending"
+        );
+        let shift_us = shift.as_micros();
+        let mut entries = std::mem::take(&mut self.cascade_scratch);
+        debug_assert!(entries.is_empty());
+        for level in 0..LEVELS {
+            let mut bits = self.occupied[level];
+            while bits != 0 {
+                let slot = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let idx = level * SLOTS + slot;
+                entries.append(&mut self.slots[idx]);
+                self.stamps[idx] = self.epoch;
+            }
+            self.occupied[level] = 0;
+        }
+        while let Some((_, mut ring)) = self.overflow.pop_first() {
+            entries.append(&mut ring);
+            self.window_spare.push(ring);
+            self.overflow_stamp = self.epoch;
+        }
+        self.cursor += shift_us;
+        self.next_seq += seq_shift;
+        self.head = None;
+        for (t, seq, mut payload) in entries.drain(..) {
+            fixup(&mut payload);
+            self.insert_wheel(t + shift_us, seq + seq_shift, payload);
+        }
+        self.cascade_scratch = entries;
     }
 
     /// Total buffer capacity (in entries/elements) retained across the
@@ -945,6 +1071,55 @@ mod tests {
             + snap.overflow.iter().map(|(_, v)| v.capacity()).sum::<usize>()
             + snap.past.capacity();
         assert_eq!(snap_cap, snap_cap_after);
+    }
+
+    #[test]
+    fn fast_forward_matches_rescheduled_queue() {
+        // A queue fast-forwarded by `shift` must pop exactly like a queue
+        // whose entries were scheduled `shift` later to begin with,
+        // including overflow entries and same-instant FIFO ties.
+        let shift = Duration::from_micros(40_000);
+        let seqs = 3u64; // pretend 3 schedules happened during the span
+        let mut q = EventQueue::new();
+        let mut reference = EventQueue::new();
+        q.schedule(t(1_000), 0u64);
+        reference.schedule(t(1_000), 0u64);
+        assert_eq!(q.pop(), Some((t(1_000), 0)));
+        assert_eq!(reference.pop(), Some((t(1_000), 0)));
+        for (at, tag) in [(5_000u64, 1u64), (5_000, 2), (9_500, 3), (1 << 26, 4)] {
+            q.schedule(t(at), tag);
+            reference.schedule(t(at + shift.as_micros()), tag);
+        }
+        q.fast_forward(shift, seqs, |_| {});
+        assert_eq!(q.peek_time(), reference.peek_time());
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let expected: Vec<_> = std::iter::from_fn(|| reference.pop()).collect();
+        assert_eq!(drained, expected);
+        // New schedules continue from the shifted sequence space.
+        assert_eq!(q.schedule(t(1 << 27), 9).raw(), 5 + seqs);
+    }
+
+    #[test]
+    fn image_capture_leaves_lineage_intact() {
+        // An image between a snapshot and its restore must not break the
+        // delta path: the restore should still skip clean buckets.
+        let mut q = EventQueue::new();
+        for i in 0..40u64 {
+            q.schedule(t(1_000 + 64 * i), i);
+        }
+        let mut snap = EventQueueSnapshot::default();
+        q.snapshot_into(&mut snap);
+        q.pop();
+        let mut image = EventQueueSnapshot::default();
+        q.image_into(&mut image);
+        assert_eq!(image.id, 0);
+        let stats = q.restore_from(&snap);
+        assert!(
+            stats.regions_copied < stats.regions_total / 2,
+            "image capture severed the snapshot lineage: {}/{} regions copied",
+            stats.regions_copied,
+            stats.regions_total
+        );
     }
 
     #[test]

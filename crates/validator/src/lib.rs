@@ -8,7 +8,10 @@
 //!
 //! * [`world`] — the central node's shared state;
 //! * [`node`] — central-node assembly (tasks, alarms, fault hypotheses,
-//!   baselines, treatment execution);
+//!   baselines, treatment execution) and the hyperperiod macro-stepping
+//!   engine behind [`node::CentralNode::run_span`];
+//! * [`ffwd`] — process-wide macro-stepping switches and metrics
+//!   (`EASIS_FASTFORWARD`, campaign-bench aggregation);
 //! * [`scenario`] — the evaluation scenarios (Figure 5, Figure 6,
 //!   arrival-rate and program-flow tests, campaign trials);
 //! * [`hil`] — the full hardware-in-the-loop assembly with vehicle plant
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod distributed;
+pub mod ffwd;
 pub mod hil;
 pub mod node;
 pub mod scenario;

@@ -14,12 +14,12 @@ use easis_apps::bundle::AppBundle;
 use easis_apps::{lightctl, safelane, safespeed, steer};
 use easis_baselines::task_monitors::{DeadlineMonitor, ExecutionTimeMonitor};
 use easis_fmf::dtc::FreezeFrame;
-use easis_fmf::framework::{FaultManagementFramework, FmfSnapshot};
+use easis_fmf::framework::{FaultManagementFramework, FmfCycleDelta, FmfSnapshot};
 use easis_fmf::policy::{Treatment, TreatmentAction, TreatmentPolicy};
 use easis_fmf::record::SeverityMap;
 use easis_injection::injector::Injector;
 use easis_osek::alarm::{AlarmAction, AlarmId};
-use easis_osek::kernel::Os;
+use easis_osek::kernel::{CycleProgram, CycleScratch, Os};
 use easis_osek::plan::{EffectCtx, Plan, TaskBody};
 use easis_osek::task::{Priority, TaskConfig, TaskId};
 use easis_rte::assembly::SequencedTask;
@@ -33,7 +33,7 @@ use easis_osek::kernel::OsSnapshot;
 use easis_rte::control::RunnableControls;
 use easis_watchdog::config::{RunnableHypothesis, WatchdogConfig};
 use easis_watchdog::report::{DetectedFault, RunnableCounters, StateChange};
-use easis_watchdog::{CycleReport, SoftwareWatchdog, WatchdogSnapshot};
+use easis_watchdog::{CycleReport, SoftwareWatchdog, WatchdogCycleDelta, WatchdogSnapshot};
 use easis_baselines::hw_watchdog::HardwareWatchdog;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,6 +118,20 @@ impl NodeConfig {
     }
 }
 
+/// Hyperperiods above this bound disable macro-stepping structurally: a
+/// jump engine that rarely fits a whole hyperperiod into a span cannot pay
+/// for its certification overhead, and the closed-form deltas would live on
+/// transients that never settle within one certification window.
+const FFWD_MAX_HYPERPERIOD: Duration = Duration::from_millis(1_000);
+
+/// The kernel timer wheel's bottom-level rotation span is `2^24` µs
+/// (~16.8 s). A macro-jump must never cross such a boundary: the wheel's
+/// overflow cascade redistributes entries there, a physical transition the
+/// closed-form delta does not model. The engine caps every jump just short
+/// of the next boundary and simulates the crossing hyperperiod
+/// event-by-event instead.
+const WHEEL_ROTATION_BITS: u32 = 24;
+
 /// A campaign-shared node recipe: the node configuration plus the
 /// watchdog configuration compiled from it exactly once (IdIndex
 /// interning, flow-table bitsets, hypothesis derivation), frozen behind an
@@ -191,6 +205,8 @@ pub struct CentralNode {
     /// component (see `easis_sim::snap`); this counter identifies the
     /// node's fork generation for probes and diagnostics.
     epoch: u64,
+    /// The hyperperiod macro-stepping engine (see [`CentralNode::run_span`]).
+    ffwd: FfwdState,
 }
 
 impl std::fmt::Debug for CentralNode {
@@ -382,6 +398,8 @@ impl CentralNode {
         os.add_observer(deadline_monitor.clone());
         os.add_observer(exec_monitor.clone());
 
+        let hyperperiod = Self::hyperperiod_of(&config, &periods);
+
         CentralNode {
             os,
             world,
@@ -395,7 +413,39 @@ impl CentralNode {
             config,
             started: false,
             epoch: 0,
+            ffwd: FfwdState::new(hyperperiod),
         }
+    }
+
+    /// The steady-state hyperperiod of this configuration: the least
+    /// common multiple of every activation period (app tasks, the
+    /// watchdog cycle, the hardware-watchdog kick cycle) *and* every
+    /// fault-hypothesis window span (`cycles × wd_period`). After one
+    /// hyperperiod, every alarm is back on the same grid offset and every
+    /// monitoring window is back at the same phase, so all monitor
+    /// counters land on the values they started from — the precondition
+    /// for the content-equality classes of the macro-step derivation.
+    /// Returns [`Duration::ZERO`] (macro-stepping structurally disabled)
+    /// when the lcm exceeds [`FFWD_MAX_HYPERPERIOD`].
+    fn hyperperiod_of(config: &NodeConfig, periods: &BTreeMap<String, Duration>) -> Duration {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 { a } else { gcd(b, a % b) }
+        }
+        fn lcm(a: u128, b: u64) -> u128 {
+            a / gcd(a as u64, b) as u128 * b as u128
+        }
+        let wd_us = config.wd_period.as_micros();
+        // The HwKick task's cycle is fixed at 10 ms in `start()`.
+        let mut h_us: u128 = lcm(wd_us as u128, 10_000);
+        for &period in periods.values() {
+            let (cycles, _) = Self::hypothesis_shape(period, config.wd_period, config.window_factor);
+            h_us = lcm(h_us, period.as_micros());
+            h_us = lcm(h_us, cycles as u64 * wd_us);
+            if h_us > FFWD_MAX_HYPERPERIOD.as_micros() as u128 {
+                return Duration::ZERO;
+            }
+        }
+        Duration::from_micros(h_us as u64)
     }
 
     /// Derives the (cycles, expected indications) shape of a fault
@@ -507,6 +557,9 @@ impl CentralNode {
         self.deadline_monitor.reset();
         self.exec_monitor.reset();
         self.started = false;
+        self.ffwd.backoff = 0;
+        self.ffwd.injection_armed = false;
+        self.ffwd.stats = FfwdStats::default();
     }
 
     /// Captures a deterministic checkpoint of the started node — see
@@ -606,9 +659,204 @@ impl CentralNode {
     /// instants reproduces the per-millisecond tick loop of
     /// [`CentralNode::run_until`] bit-identically while skipping ~1500
     /// redundant kernel re-entries per trial.
+    ///
+    /// When the span is eligible ([`CentralNode::set_fastforward`],
+    /// `EASIS_FASTFORWARD`, no armed injector window, no enabled traces),
+    /// the hyperperiod macro-stepping engine first certifies the
+    /// steady-state schedule — simulate one hyperperiod, derive its
+    /// closed-form state delta, simulate a guard hyperperiod and require
+    /// the exact same delta — and then fast-forwards whole hyperperiod
+    /// multiples in O(1) per hyperperiod. Certification is *exact*: any
+    /// state that the delta cannot express (pending fault logs, DTC aging,
+    /// stale timers, a wheel rotation boundary) rejects the derivation and
+    /// the engine falls back to event-level simulation, so the final node
+    /// state is bit-identical to a never-fast-forwarded run.
     pub fn run_span(&mut self, end: Instant) {
         assert!(self.started, "call start() first");
+        let span = end.saturating_duration_since(self.os.now());
+        let before = self.ffwd.stats;
+        if self.ffwd_eligible() {
+            self.macro_step_span(end);
+        }
+        // The residue below one hyperperiod — or the entire span when
+        // macro-stepping stood down — runs at event level.
         self.os.run_until(end, &mut self.world);
+        self.ffwd.stats.span += span;
+        let after = self.ffwd.stats;
+        crate::ffwd::record(
+            (after.fastforwarded - before.fastforwarded).as_micros(),
+            span.as_micros(),
+            after.fallbacks - before.fallbacks,
+            after.certifications - before.certifications,
+        );
+    }
+
+    /// Whether [`CentralNode::run_span`] may macro-step right now. The
+    /// divergence triggers stand the engine down entirely: an armed
+    /// injector window mutates runnable controls at millisecond ticks the
+    /// closed-form delta cannot see, and enabled kernel/observability
+    /// traces append per-event records whose absence would be observable.
+    fn ffwd_eligible(&self) -> bool {
+        !self.ffwd.h.is_zero()
+            && self
+                .ffwd
+                .enabled_override
+                .unwrap_or_else(crate::ffwd::env_default)
+            && !self.ffwd.injection_armed
+            && !self.os.trace().is_enabled()
+            && !self.world.obs.is_enabled()
+    }
+
+    /// Captures a certification image (cheaper than a [`NodeSnapshot`]:
+    /// append-only logs as lengths, monotone monitor statistics as
+    /// totals — warm captures allocate nothing).
+    fn ffwd_image(&self, img: &mut FfwdImage) {
+        self.os.image_into(&mut img.os);
+        self.world.signals.image_into(&mut img.signals);
+        self.world.watchdog.image_into(&mut img.watchdog);
+        self.world.fmf.image_into(&mut img.fmf);
+        match &mut img.hw_watchdog {
+            Some(hw) => hw.clone_from(&self.world.hw_watchdog),
+            slot => *slot = Some(self.world.hw_watchdog.clone()),
+        }
+        img.treatments = self.world.treatments.len();
+        img.fault_log = self.world.fault_log.len();
+        img.rx_mailbox = self.world.rx_mailbox.len();
+        img.ecu_resets = self.world.ecu_resets;
+        img.deadline = (
+            self.deadline_monitor.total(),
+            self.deadline_monitor.first_detection(),
+        );
+        img.exec = (self.exec_monitor.total(), self.exec_monitor.first_detection());
+    }
+
+    /// The macro-stepping loop behind [`CentralNode::run_span`]:
+    /// certify the per-hyperperiod delta against a guard hyperperiod, then
+    /// apply it `k` at a time, capped at the next wheel rotation boundary.
+    /// A rejected certification backs off exponentially (1→2→4→8
+    /// hyperperiods simulated plainly, plus a one-millisecond sampling
+    /// phase nudge) so transients — DTC aging, pending cancellations,
+    /// post-treatment settling, samples phased onto a task-period
+    /// boundary — drain before the retry.
+    fn macro_step_span(&mut self, end: Instant) {
+        // The engine state moves out while the node simulates (`run_until`
+        // needs `&mut self.os`/`&mut self.world` alongside the buffers).
+        let mut ff = std::mem::take(&mut self.ffwd);
+        let h = ff.h;
+        'certify: loop {
+            if ff.backoff > 0 {
+                // Exponential penalty plus a one-millisecond phase nudge: a
+                // rejected sample may sit exactly on a task-period boundary
+                // where the kernel is mid-dispatch every hyperperiod (ready
+                // bits set, a task running), and h-spaced resampling would
+                // stay on that phase forever. The nudge walks the sampler
+                // off such instants; the nudged span itself runs at event
+                // level, so it costs time, never exactness.
+                let penalty = h * ff.backoff as u64 + Duration::from_millis(1);
+                let penalty_end = (self.os.now() + penalty).min(end);
+                self.os.run_until(penalty_end, &mut self.world);
+            }
+            let now = self.os.now();
+            // Certification consumes two hyperperiods; anything shorter
+            // than three leaves no jump to pay for it.
+            if end.saturating_duration_since(now) < h * 3 {
+                break;
+            }
+            self.ffwd_image(&mut ff.img_a);
+            self.os.run_until(now + h, &mut self.world);
+            self.ffwd_image(&mut ff.img_b);
+            if !derive_node_delta(&ff.img_a, &ff.img_b, h, &mut ff.scratch, &mut ff.delta) {
+                ff.stats.fallbacks += 1;
+                ff.backoff = (ff.backoff * 2).clamp(1, 8);
+                continue;
+            }
+            // Guard hyperperiod: the event stream must reproduce the exact
+            // same delta before any closed-form application is trusted.
+            self.os.run_until(now + h * 2, &mut self.world);
+            self.ffwd_image(&mut ff.img_a);
+            if !derive_node_delta(&ff.img_b, &ff.img_a, h, &mut ff.scratch, &mut ff.delta2)
+                || ff.delta != ff.delta2
+            {
+                ff.stats.fallbacks += 1;
+                ff.backoff = (ff.backoff * 2).clamp(1, 8);
+                continue;
+            }
+            ff.backoff = 0;
+            ff.stats.certifications += 1;
+            loop {
+                let now = self.os.now();
+                let k_span = end.saturating_duration_since(now) / h;
+                if k_span == 0 {
+                    break 'certify;
+                }
+                let now_us = now.as_micros();
+                let boundary = ((now_us >> WHEEL_ROTATION_BITS) + 1) << WHEEL_ROTATION_BITS;
+                let k_rot = (boundary - now_us - 1) / h.as_micros();
+                // An aging DTC memory bounds the jump to just short of
+                // the earliest age-out: removal is a discrete event the
+                // delta cannot express, so it must be simulated — and it
+                // *changes* the steady state, so the delta must then be
+                // re-certified (unlike a rotation crossing, which only
+                // relabels the wheel).
+                let k_age = match ff.delta.fmf.dtc_aging {
+                    0 => u64::MAX,
+                    inc => match self.world.fmf.pending_cycles_to_age_out() {
+                        Some(remaining) => (remaining.saturating_sub(1) as u64) / inc as u64,
+                        None => 0,
+                    },
+                };
+                let k = k_span.min(k_rot).min(k_age);
+                if k == 0 {
+                    ff.stats.fallbacks += 1;
+                    self.os.run_until(now + h, &mut self.world);
+                    if k_age == 0 {
+                        continue 'certify;
+                    }
+                    // The rotation boundary falls inside the next
+                    // hyperperiod: it was crossed event-by-event just now
+                    // (the overflow cascade must physically run); the
+                    // delta is still valid, resume jumping.
+                    continue;
+                }
+                self.os.apply_cycle_program(&ff.delta.os, k);
+                self.world.watchdog.apply_cycle_delta(&ff.delta.watchdog, k);
+                self.world
+                    .signals
+                    .shift_updated_at(&ff.delta.signal_slots, h * k);
+                self.world.hw_watchdog.shift_last_kick(h * k);
+                self.world.fmf.apply_cycle_delta(&ff.delta.fmf, k);
+                ff.stats.fastforwarded += h * k;
+            }
+        }
+        self.ffwd = ff;
+    }
+
+    /// Per-node macro-stepping override: `Some(false)` disables tail
+    /// fast-forwarding for this node regardless of `EASIS_FASTFORWARD`,
+    /// `Some(true)` forces it on, `None` (the default) follows the
+    /// process-wide [`crate::ffwd::env_default`].
+    pub fn set_fastforward(&mut self, enabled: Option<bool>) {
+        self.ffwd.enabled_override = enabled;
+    }
+
+    /// Marks the injector window armed/disarmed for
+    /// [`CentralNode::run_span`]: an armed window can rewrite runnable
+    /// controls at any millisecond tick, so macro-stepping stands down
+    /// until the caller disarms again.
+    pub fn set_injection_armed(&mut self, armed: bool) {
+        self.ffwd.injection_armed = armed;
+    }
+
+    /// This node's macro-stepping counters since build or
+    /// [`CentralNode::reset`].
+    pub fn ffwd_stats(&self) -> FfwdStats {
+        self.ffwd.stats
+    }
+
+    /// The configuration-derived steady-state hyperperiod
+    /// ([`Duration::ZERO`] when macro-stepping is structurally disabled).
+    pub fn hyperperiod(&self) -> Duration {
+        self.ffwd.h
     }
 
     /// Runs the node until `end`, ticking the injector once per
@@ -646,6 +894,121 @@ impl CentralNode {
     pub fn config(&self) -> &NodeConfig {
         &self.config
     }
+}
+
+/// Per-node macro-stepping counters (see [`CentralNode::ffwd_stats`];
+/// process-wide aggregation lives in [`crate::ffwd`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FfwdStats {
+    /// Simulated time skipped by certified hyperperiod jumps.
+    pub fastforwarded: Duration,
+    /// Simulated time [`CentralNode::run_span`] covered in total,
+    /// fast-forwarded or not (the fraction's denominator).
+    pub span: Duration,
+    /// Rejected certification attempts plus rotation-boundary crossings
+    /// simulated event-by-event.
+    pub fallbacks: u64,
+    /// Successful certifications (guard hyperperiod reproduced the delta).
+    pub certifications: u64,
+}
+
+/// The per-node macro-stepping engine: the configuration-derived
+/// hyperperiod, the stand-down switches, the retained image/delta buffers
+/// (so repeated certifications are allocation-free in the steady state),
+/// and the per-node counters.
+#[derive(Debug, Default)]
+struct FfwdState {
+    h: Duration,
+    enabled_override: Option<bool>,
+    injection_armed: bool,
+    backoff: u32,
+    img_a: FfwdImage,
+    img_b: FfwdImage,
+    delta: NodeCycleDelta,
+    delta2: NodeCycleDelta,
+    scratch: CycleScratch,
+    stats: FfwdStats,
+}
+
+impl FfwdState {
+    fn new(h: Duration) -> Self {
+        FfwdState {
+            h,
+            ..FfwdState::default()
+        }
+    }
+}
+
+/// One certification image: the node state the delta derivation compares.
+/// Deliberately cheaper than a [`NodeSnapshot`]: the append-only logs are
+/// captured as lengths (within one uninterrupted span, an unchanged length
+/// proves unchanged content) and the monotone baseline-monitor statistics
+/// as totals, so a warm capture clones no maps. Runnable controls are not
+/// captured at all — only injector ticks mutate them, and an armed
+/// injector window already stands the engine down.
+#[derive(Debug, Default)]
+struct FfwdImage {
+    os: OsSnapshot,
+    signals: SignalDbSnapshot,
+    watchdog: WatchdogSnapshot,
+    fmf: FmfSnapshot,
+    /// `None` only before the first capture (`HardwareWatchdog` has no
+    /// `Default`); the value is flat, so `clone_from` is heap-free.
+    hw_watchdog: Option<HardwareWatchdog>,
+    treatments: usize,
+    fault_log: usize,
+    rx_mailbox: usize,
+    ecu_resets: u32,
+    deadline: (u32, Option<(TaskId, Instant)>),
+    exec: (u32, Option<(TaskId, Instant)>),
+}
+
+/// The compiled node-level steady-state delta: one hyperperiod's kernel
+/// cycle program, watchdog cycle delta, the signal slots whose timestamps
+/// shift by exactly one hyperperiod, and the FMF's DTC aging advance.
+#[derive(Debug, Default, PartialEq)]
+struct NodeCycleDelta {
+    os: CycleProgram,
+    watchdog: WatchdogCycleDelta,
+    signal_slots: Vec<u32>,
+    fmf: FmfCycleDelta,
+}
+
+/// Derives the closed-form per-hyperperiod delta between two images taken
+/// exactly `h` apart, or reports that the span is not in certifiable
+/// steady state. Every append-only log must be untouched, every monotone
+/// monitor counter unchanged, the hardware watchdog an exact `h`
+/// time-shift, and the kernel/watchdog/signal/FMF layers must each yield
+/// a well-formed shift (the FMF's being a uniform DTC-aging advance — the
+/// post-fault drain the tail spends hundreds of milliseconds in).
+fn derive_node_delta(
+    a: &FfwdImage,
+    b: &FfwdImage,
+    h: Duration,
+    scratch: &mut CycleScratch,
+    out: &mut NodeCycleDelta,
+) -> bool {
+    if a.treatments != b.treatments
+        || a.fault_log != b.fault_log
+        || a.rx_mailbox != b.rx_mailbox
+        || a.ecu_resets != b.ecu_resets
+        || a.deadline != b.deadline
+        || a.exec != b.exec
+        || !FmfSnapshot::derive_cycle_delta(&a.fmf, &b.fmf, &mut out.fmf)
+    {
+        return false;
+    }
+    let (Some(hw_a), Some(hw_b)) = (&a.hw_watchdog, &b.hw_watchdog) else {
+        return false;
+    };
+    let mut shifted = hw_a.clone();
+    shifted.shift_last_kick(h);
+    if shifted != *hw_b {
+        return false;
+    }
+    OsSnapshot::derive_cycle_program(&a.os, &b.os, h, scratch, &mut out.os)
+        && WatchdogSnapshot::derive_cycle_delta(&a.watchdog, &b.watchdog, h, &mut out.watchdog)
+        && SignalDbSnapshot::derive_shift(&a.signals, &b.signals, h, &mut out.signal_slots)
 }
 
 /// A deterministic checkpoint of a started [`CentralNode`] at one instant:
@@ -704,6 +1067,50 @@ impl NodeSnapshot {
     /// The simulated instant at which the snapshot was taken.
     pub fn taken_at(&self) -> Instant {
         self.os.taken_at()
+    }
+
+    /// Lineage-blind content equality, the equivalence-test comparator for
+    /// macro-stepped versus event-level runs. The kernel is compared
+    /// through its canonical rendering — the timer wheel's *physical*
+    /// layout is legitimately non-canonical after a fast-forward, only its
+    /// logical content must match. Signal and watchdog state go through
+    /// their zero-shift derivations (every monotone field must be exactly
+    /// equal); everything else compares structurally. Capture lineage
+    /// (snapshot ids, epochs) is deliberately ignored.
+    pub fn content_eq(&self, other: &NodeSnapshot) -> bool {
+        let mut slots = Vec::new();
+        let mut wd = WatchdogCycleDelta::default();
+        self.os_canonical() == other.os_canonical()
+            && SignalDbSnapshot::derive_shift(
+                &self.signals,
+                &other.signals,
+                Duration::ZERO,
+                &mut slots,
+            )
+            && WatchdogSnapshot::derive_cycle_delta(
+                &self.watchdog,
+                &other.watchdog,
+                Duration::ZERO,
+                &mut wd,
+            )
+            && wd == WatchdogCycleDelta::default()
+            && self.fmf.content_eq(&other.fmf)
+            && self.controls == other.controls
+            && self.hw_watchdog == other.hw_watchdog
+            && self.treatments == other.treatments
+            && self.ecu_resets == other.ecu_resets
+            && self.fault_log == other.fault_log
+            && self.rx_mailbox == other.rx_mailbox
+            && self.deadline_stats == other.deadline_stats
+            && self.exec_stats == other.exec_stats
+    }
+
+    /// The kernel's canonical rendering (mismatch diagnostics for
+    /// [`NodeSnapshot::content_eq`]).
+    pub fn os_canonical(&self) -> String {
+        let mut out = String::new();
+        self.os.canonical_fmt(&mut out);
+        out
     }
 }
 
@@ -904,6 +1311,49 @@ mod tests {
         assert_eq!(first.1, second.1);
         assert_eq!(first.2, second.2);
         assert_eq!(first.3, second.3);
+    }
+
+    #[test]
+    fn hyperperiod_covers_every_period_and_window() {
+        for config in [NodeConfig::default(), NodeConfig::safespeed_only()] {
+            let node = CentralNode::build(config);
+            let h = node.hyperperiod();
+            assert!(!h.is_zero());
+            assert!((h % node.config().wd_period).is_zero());
+            assert!((h % Duration::from_millis(10)).is_zero(), "HwKick cycle");
+            for &period in node.periods.values() {
+                assert!((h % period).is_zero(), "{h:?} vs {period:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn macro_stepped_span_matches_event_level_simulation() {
+        let build = |ffwd: bool| {
+            let mut node = CentralNode::build(NodeConfig {
+                kernel_trace: false,
+                ..NodeConfig::default()
+            });
+            node.set_fastforward(Some(ffwd));
+            node.start();
+            node.run_span(Instant::from_millis(1_500));
+            node
+        };
+        let mut fast = build(true);
+        let mut plain = build(false);
+        let stats = fast.ffwd_stats();
+        assert!(stats.certifications >= 1, "{stats:?}");
+        assert!(stats.fastforwarded > Duration::ZERO, "{stats:?}");
+        assert_eq!(plain.ffwd_stats().fastforwarded, Duration::ZERO);
+        assert_eq!(fast.os.now(), plain.os.now());
+        let a = fast.snapshot();
+        let b = plain.snapshot();
+        assert!(
+            a.content_eq(&b),
+            "macro-stepped state diverged:\n{}\nvs\n{}",
+            a.os_canonical(),
+            b.os_canonical()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use easis::injection::injector::{ErrorClass, Injection, Injector};
 use easis::obs::{FaultClass, ObsEvent, StateScope};
-use easis::sim::time::Instant;
+use easis::sim::time::{Duration, Instant};
 use easis::validator::{CentralNode, NodeConfig};
 
 fn ms(n: u64) -> Instant {
@@ -122,6 +122,80 @@ fn metrics_count_what_the_trace_shows() {
         .expect("cycle latency site populated");
     assert!(site.count >= 98, "one sample per watchdog cycle, got {}", site.count);
     assert!(site.latency.is_some());
+}
+
+/// Macro-stepping must stand down whenever a trace could observe the
+/// difference: an elided hyperperiod records no flight-recorder events and
+/// no kernel trace entries, so with either trace enabled the engine must
+/// not elide anything — and the traces must come out byte-identical to a
+/// run that never heard of fast-forwarding.
+#[test]
+fn fastforward_auto_disables_under_traces_keeping_them_byte_identical() {
+    let run = |ffwd: bool| {
+        let config = NodeConfig {
+            obs_capacity: Some(4096),
+            ..NodeConfig::safespeed_only()
+        };
+        let mut node = CentralNode::build(config);
+        node.set_fastforward(Some(ffwd));
+        node.start();
+        // An injection-free span the engine would otherwise macro-step.
+        node.run_span(ms(600));
+        let target = node.runnable("SAFE_CC_process");
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::HeartbeatLoss { runnable: target },
+            ms(700),
+            ms(900),
+        )]);
+        node.run_until(ms(1_500), &mut injector);
+        node
+    };
+    let fast = run(true);
+    let plain = run(false);
+
+    // Both traces are enabled, so the engine stood down: the spans were
+    // recorded (the denominator moves) but nothing was fast-forwarded.
+    let stats = fast.ffwd_stats();
+    assert_eq!(stats.fastforwarded, Duration::ZERO, "{stats:?}");
+    assert_eq!(stats.certifications, 0, "{stats:?}");
+    assert!(stats.span > Duration::ZERO, "{stats:?}");
+
+    // Byte-identical observability JSONL and kernel trace.
+    assert!(!fast.world.obs.to_jsonl().is_empty());
+    assert_eq!(fast.world.obs.to_jsonl(), plain.world.obs.to_jsonl());
+    assert_eq!(
+        format!("{:?}", fast.os.trace()),
+        format!("{:?}", plain.os.trace())
+    );
+
+    // Each trace gates the engine independently: kernel trace only…
+    let mut kernel_only = CentralNode::build(NodeConfig::safespeed_only());
+    kernel_only.set_fastforward(Some(true));
+    kernel_only.start();
+    kernel_only.run_span(ms(600));
+    assert_eq!(kernel_only.ffwd_stats().fastforwarded, Duration::ZERO);
+
+    // …and flight recorder only.
+    let mut obs_only = CentralNode::build(NodeConfig {
+        obs_capacity: Some(4096),
+        kernel_trace: false,
+        ..NodeConfig::safespeed_only()
+    });
+    obs_only.set_fastforward(Some(true));
+    obs_only.start();
+    obs_only.run_span(ms(600));
+    assert_eq!(obs_only.ffwd_stats().fastforwarded, Duration::ZERO);
+
+    // With both traces off the same span does fast-forward — the gate is
+    // the traces, not the configuration shape.
+    let mut untraced = CentralNode::build(NodeConfig {
+        kernel_trace: false,
+        ..NodeConfig::safespeed_only()
+    });
+    untraced.set_fastforward(Some(true));
+    untraced.start();
+    untraced.run_span(ms(600));
+    assert!(untraced.ffwd_stats().fastforwarded > Duration::ZERO);
 }
 
 #[test]

@@ -1021,3 +1021,202 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Hyperperiod macro-stepping is invisible: driving a random campaign
+    /// trial through the node's public API with fast-forwarding enabled
+    /// ends in a state bit-identical to the same trial simulated purely
+    /// event-by-event. The random window start/length and horizon move the
+    /// certification points, the k-jump spans and the sub-hyperperiod
+    /// residues around, so the cases also exercise mid-span fallbacks
+    /// (arming transients, DTC age-out crossings) — the engine must land
+    /// on the exact event-level state every time. Few cases: every case
+    /// simulates two full trials.
+    #[test]
+    fn macro_stepped_trial_equals_event_level_simulation(
+        seed in any::<u64>(),
+        window_from_ms in 150u64..500,
+        window_len_ms in 20u64..300,
+        horizon_ms in 800u64..1500,
+        pick in any::<u32>(),
+    ) {
+        use easis::injection::injector::Injector;
+        use easis::validator::scenario::campaign_node_config;
+        use easis::validator::CentralNode;
+        let horizon = Instant::from_millis(horizon_ms);
+        let plan = CampaignBuilder::new(seed, (0..9).map(RunnableId).collect())
+            .loop_targets(vec![RunnableId(4), RunnableId(7)])
+            .trials_per_class(1)
+            .window(
+                Instant::from_millis(window_from_ms),
+                Duration::from_millis(window_len_ms),
+            )
+            .with_horizon(horizon)
+            .build();
+        let trials = plan.trials();
+        let spec = &trials[pick as usize % trials.len()];
+        let run = |ffwd: bool| {
+            let mut node = CentralNode::build(campaign_node_config());
+            node.set_fastforward(Some(ffwd));
+            node.start();
+            // Injection-free prefix: eligible for macro-stepping.
+            node.run_span(spec.injection.from);
+            // Armed window: the engine stands down, the injector ticks
+            // at millisecond granularity like the experiments do.
+            node.set_injection_armed(true);
+            let mut injector = Injector::new([spec.injection.clone()]);
+            node.run_until(spec.injection.to, &mut injector);
+            node.set_injection_armed(false);
+            // Quiescent tail: eligible again (modulo DTC aging et al.).
+            node.run_span(horizon);
+            node
+        };
+        let mut fast = run(true);
+        let mut plain = run(false);
+        prop_assert_eq!(fast.os.now(), plain.os.now());
+        // The engine saw the spans even when it chose not to jump.
+        prop_assert!(fast.ffwd_stats().span > Duration::ZERO);
+        prop_assert_eq!(plain.ffwd_stats().fastforwarded, Duration::ZERO);
+        let a = fast.snapshot();
+        let b = plain.snapshot();
+        prop_assert!(
+            a.content_eq(&b),
+            "macro-stepped end state diverged from event-level for {:?}",
+            spec.injection
+        );
+        prop_assert_eq!(
+            a.os_canonical(),
+            b.os_canonical(),
+            "canonical kernel state diverged for {:?}",
+            spec.injection
+        );
+    }
+}
+
+/// Forced mid-span fallback, case 1 — DTC aging and age-out: this exact
+/// slowdown (lifted from the campaign plan) leaves a Pending DTC record
+/// deep in its aging drain at disarm, so the tail forces the whole
+/// fallback machinery in sequence: certify with a non-zero per-hyperperiod
+/// DTC-aging delta, jump in spans capped at the age-out horizon, cross the
+/// age-out event itself at event level (a fallback), re-certify the new
+/// steady state and jump again — and still land bit-identical to the
+/// event-level run.
+#[test]
+fn macro_stepping_falls_back_and_recovers_across_dtc_age_out() {
+    use easis::injection::injector::{ErrorClass, Injection, Injector};
+    use easis::validator::scenario::campaign_node_config;
+    use easis::validator::CentralNode;
+    let horizon = Instant::from_millis(1_500);
+    let injection = Injection::new(
+        ErrorClass::ExecutionSlowdown {
+            runnable: RunnableId(3),
+            scale_ppm: 223_000_000,
+        },
+        Instant::from_micros(305_337),
+        Instant::from_micros(355_337),
+    );
+    let run = |ffwd: bool| {
+        let mut node = CentralNode::build(campaign_node_config());
+        node.set_fastforward(Some(ffwd));
+        node.start();
+        node.run_span(injection.from);
+        node.set_injection_armed(true);
+        let mut injector = Injector::new([injection.clone()]);
+        node.run_until(injection.to, &mut injector);
+        node.set_injection_armed(false);
+        // The scenario's whole point: a Pending DTC is still aging when
+        // the quiescent tail begins.
+        assert!(
+            node.world.fmf.pending_cycles_to_age_out().is_some(),
+            "scenario drifted: no Pending DTC left at disarm"
+        );
+        node.run_span(horizon);
+        node
+    };
+    let mut fast = run(true);
+    let mut plain = run(false);
+
+    let stats = fast.ffwd_stats();
+    assert!(
+        stats.fastforwarded >= Duration::from_millis(800),
+        "the tail should mostly fast-forward despite the drain: {stats:?}"
+    );
+    assert!(
+        stats.fallbacks >= 2,
+        "the age-out crossing must fall back to event level: {stats:?}"
+    );
+    assert!(
+        stats.certifications >= 3,
+        "the engine must re-certify after the age-out event: {stats:?}"
+    );
+
+    assert_eq!(fast.os.now(), plain.os.now());
+    let a = fast.snapshot();
+    let b = plain.snapshot();
+    assert!(
+        a.content_eq(&b),
+        "macro-stepped end state diverged from event-level across the age-out"
+    );
+    assert_eq!(a.os_canonical(), b.os_canonical());
+}
+
+/// Forced mid-span fallback, case 2 — sampling-phase collision: the window
+/// ends exactly on a 10 ms task-period boundary, so every h-spaced
+/// certification sample initially lands mid-dispatch (a task running,
+/// ready bits set) and is rejected. The backoff's one-millisecond phase
+/// nudge must walk the sampler off the boundary, after which the tail
+/// certifies and fast-forwards — bit-identical to the event-level run.
+#[test]
+fn macro_stepping_rephases_off_task_period_boundaries() {
+    use easis::injection::injector::{ErrorClass, Injection, Injector};
+    use easis::validator::scenario::campaign_node_config;
+    use easis::validator::CentralNode;
+    let horizon = Instant::from_millis(1_500);
+    let injection = Injection::new(
+        ErrorClass::ExecutionSlowdown {
+            runnable: RunnableId(4),
+            scale_ppm: 4_000_000,
+        },
+        Instant::from_millis(300),
+        Instant::from_millis(450),
+    );
+    let run = |ffwd: bool| {
+        let mut node = CentralNode::build(campaign_node_config());
+        node.set_fastforward(Some(ffwd));
+        node.start();
+        node.run_span(injection.from);
+        node.set_injection_armed(true);
+        let mut injector = Injector::new([injection.clone()]);
+        node.run_until(injection.to, &mut injector);
+        node.set_injection_armed(false);
+        node.run_span(horizon);
+        node
+    };
+    let mut fast = run(true);
+    let mut plain = run(false);
+
+    let stats = fast.ffwd_stats();
+    assert!(
+        stats.fallbacks >= 1,
+        "the boundary-phased samples must be rejected at least once: {stats:?}"
+    );
+    assert!(
+        stats.certifications >= 2,
+        "the nudged sampler must certify the tail after re-phasing: {stats:?}"
+    );
+    assert!(
+        stats.fastforwarded >= Duration::from_millis(500),
+        "prefix and re-phased tail should both fast-forward: {stats:?}"
+    );
+
+    assert_eq!(fast.os.now(), plain.os.now());
+    let a = fast.snapshot();
+    let b = plain.snapshot();
+    assert!(
+        a.content_eq(&b),
+        "macro-stepped end state diverged from event-level after re-phasing"
+    );
+    assert_eq!(a.os_canonical(), b.os_canonical());
+}

@@ -441,6 +441,99 @@ fn heartbeat_loss_latency_is_rotation_boundary_independent() {
     );
 }
 
+/// The macro-stepping engine over a genuinely long horizon: the
+/// injection-free prefix spans the first top-level timer-wheel rotation
+/// boundary (2^24 µs ≈ 16.8 s), which no closed-form jump may cross — the
+/// engine must cap the jump just short of it, simulate the cascade
+/// hyperperiod event-by-event (a counted fallback) and resume jumping.
+/// A heartbeat loss opens just past the boundary, so detection and
+/// treatment run on a node whose entire pre-fault history was
+/// fast-forwarded; the dependability verdict and the final node state must
+/// come out bit-identical to the event-level run that simulated every one
+/// of the ~16 million microseconds.
+#[test]
+fn macro_stepped_soak_crosses_rotation_boundary_and_detects_fault_past_it() {
+    use easis::fmf::policy::Treatment;
+    use easis::injection::{ErrorClass, Injection};
+
+    let boundary_ms = WHEEL_HORIZON_US / 1000; // 16_777
+    let from = Instant::from_millis(boundary_ms + 20);
+    let to = Instant::from_millis(boundary_ms + 220);
+    let horizon = Instant::from_millis(boundary_ms + 3_000);
+
+    let run = |ffwd: bool| {
+        let mut node = CentralNode::build(NodeConfig {
+            kernel_trace: false,
+            ..NodeConfig::default()
+        });
+        node.set_fastforward(Some(ffwd));
+        node.start();
+        // Quiescent prefix across the rotation boundary.
+        node.run_span(from);
+        node.set_injection_armed(true);
+        let mut injector = Injector::new([Injection::new(
+            ErrorClass::HeartbeatLoss {
+                runnable: RunnableId(4), // SAFE_CC in the full node
+            },
+            from,
+            to,
+        )]);
+        node.run_until(to, &mut injector);
+        node.set_injection_armed(false);
+        node.run_span(horizon);
+        node
+    };
+    let mut fast = run(true);
+    let mut plain = run(false);
+
+    // The prefix really was macro-stepped (most of ~16.8 s elided), and the
+    // rotation crossing really was simulated (a counted fallback).
+    let stats = fast.ffwd_stats();
+    assert!(
+        stats.fastforwarded >= Duration::from_secs(10),
+        "long prefix barely fast-forwarded: {stats:?}"
+    );
+    assert!(
+        stats.fallbacks >= 1,
+        "the rotation boundary must force an event-level crossing: {stats:?}"
+    );
+    assert!(stats.certifications >= 1, "{stats:?}");
+    assert_eq!(plain.ffwd_stats().fastforwarded, Duration::ZERO);
+
+    // The fault just past the boundary is detected and treated in causal
+    // order on the fast-forwarded node.
+    let first_fault = *fast.world.fault_log.first().expect("heartbeat loss detected");
+    assert!(
+        first_fault.at >= from,
+        "detection at {} precedes injection",
+        first_fault.at
+    );
+    let treatments = &fast.world.treatments;
+    assert!(
+        treatments
+            .iter()
+            .any(|t| matches!(t.treatment, Treatment::RestartApplication(_))),
+        "expected an application restart among the reactions"
+    );
+    assert!(
+        treatments[0].at >= first_fault.at,
+        "reaction at {} precedes first detection at {}",
+        treatments[0].at,
+        first_fault.at
+    );
+    assert_eq!(fast.world.hw_watchdog.expirations(), 0);
+
+    // And the whole run is bit-identical to the event-level reference.
+    assert_eq!(fast.os.now(), plain.os.now());
+    let a = fast.snapshot();
+    let b = plain.snapshot();
+    assert!(
+        a.content_eq(&b),
+        "macro-stepped soak diverged from the event-level run"
+    );
+    assert_eq!(a.os_canonical(), b.os_canonical());
+}
+
 #[test]
 #[ignore = "minutes-long campaign; run with --ignored"]
 fn large_campaign_soak() {
